@@ -1,0 +1,76 @@
+// Ablation B (research paper [4], parameter study): sensitivity of VALMOD
+// to k, the number of motif pairs reported per length. The certification
+// threshold is the k-th best distance, so larger k forces more exact
+// recomputation.
+//
+//   ./build/bench/bench_ablation_k [--n=8192] [--lmin=64] [--lmax=128]
+//                                  [--ks=1,4,8,16]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "core/valmod.h"
+
+namespace {
+
+std::vector<std::size_t> ParseList(const std::string& text) {
+  std::vector<std::size_t> values;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    values.push_back(static_cast<std::size_t>(
+        std::strtoull(text.substr(start, comma - start).c_str(), nullptr,
+                      10)));
+    start = comma + 1;
+  }
+  return values;
+}
+
+int Run(int argc, char** argv) {
+  const valmod::Flags flags = valmod::Flags::Parse(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(flags.GetInt("n", 8192));
+  const std::size_t lmin = static_cast<std::size_t>(flags.GetInt("lmin", 64));
+  const std::size_t lmax = static_cast<std::size_t>(flags.GetInt("lmax", 128));
+  const std::vector<std::size_t> ks =
+      ParseList(flags.GetString("ks", "1,4,8,16"));
+
+  auto series = valmod::bench::MakeDataset("ecg", n, 1);
+  if (!series.ok()) {
+    std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("# Ablation: sensitivity to k (ECG n=%zu, range [%zu, %zu])\n",
+              n, lmin, lmax);
+  std::printf("%6s %12s %12s %14s %16s %12s\n", "k", "init (s)",
+              "update (s)", "total (s)", "rows recomputed", "pairs");
+  for (std::size_t k : ks) {
+    valmod::core::ValmodOptions options;
+    options.min_length = lmin;
+    options.max_length = lmax;
+    options.k = k;
+    auto result = valmod::core::RunValmod(*series, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "k=%zu: %s\n", k,
+                   result.status().ToString().c_str());
+      continue;
+    }
+    std::size_t recomputed = 0;
+    for (const auto& s : result->stats) recomputed += s.recomputed_rows;
+    std::printf("%6zu %12.3f %12.3f %14.3f %16zu %12zu\n", k,
+                result->init_seconds, result->update_seconds,
+                result->init_seconds + result->update_seconds, recomputed,
+                result->ranked.size());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,123 @@
+// Figure 3 (top): wall-clock time vs motif length-range width on ECG and
+// ASTRO, comparing VALMOD with STOMP-adapted, MOEN, and QuickMotif.
+//
+// Paper configuration: series length 0.5M, lmin = 1024, range widths
+// {100, 150, 200, 400, 600}, 24-hour timeout. CI-scale defaults reproduce
+// the *shape* (VALMOD flat and fast; per-length baselines growing linearly
+// in the width until they hit the timeout) in under two minutes:
+//
+//   ./build/bench/bench_fig3_ranges                 # CI scale
+//   ./build/bench/bench_fig3_ranges --paper-scale   # paper parameters
+//   flags: --n=8192 --lmin=64 --ranges=16,32,64,128 --timeout=15 --seed=1
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baselines/moen.h"
+#include "baselines/quick_motif.h"
+#include "baselines/stomp_range.h"
+#include "bench_util.h"
+#include "common/flags.h"
+#include "core/valmod.h"
+
+namespace {
+
+using valmod::Deadline;
+using valmod::Flags;
+using valmod::Status;
+using valmod::bench::FormatSeconds;
+using valmod::bench::RunTimed;
+using valmod::bench::TimedRun;
+
+std::vector<std::size_t> ParseRanges(const std::string& text) {
+  std::vector<std::size_t> ranges;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    ranges.push_back(static_cast<std::size_t>(
+        std::strtoull(text.substr(start, comma - start).c_str(), nullptr,
+                      10)));
+    start = comma + 1;
+  }
+  return ranges;
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const bool paper_scale = flags.GetBool("paper-scale", false);
+  const std::size_t n =
+      static_cast<std::size_t>(flags.GetInt("n", paper_scale ? 500000 : 8192));
+  const std::size_t lmin =
+      static_cast<std::size_t>(flags.GetInt("lmin", paper_scale ? 1024 : 64));
+  const double timeout =
+      flags.GetDouble("timeout", paper_scale ? 86400.0 : 15.0);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const std::vector<std::size_t> ranges = ParseRanges(flags.GetString(
+      "ranges", paper_scale ? "100,150,200,400,600" : "16,32,64,128"));
+
+  std::printf("# Figure 3 (top): time vs subsequence length range\n");
+  std::printf("# n=%zu lmin=%zu timeout=%.0fs seed=%llu\n", n, lmin, timeout,
+              static_cast<unsigned long long>(seed));
+  std::printf("%-8s %8s | %12s %14s %14s %14s\n", "dataset", "range",
+              "VALMOD", "STOMP-range", "MOEN", "QuickMotif");
+
+  for (const std::string dataset : {"ecg", "astro"}) {
+    auto series = valmod::bench::MakeDataset(dataset, n, seed);
+    if (!series.ok()) {
+      std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
+      return 1;
+    }
+    for (std::size_t range : ranges) {
+      const std::size_t lmax = lmin + range;
+      if (lmax + 1 > n) {
+        std::fprintf(stderr, "skipping range %zu: lmax too large\n", range);
+        continue;
+      }
+
+      const TimedRun valmod_run = RunTimed(timeout, [&](Deadline deadline) {
+        valmod::core::ValmodOptions options;
+        options.min_length = lmin;
+        options.max_length = lmax;
+        options.deadline = deadline;
+        return valmod::core::RunValmod(*series, options).status();
+      });
+      const TimedRun stomp_run = RunTimed(timeout, [&](Deadline deadline) {
+        valmod::baselines::StompRangeOptions options;
+        options.min_length = lmin;
+        options.max_length = lmax;
+        options.deadline = deadline;
+        return valmod::baselines::RunStompRange(*series, options).status();
+      });
+      const TimedRun moen_run = RunTimed(timeout, [&](Deadline deadline) {
+        valmod::baselines::MoenOptions options;
+        options.min_length = lmin;
+        options.max_length = lmax;
+        options.deadline = deadline;
+        return valmod::baselines::RunMoen(*series, options).status();
+      });
+      const TimedRun quick_run = RunTimed(timeout, [&](Deadline deadline) {
+        valmod::baselines::QuickMotifRangeOptions options;
+        options.min_length = lmin;
+        options.max_length = lmax;
+        options.deadline = deadline;
+        return valmod::baselines::RunQuickMotifRange(*series, options)
+            .status();
+      });
+
+      std::printf("%-8s %8zu | %12s %14s %14s %14s\n", dataset.c_str(), range,
+                  FormatSeconds(valmod_run, timeout).c_str(),
+                  FormatSeconds(stomp_run, timeout).c_str(),
+                  FormatSeconds(moen_run, timeout).c_str(),
+                  FormatSeconds(quick_run, timeout).c_str());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

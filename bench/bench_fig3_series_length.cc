@@ -1,0 +1,122 @@
+// Figure 3 (bottom): wall-clock time vs data series length (prefix
+// snippets) on ECG and ASTRO at a fixed length-range width.
+//
+// Paper configuration: prefixes {0.1M, 0.2M, 0.5M, 0.8M, 1M} of each
+// series, range width 100, lmin = 1024, 24-hour timeout.
+//
+//   ./build/bench/bench_fig3_series_length                 # CI scale
+//   ./build/bench/bench_fig3_series_length --paper-scale
+//   flags: --sizes=4096,8192,16384,32768 --lmin=64 --range=25 --timeout=40
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baselines/moen.h"
+#include "baselines/quick_motif.h"
+#include "baselines/stomp_range.h"
+#include "bench_util.h"
+#include "common/flags.h"
+#include "core/valmod.h"
+
+namespace {
+
+using valmod::Deadline;
+using valmod::Flags;
+using valmod::bench::FormatSeconds;
+using valmod::bench::RunTimed;
+using valmod::bench::TimedRun;
+
+std::vector<std::size_t> ParseSizes(const std::string& text) {
+  std::vector<std::size_t> sizes;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    sizes.push_back(static_cast<std::size_t>(
+        std::strtoull(text.substr(start, comma - start).c_str(), nullptr,
+                      10)));
+    start = comma + 1;
+  }
+  return sizes;
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const bool paper_scale = flags.GetBool("paper-scale", false);
+  const std::size_t lmin =
+      static_cast<std::size_t>(flags.GetInt("lmin", paper_scale ? 1024 : 64));
+  const std::size_t range =
+      static_cast<std::size_t>(flags.GetInt("range", paper_scale ? 100 : 25));
+  const double timeout =
+      flags.GetDouble("timeout", paper_scale ? 86400.0 : 40.0);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const std::vector<std::size_t> sizes = ParseSizes(flags.GetString(
+      "sizes", paper_scale ? "100000,200000,500000,800000,1000000"
+                           : "4096,8192,16384,32768"));
+
+  std::printf("# Figure 3 (bottom): time vs data series length\n");
+  std::printf("# lmin=%zu range=%zu timeout=%.0fs seed=%llu\n", lmin, range,
+              timeout, static_cast<unsigned long long>(seed));
+  std::printf("%-8s %10s | %12s %14s %14s %14s\n", "dataset", "points",
+              "VALMOD", "STOMP-range", "MOEN", "QuickMotif");
+
+  for (const std::string dataset : {"ecg", "astro"}) {
+    // Generate once at the largest size; prefixes mirror the paper's use of
+    // prefix snippets of one recording.
+    auto full = valmod::bench::MakeDataset(dataset, sizes.back(), seed);
+    if (!full.ok()) {
+      std::fprintf(stderr, "%s\n", full.status().ToString().c_str());
+      return 1;
+    }
+    for (std::size_t size : sizes) {
+      auto prefix = full->Prefix(size);
+      if (!prefix.ok()) continue;
+      const std::size_t lmax = lmin + range;
+      if (lmax + 1 > size) continue;
+
+      const TimedRun valmod_run = RunTimed(timeout, [&](Deadline deadline) {
+        valmod::core::ValmodOptions options;
+        options.min_length = lmin;
+        options.max_length = lmax;
+        options.deadline = deadline;
+        return valmod::core::RunValmod(*prefix, options).status();
+      });
+      const TimedRun stomp_run = RunTimed(timeout, [&](Deadline deadline) {
+        valmod::baselines::StompRangeOptions options;
+        options.min_length = lmin;
+        options.max_length = lmax;
+        options.deadline = deadline;
+        return valmod::baselines::RunStompRange(*prefix, options).status();
+      });
+      const TimedRun moen_run = RunTimed(timeout, [&](Deadline deadline) {
+        valmod::baselines::MoenOptions options;
+        options.min_length = lmin;
+        options.max_length = lmax;
+        options.deadline = deadline;
+        return valmod::baselines::RunMoen(*prefix, options).status();
+      });
+      const TimedRun quick_run = RunTimed(timeout, [&](Deadline deadline) {
+        valmod::baselines::QuickMotifRangeOptions options;
+        options.min_length = lmin;
+        options.max_length = lmax;
+        options.deadline = deadline;
+        return valmod::baselines::RunQuickMotifRange(*prefix, options)
+            .status();
+      });
+
+      std::printf("%-8s %10zu | %12s %14s %14s %14s\n", dataset.c_str(), size,
+                  FormatSeconds(valmod_run, timeout).c_str(),
+                  FormatSeconds(stomp_run, timeout).c_str(),
+                  FormatSeconds(moen_run, timeout).c_str(),
+                  FormatSeconds(quick_run, timeout).c_str());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

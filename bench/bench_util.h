@@ -1,0 +1,70 @@
+#ifndef VALMOD_BENCH_BENCH_UTIL_H_
+#define VALMOD_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure-reproduction harnesses: dataset factory,
+// timed runs with the paper's timeout semantics, and aligned table output.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "series/data_series.h"
+#include "series/generators.h"
+
+namespace valmod::bench {
+
+/// Result of one timed algorithm run.
+struct TimedRun {
+  double seconds = 0.0;
+  bool timed_out = false;
+  bool failed = false;
+  std::string error;
+};
+
+/// Runs `body` under a cooperative deadline of `timeout_seconds` and
+/// measures wall-clock. `body` receives the deadline and must propagate it
+/// into the algorithm options.
+inline TimedRun RunTimed(double timeout_seconds,
+                         const std::function<Status(Deadline)>& body) {
+  TimedRun run;
+  WallTimer timer;
+  const Status status = body(timeout_seconds > 0.0
+                                 ? Deadline::After(timeout_seconds)
+                                 : Deadline::Infinite());
+  run.seconds = timer.ElapsedSeconds();
+  if (status.code() == StatusCode::kDeadlineExceeded) {
+    run.timed_out = true;
+  } else if (!status.ok()) {
+    run.failed = true;
+    run.error = status.ToString();
+  }
+  return run;
+}
+
+/// "1.234" or "TIMEOUT(>10s)" / "ERROR", padded by the caller's printf.
+inline std::string FormatSeconds(const TimedRun& run,
+                                 double timeout_seconds) {
+  char buffer[64];
+  if (run.timed_out) {
+    std::snprintf(buffer, sizeof(buffer), "TIMEOUT(>%.0fs)", timeout_seconds);
+  } else if (run.failed) {
+    std::snprintf(buffer, sizeof(buffer), "ERROR");
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.3f", run.seconds);
+  }
+  return buffer;
+}
+
+/// The two evaluation datasets of the paper's Figure 3, by name.
+inline Result<series::DataSeries> MakeDataset(const std::string& name,
+                                              std::size_t n, uint64_t seed) {
+  return synth::ByName(name, n, seed);
+}
+
+}  // namespace valmod::bench
+
+#endif  // VALMOD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,132 @@
+// The paper's Figure 1 walkthrough on a synthetic ECG: a fixed-length matrix
+// profile at l = 50 finds only a fragment of the heartbeat, while VALMAP
+// over [50, 400] surfaces the full beat. Emits the figure's data as CSVs.
+//
+//   ./build/examples/ecg_valmap [--n=5000] [--lmin=50] [--lmax=400]
+//                               [--out-dir=.]
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "core/valmod.h"
+#include "mp/motif.h"
+#include "series/generators.h"
+#include "series/io.h"
+
+namespace {
+
+using valmod::series::Column;
+
+int Run(int argc, char** argv) {
+  const valmod::Flags flags = valmod::Flags::Parse(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(flags.GetInt("n", 5000));
+  const std::size_t lmin = static_cast<std::size_t>(flags.GetInt("lmin", 50));
+  const std::size_t lmax = static_cast<std::size_t>(flags.GetInt("lmax", 400));
+  const std::string out_dir = flags.GetString("out-dir", ".");
+
+  valmod::synth::EcgOptions ecg;
+  ecg.length = n;
+  ecg.seed = 7;
+  ecg.samples_per_beat = 400.0;  // full beat scale, as in Figure 1(d)
+  auto series = valmod::synth::Ecg(ecg);
+  if (!series.ok()) {
+    std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
+    return 1;
+  }
+
+  valmod::core::ValmodOptions options;
+  options.min_length = lmin;
+  options.max_length = lmax;
+  options.k = 4;
+  options.num_threads = 4;
+  auto result = valmod::core::RunValmod(*series, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- Figure 1 left: fixed-length view at lmin -----------------------------
+  const auto& profile = result->min_length_profile;
+  auto fixed_motifs = valmod::mp::ExtractTopKMotifs(profile, 2);
+  std::printf("fixed-length matrix profile (l = %zu):\n", lmin);
+  if (fixed_motifs.ok()) {
+    for (const auto& m : *fixed_motifs) {
+      std::printf("  motif %s\n", valmod::mp::ToString(m).c_str());
+    }
+  }
+
+  // --- Figure 1 right: VALMAP over [lmin, lmax] -----------------------------
+  const auto& valmap = result->valmap;
+  auto best = valmap.BestOffset();
+  if (best.ok()) {
+    std::printf("\nVALMAP over [%zu, %zu]:\n", lmin, lmax);
+    std::printf("  best normalized motif: offset %zu, match %lld, "
+                "length %zu, dn = %.4f\n",
+                *best,
+                static_cast<long long>(valmap.index_profile()[*best]),
+                valmap.length_profile()[*best],
+                valmap.normalized_profile()[*best]);
+  }
+
+  // Length-profile histogram: where do best matches live on the length axis?
+  std::size_t at_min = 0, beyond = 0, full_beat = 0;
+  for (std::size_t l : valmap.length_profile()) {
+    if (l == lmin) {
+      ++at_min;
+    } else {
+      ++beyond;
+      if (l >= 3 * ecg.samples_per_beat / 4) ++full_beat;
+    }
+  }
+  std::printf("  length profile: %zu entries at lmin, %zu updated to longer "
+              "lengths (%zu at full-beat scale >= %.0f)\n",
+              at_min, beyond, full_beat, 3 * ecg.samples_per_beat / 4);
+  std::printf("  VALMAP updates recorded: %zu\n", valmap.updates().size());
+
+  // The paper's key comparison: the best raw-distance motif at lmin vs the
+  // best normalized motif across the range.
+  std::printf("\ncross-length ranking (top 3):\n");
+  for (std::size_t i = 0; i < result->ranked.size() && i < 3; ++i) {
+    std::printf("  #%zu %s\n", i + 1,
+                valmod::mp::ToString(result->ranked[i]).c_str());
+  }
+
+  // --- CSV artifacts ---------------------------------------------------------
+  std::vector<double> mp_values(profile.distances);
+  std::vector<double> ip_values(profile.indices.begin(),
+                                profile.indices.end());
+  std::vector<double> raw(series->values().begin(), series->values().end());
+  std::vector<double> mpn(valmap.normalized_profile());
+  std::vector<double> lp(valmap.length_profile().begin(),
+                         valmap.length_profile().end());
+  std::vector<double> vip(valmap.index_profile().begin(),
+                          valmap.index_profile().end());
+
+  const std::string fixed_path = out_dir + "/fig1_left_fixed_length.csv";
+  const std::string valmap_path = out_dir + "/fig1_right_valmap.csv";
+  auto status = valmod::series::WriteColumnsCsv(
+      {Column{"ecg", raw}, Column{"matrix_profile_l" + std::to_string(lmin),
+                                  mp_values},
+       Column{"index_profile", ip_values}},
+      fixed_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  status = valmod::series::WriteColumnsCsv(
+      {Column{"ecg", raw}, Column{"valmap_mpn", mpn},
+       Column{"valmap_index_profile", vip},
+       Column{"valmap_length_profile", lp}},
+      valmap_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s and %s\n", fixed_path.c_str(), valmap_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,97 @@
+// Entomology scenario (paper §4): insect EPG probing bursts repeat with
+// *different durations*, so a fixed-length search misses part of the
+// structure. Compare the fixed-length view with the variable-length ranking
+// and expand the best motifs of several lengths into motif sets.
+//
+//   ./build/examples/entomology_motif_sets [--n=20000] [--lmin=40]
+//                                          [--lmax=160]
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/motif_set.h"
+#include "core/valmod.h"
+#include "mp/motif.h"
+#include "series/generators.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  const valmod::Flags flags = valmod::Flags::Parse(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(flags.GetInt("n", 20000));
+  const std::size_t lmin = static_cast<std::size_t>(flags.GetInt("lmin", 40));
+  const std::size_t lmax = static_cast<std::size_t>(flags.GetInt("lmax", 160));
+
+  valmod::synth::EntomologyOptions epg;
+  epg.length = n;
+  epg.seed = 21;
+  epg.expected_bursts = 14.0;
+  auto series = valmod::synth::Entomology(epg);
+  if (!series.ok()) {
+    std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("EPG series: %zu samples, bursts of %.0f-%.0f samples\n",
+              series->size(), epg.min_burst_duration, epg.max_burst_duration);
+
+  valmod::core::ValmodOptions options;
+  options.min_length = lmin;
+  options.max_length = lmax;
+  options.k = 3;
+  options.num_threads = 4;
+  auto result = valmod::core::RunValmod(*series, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  // The fixed-length answer a traditional tool would give.
+  if (!result->per_length.front().motifs.empty()) {
+    std::printf("\nfixed-length answer (l = %zu): %s\n", lmin,
+                valmod::mp::ToString(result->per_length.front().motifs[0])
+                    .c_str());
+  }
+
+  // The variable-length answer: one ranking across all lengths.
+  std::printf("\nvariable-length ranking (top 5 across lengths %zu-%zu):\n",
+              lmin, lmax);
+  for (std::size_t i = 0; i < result->ranked.size() && i < 5; ++i) {
+    std::printf("  #%zu %s\n", i + 1,
+                valmod::mp::ToString(result->ranked[i]).c_str());
+  }
+
+  // Expand the best pair of three well-separated lengths into motif sets:
+  // how often does each burst scale recur?
+  std::printf("\nmotif sets at three scales:\n");
+  std::printf("%8s %12s %12s %10s\n", "length", "pair dist", "radius",
+              "members");
+  for (std::size_t length : {lmin, (lmin + lmax) / 2, lmax}) {
+    const auto& lm = result->per_length[length - lmin];
+    if (lm.motifs.empty()) continue;
+    valmod::core::MotifSetOptions set_options;
+    set_options.radius_factor = 2.0;
+    auto set = valmod::core::ExpandMotifSet(*series, lm.motifs[0],
+                                            set_options);
+    if (!set.ok()) continue;
+    std::printf("%8zu %12.4f %12.4f %10zu\n", length, lm.motifs[0].distance,
+                set->radius, set->members.size());
+  }
+
+  // Pruning statistics: the machinery of paper Figure 2 at work.
+  std::size_t recomputed = 0, valid = 0, invalid = 0;
+  for (const auto& s : result->stats) {
+    recomputed += s.recomputed_rows;
+    valid += s.valid_rows;
+    invalid += s.invalid_rows;
+  }
+  std::printf("\npruning: %zu rows certified by partial profiles, %zu not, "
+              "%zu recomputed exactly (%.2f%% of row-lengths)\n",
+              valid, invalid, recomputed,
+              100.0 * static_cast<double>(recomputed) /
+                  static_cast<double>(valid + invalid + 1));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

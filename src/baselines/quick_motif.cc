@@ -1,0 +1,338 @@
+#include "baselines/quick_motif.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "mp/matrix_profile.h"
+#include "series/znorm.h"
+#include "stats/moving_stats.h"
+
+namespace valmod::baselines {
+
+namespace {
+
+using mp::kInfinity;
+
+/// PAA summary of one z-normalized subsequence plus the per-segment sample
+/// counts shared by all summaries of a run.
+struct PaaTable {
+  std::size_t dims = 0;
+  std::vector<double> segment_lengths;   // samples per PAA segment
+  std::vector<double> values;            // count x dims, row-major
+  std::vector<char> is_const;            // constant windows: all-zero PAA
+
+  std::span<const double> Row(std::size_t i) const {
+    return {&values[i * dims], dims};
+  }
+};
+
+/// Builds PAA summaries for every window via prefix sums: segment mean of
+/// the z-normalized window = (segment mean - window mean) / window std.
+PaaTable BuildPaa(const series::DataSeries& series, std::size_t length,
+                  std::size_t dims) {
+  const stats::MovingStats& stats = series.stats();
+  const auto centered = series.centered();
+  const std::size_t count = series.NumSubsequences(length);
+  const double const_threshold = stats.constant_std_threshold();
+
+  PaaTable table;
+  table.dims = dims;
+  table.values.assign(count * dims, 0.0);
+  table.is_const.assign(count, 0);
+
+  // Segment boundaries: as even as possible.
+  std::vector<std::size_t> seg_start(dims + 1);
+  for (std::size_t s = 0; s <= dims; ++s) {
+    seg_start[s] = s * length / dims;
+  }
+  table.segment_lengths.resize(dims);
+  for (std::size_t s = 0; s < dims; ++s) {
+    table.segment_lengths[s] =
+        static_cast<double>(seg_start[s + 1] - seg_start[s]);
+  }
+
+  // Prefix sums over the centered values for O(1) segment sums.
+  std::vector<double> prefix(series.size() + 1, 0.0);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    prefix[i + 1] = prefix[i] + centered[i];
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const double std_i = stats.StdDev(i, length);
+    if (std_i <= const_threshold) {
+      table.is_const[i] = 1;
+      continue;  // all-zero PAA matches the all-zero z-normalization
+    }
+    const double mean_i = stats.CenteredMean(i, length);
+    const double inv_std = 1.0 / std_i;
+    for (std::size_t s = 0; s < dims; ++s) {
+      if (table.segment_lengths[s] == 0.0) continue;
+      const double seg_sum =
+          prefix[i + seg_start[s + 1]] - prefix[i + seg_start[s]];
+      const double seg_mean = seg_sum / table.segment_lengths[s];
+      table.values[i * dims + s] = (seg_mean - mean_i) * inv_std;
+    }
+  }
+  return table;
+}
+
+/// Admissible PAA lower bound between two summarized windows:
+/// d^2 >= sum_s seg_len[s] * (paa_a[s] - paa_b[s])^2 (Cauchy-Schwarz per
+/// segment). Squared form to avoid sqrt in the hot path.
+double PaaLowerBoundSquared(const PaaTable& table, std::size_t a,
+                            std::size_t b) {
+  const double* pa = &table.values[a * table.dims];
+  const double* pb = &table.values[b * table.dims];
+  double acc = 0.0;
+  for (std::size_t s = 0; s < table.dims; ++s) {
+    const double diff = pa[s] - pb[s];
+    acc += table.segment_lengths[s] * diff * diff;
+  }
+  return acc;
+}
+
+/// Morton (z-order) key from quantized PAA coordinates; orders the windows
+/// so that spatial neighbors land in the same block (substitute for the
+/// original's Hilbert curve).
+uint64_t MortonKey(std::span<const double> paa) {
+  // Quantize each dimension to 8 bits around a fixed z-score range.
+  constexpr double kLo = -4.0, kHi = 4.0;
+  constexpr unsigned kBits = 8;
+  std::vector<uint32_t> q(paa.size());
+  for (std::size_t d = 0; d < paa.size(); ++d) {
+    const double clamped = std::clamp(paa[d], kLo, kHi);
+    q[d] = static_cast<uint32_t>((clamped - kLo) / (kHi - kLo) * 255.0);
+  }
+  uint64_t key = 0;
+  int out_bit = 63;
+  for (int bit = kBits - 1; bit >= 0 && out_bit >= 0; --bit) {
+    for (std::size_t d = 0; d < paa.size() && out_bit >= 0; ++d) {
+      key |= static_cast<uint64_t>((q[d] >> bit) & 1u)
+             << static_cast<unsigned>(out_bit);
+      --out_bit;
+    }
+  }
+  return key;
+}
+
+/// A block of consecutive (in Morton order) windows with its MBR.
+struct Block {
+  std::size_t begin = 0, end = 0;        // range into the order array
+  std::vector<double> lo, hi;             // per-dimension bounds
+};
+
+/// Squared min distance between two MBRs under the segment-weighted metric.
+double BlockLowerBoundSquared(const PaaTable& table, const Block& x,
+                              const Block& y) {
+  double acc = 0.0;
+  for (std::size_t s = 0; s < table.dims; ++s) {
+    double gap = 0.0;
+    if (x.hi[s] < y.lo[s]) {
+      gap = y.lo[s] - x.hi[s];
+    } else if (y.hi[s] < x.lo[s]) {
+      gap = x.lo[s] - y.hi[s];
+    }
+    acc += table.segment_lengths[s] * gap * gap;
+  }
+  return acc;
+}
+
+double EarlyAbandonDistance(std::span<const double> centered, double mean_a,
+                            double inv_std_a, double mean_b, double inv_std_b,
+                            std::size_t a, std::size_t b, std::size_t length,
+                            double bsf) {
+  const double bsf_sq = bsf * bsf;
+  double acc = 0.0;
+  for (std::size_t t = 0; t < length; ++t) {
+    const double za = (centered[a + t] - mean_a) * inv_std_a;
+    const double zb = (centered[b + t] - mean_b) * inv_std_b;
+    const double diff = za - zb;
+    acc += diff * diff;
+    if (acc > bsf_sq) return kInfinity;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+Result<mp::MotifPair> RunQuickMotif(const series::DataSeries& series,
+                                    std::size_t length,
+                                    const QuickMotifOptions& options) {
+  const std::size_t count = series.NumSubsequences(length);
+  const std::size_t exclusion =
+      mp::ExclusionZoneFor(length, options.exclusion_fraction);
+  if (count <= exclusion) {
+    return Status::InvalidArgument(
+        "no non-trivial pairs at length " + std::to_string(length));
+  }
+  if (options.paa_dimensions == 0 || options.paa_dimensions > length) {
+    return Status::InvalidArgument("paa_dimensions must be in [1, length]");
+  }
+  if (options.block_size == 0) {
+    return Status::InvalidArgument("block_size must be >= 1");
+  }
+
+  const stats::MovingStats& stats = series.stats();
+  const auto centered = series.centered();
+  const double const_threshold = stats.constant_std_threshold();
+
+  const PaaTable table = BuildPaa(series, length, options.paa_dimensions);
+
+  std::vector<double> means(count), stds(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    means[i] = stats.CenteredMean(i, length);
+    stds[i] = stats.StdDev(i, length);
+  }
+
+  auto exact = [&](std::size_t i, std::size_t j, double bsf) {
+    const bool const_i = stds[i] <= const_threshold;
+    const bool const_j = stds[j] <= const_threshold;
+    if (const_i || const_j) {
+      return (const_i && const_j) ? 0.0
+                                  : std::sqrt(static_cast<double>(length));
+    }
+    return EarlyAbandonDistance(centered, means[i], 1.0 / stds[i], means[j],
+                                1.0 / stds[j], i, j, length, bsf);
+  };
+
+  // Morton ordering and blocking.
+  std::vector<uint64_t> keys(count);
+  for (std::size_t i = 0; i < count; ++i) keys[i] = MortonKey(table.Row(i));
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
+    return a < b;
+  });
+
+  std::vector<Block> blocks;
+  for (std::size_t begin = 0; begin < count; begin += options.block_size) {
+    Block block;
+    block.begin = begin;
+    block.end = std::min(count, begin + options.block_size);
+    block.lo.assign(table.dims, kInfinity);
+    block.hi.assign(table.dims, -kInfinity);
+    for (std::size_t r = block.begin; r < block.end; ++r) {
+      const auto paa = table.Row(order[r]);
+      for (std::size_t s = 0; s < table.dims; ++s) {
+        block.lo[s] = std::min(block.lo[s], paa[s]);
+        block.hi[s] = std::max(block.hi[s], paa[s]);
+      }
+    }
+    blocks.push_back(std::move(block));
+  }
+
+  // Seed the best-so-far with Morton-adjacent pairs (spatial neighbors are
+  // likely near-best) so block pruning starts effective.
+  mp::MotifPair best;
+  best.length = length;
+  auto offer = [&](std::size_t i, std::size_t j, double d) {
+    if (d < best.distance) {
+      best.distance = d;
+      best.offset_a = static_cast<int64_t>(std::min(i, j));
+      best.offset_b = static_cast<int64_t>(std::max(i, j));
+    }
+  };
+  for (std::size_t r = 0; r + 1 < count; ++r) {
+    // One non-trivial Morton neighbor per rank is enough for seeding.
+    for (std::size_t g = 1; r + g < count; ++g) {
+      const std::size_t i = order[r];
+      const std::size_t j = order[r + g];
+      const std::size_t gap = i > j ? i - j : j - i;
+      if (gap < exclusion) continue;
+      offer(i, j, exact(i, j, best.distance));
+      break;
+    }
+  }
+
+  // All block pairs in ascending MBR lower-bound order; refine until the
+  // bound catches up with the best-so-far.
+  struct BlockPair {
+    double lb_sq;
+    std::size_t x, y;
+  };
+  std::vector<BlockPair> pairs;
+  pairs.reserve(blocks.size() * (blocks.size() + 1) / 2);
+  for (std::size_t x = 0; x < blocks.size(); ++x) {
+    for (std::size_t y = x; y < blocks.size(); ++y) {
+      const double lb_sq =
+          x == y ? 0.0 : BlockLowerBoundSquared(table, blocks[x], blocks[y]);
+      if (lb_sq < best.distance * best.distance) {
+        pairs.push_back(BlockPair{lb_sq, x, y});
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const BlockPair& a, const BlockPair& b) {
+              return a.lb_sq < b.lb_sq;
+            });
+
+  std::size_t visited = 0;
+  for (const BlockPair& bp : pairs) {
+    if (bp.lb_sq >= best.distance * best.distance) break;
+    if ((++visited & 63) == 0 && options.deadline.Expired()) {
+      return Status::DeadlineExceeded("QuickMotif timed out");
+    }
+    const Block& bx = blocks[bp.x];
+    const Block& by = blocks[bp.y];
+    for (std::size_t rx = bx.begin; rx < bx.end; ++rx) {
+      const std::size_t ry_begin = bp.x == bp.y ? rx + 1 : by.begin;
+      for (std::size_t ry = ry_begin; ry < by.end; ++ry) {
+        const std::size_t i = order[rx];
+        const std::size_t j = order[ry];
+        const std::size_t gap = i > j ? i - j : j - i;
+        if (gap < exclusion) continue;
+        if (PaaLowerBoundSquared(table, i, j) >=
+            best.distance * best.distance) {
+          continue;
+        }
+        offer(i, j, exact(i, j, best.distance));
+      }
+    }
+  }
+
+  if (best.offset_a < 0) {
+    return Status::NotFound("no eligible motif pair at length " +
+                            std::to_string(length));
+  }
+  best.normalized_distance =
+      series::LengthNormalizedDistance(best.distance, length);
+  return best;
+}
+
+Result<std::vector<core::LengthMotifs>> RunQuickMotifRange(
+    const series::DataSeries& series, const QuickMotifRangeOptions& options) {
+  if (options.min_length < 2 || options.min_length > options.max_length) {
+    return Status::InvalidArgument("need 2 <= min_length <= max_length");
+  }
+  std::vector<core::LengthMotifs> per_length;
+  for (std::size_t length = options.min_length; length <= options.max_length;
+       ++length) {
+    if (options.deadline.Expired()) {
+      return Status::DeadlineExceeded("QuickMotif-range timed out at length " +
+                                      std::to_string(length));
+    }
+    QuickMotifOptions per = options.per_length;
+    per.deadline = options.deadline;
+    core::LengthMotifs entry;
+    entry.length = length;
+    Result<mp::MotifPair> pair = RunQuickMotif(series, length, per);
+    if (pair.ok()) {
+      entry.motifs.push_back(*pair);
+    } else if (pair.status().code() != StatusCode::kNotFound &&
+               pair.status().code() != StatusCode::kInvalidArgument) {
+      return pair.status();
+    }
+    per_length.push_back(std::move(entry));
+  }
+  return per_length;
+}
+
+}  // namespace valmod::baselines

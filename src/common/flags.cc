@@ -1,0 +1,76 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace valmod {
+
+namespace {
+
+bool LooksLikeFlag(std::string_view arg) {
+  return arg.size() > 2 && arg.substr(0, 2) == "--";
+}
+
+}  // namespace
+
+Flags Flags::Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!LooksLikeFlag(arg)) {
+      flags.positional_.emplace_back(arg);
+      continue;
+    }
+    std::string_view body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      flags.values_[std::string(body.substr(0, eq))] =
+          std::string(body.substr(eq + 1));
+    } else {
+      // Bare `--name` is boolean true. The `--name value` space form is
+      // deliberately unsupported: it is ambiguous with positionals.
+      flags.values_[std::string(body)] = "true";
+    }
+  }
+  return flags;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name, double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second;
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : values_) {
+    if (!out.empty()) out += ' ';
+    out += name + "=" + value;
+  }
+  return out;
+}
+
+}  // namespace valmod

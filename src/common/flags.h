@@ -1,0 +1,44 @@
+#ifndef VALMOD_COMMON_FLAGS_H_
+#define VALMOD_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace valmod {
+
+/// Minimal command-line flag parser for the bench and example binaries.
+///
+/// Accepts `--name=value` and bare `--name` (boolean true). Anything not
+/// starting with `--` is collected as a positional argument. The space form
+/// `--name value` is intentionally not supported (ambiguous with
+/// positionals).
+/// The parser is intentionally tiny: benches need a handful of numeric knobs
+/// (sizes, lengths, seeds), not a full flags library.
+class Flags {
+ public:
+  /// Parses argv. Unknown flags are kept (benches print what they received).
+  static Flags Parse(int argc, char** argv);
+
+  /// Typed getters with defaults.
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+
+  bool Has(const std::string& name) const;
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// "name=value name=value ..." for run-configuration logging.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_COMMON_FLAGS_H_

@@ -1,0 +1,66 @@
+#ifndef VALMOD_COMMON_PARALLEL_H_
+#define VALMOD_COMMON_PARALLEL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace valmod {
+
+/// Runs `fn(index)` for every index in [begin, end), statically partitioned
+/// into contiguous chunks across up to `threads` workers. `fn` must be safe
+/// to call concurrently for distinct indices. With `threads <= 1` (or a
+/// tiny range) the loop runs inline.
+inline void ParallelFor(std::size_t begin, std::size_t end, int threads,
+                        const std::function<void(std::size_t)>& fn) {
+  const std::size_t count = end > begin ? end - begin : 0;
+  const std::size_t workers = std::min<std::size_t>(
+      threads > 1 ? static_cast<std::size_t>(threads) : 1, count);
+  if (workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  const std::size_t chunk = (count + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([lo, hi, &fn]() {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+/// Status-returning variant: runs every index (no early abort across
+/// workers) and reports the error of the lowest failing index, so the
+/// outcome is deterministic regardless of thread interleaving.
+inline Status ParallelForWithStatus(
+    std::size_t begin, std::size_t end, int threads,
+    const std::function<Status(std::size_t)>& fn) {
+  std::mutex mutex;
+  std::size_t first_bad = end;
+  Status first_error;
+  ParallelFor(begin, end, threads, [&](std::size_t i) {
+    Status status = fn(i);
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (i < first_bad) {
+        first_bad = i;
+        first_error = std::move(status);
+      }
+    }
+  });
+  return first_error;
+}
+
+}  // namespace valmod
+
+#endif  // VALMOD_COMMON_PARALLEL_H_

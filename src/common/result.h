@@ -1,0 +1,91 @@
+#ifndef VALMOD_COMMON_RESULT_H_
+#define VALMOD_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace valmod {
+
+/// Value-or-error holder, the library's replacement for exceptions.
+///
+/// A `Result<T>` holds either a `T` or a non-OK `Status`. Accessing the value
+/// of an error result aborts the process with a diagnostic (programming
+/// error), mirroring absl::StatusOr semantics.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error status keeps call sites
+  /// terse (`return my_vector;` / `return Status::InvalidArgument(...)`).
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(state_).ok()) {
+      Fail("Result constructed from OK status without a value");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// Status of the result: OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(state_);
+  }
+
+  /// Value accessors. Aborts if the result holds an error.
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) Fail(std::get<Status>(state_).ToString().c_str());
+  }
+  [[noreturn]] static void Fail(const char* what) {
+    std::cerr << "Result<T>: value() called on error result: " << what
+              << std::endl;
+    std::abort();
+  }
+
+  std::variant<T, Status> state_;
+};
+
+}  // namespace valmod
+
+/// Evaluates `rexpr` (a Result<T>), propagates the error, otherwise moves the
+/// value into `lhs`. `lhs` may be a declaration (`auto x`) or an lvalue.
+#define VALMOD_ASSIGN_OR_RETURN(lhs, rexpr)               \
+  VALMOD_ASSIGN_OR_RETURN_IMPL_(                          \
+      VALMOD_RESULT_CONCAT_(_valmod_result, __LINE__), lhs, rexpr)
+
+#define VALMOD_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define VALMOD_RESULT_CONCAT_INNER_(a, b) a##b
+#define VALMOD_RESULT_CONCAT_(a, b) VALMOD_RESULT_CONCAT_INNER_(a, b)
+
+#endif  // VALMOD_COMMON_RESULT_H_

@@ -1,0 +1,57 @@
+#ifndef VALMOD_COMMON_RNG_H_
+#define VALMOD_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace valmod {
+
+/// Deterministic random number generator used by all synthetic data
+/// generators and tests. Wrapping std::mt19937_64 in one place guarantees
+/// that a (generator, seed) pair always produces the same series across
+/// platforms and library versions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Standard normal draw.
+  double Gaussian() { return normal_(engine_); }
+
+  /// Normal draw with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * normal_(engine_);
+  }
+
+  /// Uniform draw in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * unit_(engine_);
+  }
+
+  /// Uniform integer draw in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Exponential draw with the given rate (events per unit).
+  double Exponential(double rate) {
+    std::exponential_distribution<double> dist(rate);
+    return dist(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool Flip(double probability_true) {
+    return unit_(engine_) < probability_true;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::normal_distribution<double> normal_{0.0, 1.0};
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_COMMON_RNG_H_

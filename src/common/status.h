@@ -1,0 +1,94 @@
+#ifndef VALMOD_COMMON_STATUS_H_
+#define VALMOD_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace valmod {
+
+/// Error categories used across the library. The library never throws; all
+/// fallible operations return a Status or a Result<T> (see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kFailedPrecondition = 4,
+  kIoError = 5,
+  kDeadlineExceeded = 6,
+  kInternal = 7,
+};
+
+/// Human-readable name of a status code (e.g. "InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Lightweight status object carrying a code and, for errors, a message.
+///
+/// Conventions follow the Google style guide: functions that can fail return
+/// `Status` (or `Result<T>`); `Status::Ok()` signals success. Statuses are
+/// cheap to copy for the OK case and carry a heap-allocated message only on
+/// error paths.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace valmod
+
+/// Propagates an error status from an expression that yields a Status.
+#define VALMOD_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::valmod::Status _valmod_status = (expr);        \
+    if (!_valmod_status.ok()) return _valmod_status; \
+  } while (0)
+
+#endif  // VALMOD_COMMON_STATUS_H_

@@ -1,0 +1,62 @@
+#ifndef VALMOD_COMMON_TIMER_H_
+#define VALMOD_COMMON_TIMER_H_
+
+#include <chrono>
+#include <optional>
+
+namespace valmod {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Cooperative deadline passed into long-running algorithms. Algorithms check
+/// `Expired()` at coarse granularity (per length / per diagonal block) and
+/// return StatusCode::kDeadlineExceeded when it fires — this mirrors the
+/// paper's "time out after 24h" treatment of slow competitors.
+class Deadline {
+ public:
+  /// A deadline that never expires.
+  Deadline() = default;
+
+  /// A deadline `seconds` from now. Non-positive values expire immediately.
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.at_ = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  /// An infinite deadline (same as default construction; reads clearly at
+  /// call sites).
+  static Deadline Infinite() { return Deadline(); }
+
+  bool Expired() const {
+    return at_.has_value() && std::chrono::steady_clock::now() >= *at_;
+  }
+
+ private:
+  std::optional<std::chrono::steady_clock::time_point> at_;
+};
+
+}  // namespace valmod
+
+#endif  // VALMOD_COMMON_TIMER_H_

@@ -1,0 +1,85 @@
+#include "core/motif_set_enumeration.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "common/status.h"
+#include "mp/matrix_profile.h"
+
+namespace valmod::core {
+
+namespace {
+
+/// Two seed pairs describe the same event if both members coincide within
+/// the exclusion zone of the longer seed.
+bool SeedsOverlap(const mp::MotifPair& a, const mp::MotifPair& b,
+                  double exclusion_fraction) {
+  const std::size_t zone = mp::ExclusionZoneFor(
+      std::max(a.length, b.length), exclusion_fraction);
+  const auto close = [&](int64_t x, int64_t y) {
+    return std::llabs(x - y) < static_cast<int64_t>(zone);
+  };
+  return (close(a.offset_a, b.offset_a) && close(a.offset_b, b.offset_b)) ||
+         (close(a.offset_a, b.offset_b) && close(a.offset_b, b.offset_a));
+}
+
+}  // namespace
+
+Result<MotifSetEnumerationResult> EnumerateMotifSets(
+    const series::DataSeries& series,
+    const MotifSetEnumerationOptions& options) {
+  if (options.radius_factor < 0.0) {
+    return Status::InvalidArgument("radius_factor must be >= 0");
+  }
+  VALMOD_ASSIGN_OR_RETURN(ValmodResult valmod_result,
+                          RunValmod(series, options.valmod));
+
+  MotifSetEnumerationResult result;
+  for (const mp::MotifPair& pair : valmod_result.ranked) {
+    MotifSetOptions set_options;
+    set_options.radius_factor = options.radius_factor;
+    set_options.exclusion_fraction = options.valmod.exclusion_fraction;
+    VALMOD_ASSIGN_OR_RETURN(MotifSet set,
+                            ExpandMotifSet(series, pair, set_options));
+    RankedMotifSet ranked;
+    ranked.cardinality = set.members.size();
+    ranked.normalized_seed_distance = pair.normalized_distance;
+    ranked.set = std::move(set);
+    result.sets.push_back(std::move(ranked));
+  }
+
+  if (options.deduplicate_across_lengths) {
+    // `valmod_result.ranked` is ordered by normalized distance, so the
+    // first set seen for an event is its best-scale representative.
+    std::vector<RankedMotifSet> deduplicated;
+    for (RankedMotifSet& candidate : result.sets) {
+      bool duplicate = false;
+      for (const RankedMotifSet& kept : deduplicated) {
+        if (SeedsOverlap(candidate.set.seed, kept.set.seed,
+                         options.valmod.exclusion_fraction)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) deduplicated.push_back(std::move(candidate));
+    }
+    result.sets = std::move(deduplicated);
+  }
+
+  std::sort(result.sets.begin(), result.sets.end(),
+            [](const RankedMotifSet& a, const RankedMotifSet& b) {
+              if (a.cardinality != b.cardinality) {
+                return a.cardinality > b.cardinality;
+              }
+              if (a.normalized_seed_distance != b.normalized_seed_distance) {
+                return a.normalized_seed_distance <
+                       b.normalized_seed_distance;
+              }
+              return a.set.seed.length < b.set.seed.length;
+            });
+  result.valmod = std::move(valmod_result);
+  return result;
+}
+
+}  // namespace valmod::core

@@ -1,0 +1,58 @@
+#ifndef VALMOD_CORE_MOTIF_SET_ENUMERATION_H_
+#define VALMOD_CORE_MOTIF_SET_ENUMERATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "core/motif_set.h"
+#include "core/valmod.h"
+#include "series/data_series.h"
+
+namespace valmod::core {
+
+/// Options for variable-length motif-set enumeration (research paper [4]
+/// §5: after finding the top motif pairs of each length, expand them into
+/// motif sets and rank the sets across lengths).
+struct MotifSetEnumerationOptions {
+  /// The underlying VALMOD run configuration (range, k, p, ...). Each of
+  /// the per-length top-k pairs seeds one candidate motif set.
+  ValmodOptions valmod;
+  /// Expansion radius as a multiple of each seed pair's distance.
+  double radius_factor = 2.0;
+  /// Sets whose seed pairs overlap (within the exclusion zone at the
+  /// *longer* seed's length) are deduplicated, keeping the better-ranked
+  /// one, so the output lists distinct events rather than one event at
+  /// every length.
+  bool deduplicate_across_lengths = true;
+};
+
+/// A motif set with its cross-length ranking score: sets are ordered by
+/// descending cardinality, then ascending length-normalized seed distance —
+/// "the pattern that repeats most, at its best-matching scale".
+struct RankedMotifSet {
+  MotifSet set;
+  std::size_t cardinality = 0;
+  double normalized_seed_distance = 0.0;
+};
+
+struct MotifSetEnumerationResult {
+  /// Ranked motif sets across all lengths in the range.
+  std::vector<RankedMotifSet> sets;
+  /// The underlying VALMOD output (profiles, VALMAP, stats), exposed so
+  /// callers do not pay for the range scan twice.
+  ValmodResult valmod;
+};
+
+/// Runs VALMOD over the configured range, expands every reported motif pair
+/// into its motif set, optionally deduplicates near-identical sets found at
+/// multiple lengths, and ranks the survivors. This is the workflow behind
+/// the demo's "expand a selected motif pair to the relative Motif Set"
+/// interaction, automated over the whole range.
+Result<MotifSetEnumerationResult> EnumerateMotifSets(
+    const series::DataSeries& series,
+    const MotifSetEnumerationOptions& options);
+
+}  // namespace valmod::core
+
+#endif  // VALMOD_CORE_MOTIF_SET_ENUMERATION_H_

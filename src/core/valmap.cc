@@ -1,0 +1,65 @@
+#include "core/valmap.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "series/znorm.h"
+
+namespace valmod::core {
+
+Result<Valmap> Valmap::FromProfile(const mp::MatrixProfile& profile) {
+  if (profile.size() == 0) {
+    return Status::InvalidArgument("cannot build VALMAP from empty profile");
+  }
+  Valmap valmap;
+  valmap.min_length_ = profile.subsequence_length;
+  valmap.mpn_.resize(profile.size());
+  valmap.ip_ = profile.indices;
+  valmap.lp_.assign(profile.size(), profile.subsequence_length);
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    valmap.mpn_[i] = series::LengthNormalizedDistance(
+        profile.distances[i], profile.subsequence_length);
+  }
+  return valmap;
+}
+
+void Valmap::Apply(const mp::MotifPair& pair) {
+  const auto update_side = [&](int64_t offset, int64_t match) {
+    if (offset < 0 || static_cast<std::size_t>(offset) >= mpn_.size()) return;
+    const std::size_t i = static_cast<std::size_t>(offset);
+    if (pair.normalized_distance < mpn_[i]) {
+      mpn_[i] = pair.normalized_distance;
+      ip_[i] = match;
+      lp_[i] = pair.length;
+      updates_.push_back(ValmapUpdate{i, match, pair.length,
+                                      pair.normalized_distance});
+    }
+  };
+  update_side(pair.offset_a, pair.offset_b);
+  update_side(pair.offset_b, pair.offset_a);
+}
+
+void Valmap::Checkpoint(std::size_t length) {
+  for (std::size_t u = unstamped_begin_; u < updates_.size(); ++u) {
+    updates_[u].length = length;
+  }
+  unstamped_begin_ = updates_.size();
+}
+
+std::vector<ValmapUpdate> Valmap::UpdatesForLength(std::size_t length) const {
+  std::vector<ValmapUpdate> out;
+  for (const ValmapUpdate& u : updates_) {
+    if (u.length == length) out.push_back(u);
+  }
+  return out;
+}
+
+Result<std::size_t> Valmap::BestOffset() const {
+  if (mpn_.empty()) {
+    return Status::FailedPrecondition("VALMAP is empty");
+  }
+  return static_cast<std::size_t>(
+      std::min_element(mpn_.begin(), mpn_.end()) - mpn_.begin());
+}
+
+}  // namespace valmod::core

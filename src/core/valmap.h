@@ -1,0 +1,81 @@
+#ifndef VALMOD_CORE_VALMAP_H_
+#define VALMOD_CORE_VALMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "mp/matrix_profile.h"
+#include "mp/motif.h"
+
+namespace valmod::core {
+
+/// One VALMAP update event: at `length`, the best match of `offset` improved
+/// (in length-normalized distance) to `match`. The sequence of updates per
+/// length is what the demo GUI's slider replays ("VALMAP checkpoints").
+struct ValmapUpdate {
+  std::size_t offset = 0;
+  int64_t match = -1;
+  std::size_t length = 0;
+  double normalized_distance = 0.0;
+};
+
+/// Variable-Length Matrix Profile (paper §2, "VALMAP"): the triple
+/// <MPn, IP, LP> over the n - lmin + 1 subsequence offsets, where MPn holds
+/// *length-normalized* distances (d * sqrt(1/l)), IP the best-match offsets
+/// and LP the lengths at which those best matches were found.
+///
+/// Initialized from the full matrix profile at lmin (flat length profile),
+/// then updated with the top-k motif pairs of every longer length: an entry
+/// moves only when a longer pattern is a better (normalized) match, which is
+/// exactly the signal the paper uses to reveal events lasting longer.
+class Valmap {
+ public:
+  /// Empty VALMAP (size 0); placeholder when the caller disabled VALMAP
+  /// maintenance.
+  Valmap() = default;
+
+  /// Initializes from the matrix profile at the minimum length.
+  static Result<Valmap> FromProfile(const mp::MatrixProfile& profile);
+
+  /// Applies one motif pair (both members), recording update events.
+  /// Offsets outside the VALMAP (none in correct usage) are ignored.
+  void Apply(const mp::MotifPair& pair);
+
+  /// Marks the boundary of a length iteration: update events recorded since
+  /// the previous checkpoint are stamped as belonging to `length`.
+  void Checkpoint(std::size_t length);
+
+  std::size_t size() const { return mpn_.size(); }
+  std::size_t min_length() const { return min_length_; }
+
+  /// Length-normalized matrix profile (paper Fig. 1e).
+  const std::vector<double>& normalized_profile() const { return mpn_; }
+  /// Best-match offsets (paper Fig. 1c analogue).
+  const std::vector<int64_t>& index_profile() const { return ip_; }
+  /// Lengths of the best matches (paper Fig. 1f).
+  const std::vector<std::size_t>& length_profile() const { return lp_; }
+
+  /// All recorded update events in application order, stamped with their
+  /// length by Checkpoint().
+  const std::vector<ValmapUpdate>& updates() const { return updates_; }
+
+  /// Update events belonging to one length (empty when none).
+  std::vector<ValmapUpdate> UpdatesForLength(std::size_t length) const;
+
+  /// Offset of the global best (smallest MPn) entry; size() must be > 0.
+  Result<std::size_t> BestOffset() const;
+
+ private:
+  std::size_t min_length_ = 0;
+  std::vector<double> mpn_;
+  std::vector<int64_t> ip_;
+  std::vector<std::size_t> lp_;
+  std::vector<ValmapUpdate> updates_;
+  std::size_t unstamped_begin_ = 0;  // first update not yet checkpointed
+};
+
+}  // namespace valmod::core
+
+#endif  // VALMOD_CORE_VALMAP_H_

@@ -1,0 +1,597 @@
+#include "core/valmod.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/status.h"
+#include "core/lower_bound.h"
+#include "core/partial_profile.h"
+#include "mass/mass.h"
+#include "series/znorm.h"
+#include "stats/moving_stats.h"
+
+namespace valmod::core {
+
+namespace {
+
+using mp::kInfinity;
+
+/// Per-row state refreshed at every length of the variable-length phase.
+struct RowState {
+  double min_dist = kInfinity;
+  int64_t best_match = -1;
+  double max_lb = 0.0;
+  bool valid = false;
+  bool constant = false;
+};
+
+/// Correlation recovered from a distance at a length (inverse of
+/// DistanceFromCorrelation); used to derive base LBs from distances that a
+/// profile row already provides.
+double CorrelationFromDistance(double distance, std::size_t length) {
+  const double l = static_cast<double>(length);
+  return 1.0 - (distance * distance) / (2.0 * l);
+}
+
+class ValmodRunner {
+ public:
+  ValmodRunner(const series::DataSeries& series, const ValmodOptions& options)
+      : series_(series),
+        options_(options),
+        stats_(series.stats()),
+        centered_(series.centered()) {}
+
+  Result<ValmodResult> Run();
+
+ private:
+  Status Validate() const;
+  Status InitialScan();
+  Status ProcessLength(std::size_t length);
+  Status RecomputeRow(std::size_t row, std::size_t length,
+                      std::size_t exclusion);
+  Result<std::vector<mp::MotifPair>> SelectTopK(std::size_t length,
+                                                std::size_t exclusion) const;
+  void RefreshWindowProfile(std::size_t length);
+  void ConstantRowMinimum(std::size_t row, std::size_t length,
+                          std::size_t exclusion, RowState* state) const;
+  void EmitLength(std::size_t length, std::vector<mp::MotifPair> motifs);
+
+  const series::DataSeries& series_;
+  const ValmodOptions& options_;
+  const stats::MovingStats& stats_;
+  std::span<const double> centered_;
+
+  // Phase-1 products.
+  std::unique_ptr<PartialProfileSet> partial_;
+  std::vector<char> seeded_;  // row has a usable partial profile
+
+  // Per-length working arrays (reused across lengths).
+  std::vector<double> means_;
+  std::vector<double> stds_;
+  std::vector<char> is_const_;
+  std::vector<std::size_t> const_offsets_;
+  std::vector<std::size_t> non_const_offsets_;
+  std::vector<RowState> states_;
+
+  ValmodResult result_;
+};
+
+Status ValmodRunner::Validate() const {
+  const std::size_t n = series_.size();
+  if (options_.min_length < 2) {
+    return Status::InvalidArgument("min_length must be >= 2");
+  }
+  if (options_.min_length > options_.max_length) {
+    return Status::InvalidArgument("min_length exceeds max_length");
+  }
+  if (options_.max_length + 1 > n) {
+    return Status::InvalidArgument(
+        "max_length " + std::to_string(options_.max_length) +
+        " leaves fewer than 2 subsequences in a " + std::to_string(n) +
+        "-point series");
+  }
+  if (options_.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (options_.p == 0) return Status::InvalidArgument("p must be >= 1");
+  if (options_.exclusion_fraction < 0.0 ||
+      options_.exclusion_fraction > 1.0) {
+    return Status::InvalidArgument("exclusion_fraction must be in [0, 1]");
+  }
+  return Status::Ok();
+}
+
+void ValmodRunner::RefreshWindowProfile(std::size_t length) {
+  const std::size_t count = series_.NumSubsequences(length);
+  means_.resize(count);
+  stds_.resize(count);
+  is_const_.assign(count, 0);
+  const_offsets_.clear();
+  non_const_offsets_.clear();
+  const double threshold = stats_.constant_std_threshold();
+  for (std::size_t i = 0; i < count; ++i) {
+    means_[i] = stats_.CenteredMean(i, length);
+    stds_[i] = stats_.StdDev(i, length);
+    if (stds_[i] <= threshold) {
+      is_const_[i] = 1;
+      const_offsets_.push_back(i);
+    } else {
+      non_const_offsets_.push_back(i);
+    }
+  }
+}
+
+/// Nearest offset in `sorted` at least `exclusion` away from `row`, or -1.
+int64_t NearestOutsideExclusion(const std::vector<std::size_t>& sorted,
+                                std::size_t row, std::size_t exclusion) {
+  int64_t best = -1;
+  int64_t best_gap = std::numeric_limits<int64_t>::max();
+  // Left side: largest offset <= row - exclusion.
+  if (row >= exclusion) {
+    auto it = std::upper_bound(sorted.begin(), sorted.end(),
+                               row - exclusion);
+    if (it != sorted.begin()) {
+      const int64_t offset = static_cast<int64_t>(*std::prev(it));
+      best = offset;
+      best_gap = static_cast<int64_t>(row) - offset;
+    }
+  }
+  // Right side: smallest offset >= row + exclusion.
+  auto it = std::lower_bound(sorted.begin(), sorted.end(), row + exclusion);
+  if (it != sorted.end()) {
+    const int64_t offset = static_cast<int64_t>(*it);
+    const int64_t gap = offset - static_cast<int64_t>(row);
+    if (gap < best_gap) best = offset;
+  }
+  return best;
+}
+
+void ValmodRunner::ConstantRowMinimum(std::size_t row, std::size_t length,
+                                      std::size_t exclusion,
+                                      RowState* state) const {
+  // A constant window is at distance 0 from every other constant window and
+  // sqrt(l) from every non-constant one (znorm.h conventions), so its exact
+  // row minimum needs only the offset lists.
+  const int64_t const_match =
+      NearestOutsideExclusion(const_offsets_, row, exclusion);
+  if (const_match >= 0) {
+    state->min_dist = 0.0;
+    state->best_match = const_match;
+    state->valid = true;
+    return;
+  }
+  const int64_t any_match =
+      NearestOutsideExclusion(non_const_offsets_, row, exclusion);
+  if (any_match >= 0) {
+    state->min_dist = std::sqrt(static_cast<double>(length));
+    state->best_match = any_match;
+    state->valid = true;
+    return;
+  }
+  state->min_dist = kInfinity;
+  state->best_match = -1;
+  state->valid = true;  // exact: no eligible match exists
+}
+
+Status ValmodRunner::InitialScan() {
+  const std::size_t length = options_.min_length;
+  const std::size_t count = series_.NumSubsequences(length);
+  const std::size_t exclusion =
+      mp::ExclusionZoneFor(length, options_.exclusion_fraction);
+
+  RefreshWindowProfile(length);
+  partial_ = std::make_unique<PartialProfileSet>(count, options_.p, length);
+  seeded_.assign(count, 0);
+  for (std::size_t i = 0; i < count; ++i) seeded_[i] = is_const_[i] ? 0 : 1;
+
+  mp::MatrixProfile& profile = result_.min_length_profile;
+  profile.subsequence_length = length;
+  profile.exclusion_zone = exclusion;
+  profile.distances.assign(count, kInfinity);
+  profile.indices.assign(count, -1);
+
+  // Fused STOMP sweep: each computed pair updates the row minima of both
+  // endpoints and is offered to both partial profiles. With multiple
+  // threads, diagonals are assigned round-robin and every thread fills its
+  // own profile/partial set; since every pair is handled by exactly one
+  // thread, merging local sets with Offer() preserves "p smallest base LBs".
+  const int threads = std::max(1, options_.num_threads);
+  std::vector<std::vector<double>> local_dist(
+      threads, std::vector<double>(count, kInfinity));
+  std::vector<std::vector<int64_t>> local_idx(
+      threads, std::vector<int64_t>(count, -1));
+  std::vector<std::unique_ptr<PartialProfileSet>> local_partial;
+  local_partial.reserve(threads);
+  local_partial.emplace_back(std::move(partial_));
+  for (int t = 1; t < threads; ++t) {
+    local_partial.emplace_back(
+        std::make_unique<PartialProfileSet>(count, options_.p, length));
+  }
+
+  std::atomic<bool> expired{false};
+  auto walk = [&](int thread_index) {
+    std::vector<double>& dist = local_dist[thread_index];
+    std::vector<int64_t>& idx = local_idx[thread_index];
+    PartialProfileSet& partial = *local_partial[thread_index];
+    std::size_t steps = 0;
+    for (std::size_t diag = exclusion + static_cast<std::size_t>(thread_index);
+         diag < count; diag += static_cast<std::size_t>(threads)) {
+      if ((++steps & 127) == 0 && (expired.load(std::memory_order_relaxed) ||
+                                   options_.deadline.Expired())) {
+        expired.store(true, std::memory_order_relaxed);
+        return;
+      }
+      double qt = series::DotProduct(centered_.data(),
+                                     centered_.data() + diag, length);
+      for (std::size_t i = 0; i + diag < count; ++i) {
+        const std::size_t j = i + diag;
+        if (i > 0) {
+          qt += centered_[i + length - 1] * centered_[j + length - 1] -
+                centered_[i - 1] * centered_[j - 1];
+        }
+        double rho = 0.0;
+        double d;
+        if (!is_const_[i] && !is_const_[j]) {
+          rho = series::CorrelationFromDot(qt, means_[i], means_[j],
+                                           stds_[i], stds_[j], length);
+          d = series::DistanceFromCorrelation(rho, length);
+        } else if (is_const_[i] && is_const_[j]) {
+          d = 0.0;
+        } else {
+          d = std::sqrt(static_cast<double>(length));
+        }
+        if (d < dist[i]) {
+          dist[i] = d;
+          idx[i] = static_cast<int64_t>(j);
+        }
+        if (d < dist[j]) {
+          dist[j] = d;
+          idx[j] = static_cast<int64_t>(i);
+        }
+        const double base_lb = BaseLowerBound(rho, length);
+        if (seeded_[i]) partial.Offer(i, static_cast<int64_t>(j), qt, base_lb);
+        if (seeded_[j]) partial.Offer(j, static_cast<int64_t>(i), qt, base_lb);
+      }
+    }
+  };
+
+  if (threads == 1) {
+    walk(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) workers.emplace_back(walk, t);
+    for (auto& w : workers) w.join();
+  }
+  if (expired.load()) {
+    return Status::DeadlineExceeded("VALMOD initial scan timed out");
+  }
+
+  // Merge thread-local results.
+  partial_ = std::move(local_partial[0]);
+  for (int t = 0; t < threads; ++t) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (local_dist[t][i] < profile.distances[i]) {
+        profile.distances[i] = local_dist[t][i];
+        profile.indices[i] = local_idx[t][i];
+      }
+    }
+    if (t == 0) continue;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!seeded_[i]) continue;
+      for (const Entry& e : local_partial[t]->Row(i)) {
+        partial_->Offer(i, e.match, e.dot, e.base_lb);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (seeded_[i]) partial_->FinishSeeding(i);
+  }
+
+  // Constant rows get their exact minima from the offset lists (the scan's
+  // convention distances already cover them, but rows whose whole exclusion
+  // neighborhood was skipped need the explicit pass).
+  for (std::size_t row : const_offsets_) {
+    RowState state;
+    ConstantRowMinimum(row, length, exclusion, &state);
+    if (state.min_dist < profile.distances[row]) {
+      profile.distances[row] = state.min_dist;
+      profile.indices[row] = state.best_match;
+    }
+  }
+
+  VALMOD_ASSIGN_OR_RETURN(
+      std::vector<mp::MotifPair> motifs,
+      mp::SelectTopKFromRowMinima(profile.distances, profile.indices, length,
+                                  exclusion, options_.k, options_.selection));
+  if (options_.build_valmap) {
+    VALMOD_ASSIGN_OR_RETURN(result_.valmap, Valmap::FromProfile(profile));
+    result_.valmap.Checkpoint(length);
+  }
+  EmitLength(length, std::move(motifs));
+  return Status::Ok();
+}
+
+Status ValmodRunner::RecomputeRow(std::size_t row, std::size_t length,
+                                  std::size_t exclusion) {
+  VALMOD_ASSIGN_OR_RETURN(mass::RowProfile profile,
+                          mass::ComputeRowProfile(series_, row, length));
+  mass::ApplyExclusionZone(&profile.distances, row, exclusion);
+
+  partial_->Reset(row, length);
+  const std::size_t count = series_.NumSubsequences(length);
+  RowState& state = states_[row];
+  state.min_dist = kInfinity;
+  state.best_match = -1;
+  for (std::size_t j = 0; j < count; ++j) {
+    const double d = profile.distances[j];
+    if (d == kInfinity) continue;  // excluded
+    if (d < state.min_dist) {
+      state.min_dist = d;
+      state.best_match = static_cast<int64_t>(j);
+    }
+    double rho = 0.0;
+    if (!is_const_[row] && !is_const_[j]) {
+      rho = CorrelationFromDistance(d, length);
+    }
+    partial_->Offer(row, static_cast<int64_t>(j), profile.dots[j],
+                    BaseLowerBound(rho, length));
+  }
+  partial_->FinishSeeding(row);
+  seeded_[row] = is_const_[row] ? 0 : 1;
+  state.valid = true;
+  state.max_lb = kInfinity;  // exact now; nothing unexplored this length
+  return Status::Ok();
+}
+
+Result<std::vector<mp::MotifPair>> ValmodRunner::SelectTopK(
+    std::size_t length, std::size_t exclusion) const {
+  // Candidate pruning: only the O(k) smallest certified minima can appear in
+  // the answer, so pre-filter with nth_element before the full selection
+  // scan. Falls back to all candidates when the pruned set under-delivers
+  // (heavy overlap can consume many candidates).
+  std::vector<mp::RowCandidate> candidates;
+  candidates.reserve(states_.size());
+  for (std::size_t row = 0; row < states_.size(); ++row) {
+    const RowState& s = states_[row];
+    if (!s.valid || s.best_match < 0 || s.min_dist == kInfinity) continue;
+    candidates.push_back(
+        mp::RowCandidate{s.min_dist, static_cast<int64_t>(row),
+                         s.best_match});
+  }
+  const auto by_distance = [](const mp::RowCandidate& a,
+                              const mp::RowCandidate& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.row < b.row;
+  };
+
+  const std::size_t pruned_size = 4 * options_.k + 32;
+  if (candidates.size() > pruned_size) {
+    std::vector<mp::RowCandidate> pruned(candidates);
+    std::nth_element(pruned.begin(), pruned.begin() + pruned_size,
+                     pruned.end(), by_distance);
+    pruned.resize(pruned_size);
+    std::sort(pruned.begin(), pruned.end(), by_distance);
+    std::vector<mp::MotifPair> motifs = mp::SelectFromSortedCandidates(
+        pruned, length, exclusion, options_.k, options_.selection);
+    if (motifs.size() >= options_.k) return motifs;
+  }
+  std::sort(candidates.begin(), candidates.end(), by_distance);
+  return mp::SelectFromSortedCandidates(candidates, length, exclusion,
+                                        options_.k, options_.selection);
+}
+
+Status ValmodRunner::ProcessLength(std::size_t length) {
+  const std::size_t count = series_.NumSubsequences(length);
+  const std::size_t exclusion =
+      mp::ExclusionZoneFor(length, options_.exclusion_fraction);
+  LengthStats stats;
+  stats.length = length;
+
+  RefreshWindowProfile(length);
+  states_.assign(count, RowState{});
+
+  // Sweep 1: advance every seeded row's entries by one point and evaluate
+  // validity from the stored candidates. Rows are independent (each touches
+  // only its own partial-profile slice and state), so the sweep partitions
+  // cleanly across threads.
+  ParallelFor(0, count, options_.num_threads, [&](std::size_t i) {
+    RowState& state = states_[i];
+    state.constant = is_const_[i] != 0;
+
+    if (seeded_[i]) {
+      // Candidates past the shrunken subsequence range or inside the grown
+      // exclusion zone are dead for every future length too.
+      partial_->CompactRow(i, [&](const Entry& e) {
+        const std::size_t j = static_cast<std::size_t>(e.match);
+        const std::size_t gap = j > i ? j - i : i - j;
+        return j >= count || gap < exclusion;
+      });
+      const std::size_t tail = length - 1;
+      const double ci = centered_[i + tail];
+      for (Entry& e : partial_->MutableRow(i)) {
+        const std::size_t j = static_cast<std::size_t>(e.match);
+        e.dot += ci * centered_[j + tail];
+        e.distance = series::PairDistanceFromDot(
+            e.dot, means_[i], means_[j], stds_[i], stds_[j], length,
+            state.constant, is_const_[j] != 0);
+        if (e.distance < state.min_dist) {
+          state.min_dist = e.distance;
+          state.best_match = e.match;
+        }
+      }
+    }
+
+    if (state.constant) {
+      // Exact via the constant-window conventions; the partial profile's dot
+      // products were still advanced above so the row resumes LB pruning if
+      // it becomes non-constant at a later length.
+      ConstantRowMinimum(i, length, exclusion, &state);
+      return;
+    }
+
+    if (seeded_[i]) {
+      const std::size_t base = partial_->base_length(i);
+      state.max_lb = ScaledLowerBound(partial_->max_base_lb(i),
+                                      stats_.StdDev(i, base), stds_[i]);
+      state.valid = state.min_dist <= state.max_lb;
+    } else {
+      // Row had no usable partial profile (constant at its base length):
+      // only an exact recompute can certify it.
+      state.max_lb = 0.0;
+      state.valid = false;
+    }
+  });
+
+  for (const RowState& s : states_) {
+    if (s.constant) {
+      ++stats.constant_rows;
+    } else if (s.valid) {
+      ++stats.valid_rows;
+    } else {
+      ++stats.invalid_rows;
+    }
+  }
+
+  // Certification loop: select from certified rows, then exactly recompute
+  // every uncertified row whose bound allows it to beat the current k-th
+  // best. Rows are processed in ascending bound order and, for k = 1, the
+  // threshold tightens as each exact row minimum arrives — a fresh exact
+  // minimum can disqualify most of the remaining batch before it is paid
+  // for. (Skipping aggressively is safe: the outer loop re-selects and
+  // re-derives the batch until no uncertified row can matter.) Terminates
+  // because every pass certifies at least one row.
+  std::vector<mp::MotifPair> motifs;
+  while (true) {
+    ++stats.passes;
+    VALMOD_ASSIGN_OR_RETURN(motifs, SelectTopK(length, exclusion));
+    double threshold =
+        motifs.size() >= options_.k ? motifs.back().distance : kInfinity;
+    std::vector<std::size_t> to_recompute;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!states_[i].valid && states_[i].max_lb < threshold) {
+        to_recompute.push_back(i);
+      }
+    }
+    if (to_recompute.empty()) break;
+    std::sort(to_recompute.begin(), to_recompute.end(),
+              [&](std::size_t a, std::size_t b) {
+                return states_[a].max_lb < states_[b].max_lb;
+              });
+    // Recomputations are row-independent, so batches run in parallel; the
+    // k = 1 threshold tightens between batches (smaller batches would
+    // tighten faster but parallelize worse).
+    const std::size_t batch_size =
+        options_.num_threads > 1
+            ? static_cast<std::size_t>(4 * options_.num_threads)
+            : 1;
+    std::size_t cursor = 0;
+    while (cursor < to_recompute.size()) {
+      if (states_[to_recompute[cursor]].max_lb >= threshold) {
+        break;  // sorted by bound: every remaining row skips too
+      }
+      std::size_t batch_end = cursor;
+      while (batch_end < to_recompute.size() &&
+             batch_end - cursor < batch_size &&
+             states_[to_recompute[batch_end]].max_lb < threshold) {
+        ++batch_end;
+      }
+      VALMOD_RETURN_IF_ERROR(ParallelForWithStatus(
+          cursor, batch_end, options_.num_threads, [&](std::size_t b) {
+            return RecomputeRow(to_recompute[b], length, exclusion);
+          }));
+      stats.recomputed_rows += batch_end - cursor;
+      if (options_.k == 1) {
+        for (std::size_t b = cursor; b < batch_end; ++b) {
+          threshold =
+              std::min(threshold, states_[to_recompute[b]].min_dist);
+        }
+      }
+      cursor = batch_end;
+    }
+  }
+
+  if (options_.build_valmap) {
+    for (const mp::MotifPair& pair : motifs) result_.valmap.Apply(pair);
+    result_.valmap.Checkpoint(length);
+  }
+  EmitLength(length, std::move(motifs));
+  result_.stats.push_back(stats);
+  return Status::Ok();
+}
+
+void ValmodRunner::EmitLength(std::size_t length,
+                              std::vector<mp::MotifPair> motifs) {
+  LengthMotifs entry;
+  entry.length = length;
+  entry.motifs = std::move(motifs);
+  result_.per_length.push_back(std::move(entry));
+}
+
+Result<ValmodResult> ValmodRunner::Run() {
+  VALMOD_RETURN_IF_ERROR(Validate());
+
+  WallTimer timer;
+  VALMOD_RETURN_IF_ERROR(InitialScan());
+  result_.init_seconds = timer.ElapsedSeconds();
+
+  timer.Restart();
+  for (std::size_t length = options_.min_length + 1;
+       length <= options_.max_length; ++length) {
+    if (options_.deadline.Expired()) {
+      return Status::DeadlineExceeded("VALMOD timed out at length " +
+                                      std::to_string(length));
+    }
+    const std::size_t count = series_.NumSubsequences(length);
+    const std::size_t exclusion =
+        mp::ExclusionZoneFor(length, options_.exclusion_fraction);
+    if (count <= exclusion) {
+      // No non-trivial pair can exist at this or any longer length.
+      for (std::size_t l = length; l <= options_.max_length; ++l) {
+        EmitLength(l, {});
+        if (options_.build_valmap) result_.valmap.Checkpoint(l);
+      }
+      break;
+    }
+    VALMOD_RETURN_IF_ERROR(ProcessLength(length));
+  }
+  result_.update_seconds = timer.ElapsedSeconds();
+
+  std::vector<mp::MotifPair> all;
+  for (const LengthMotifs& lm : result_.per_length) {
+    all.insert(all.end(), lm.motifs.begin(), lm.motifs.end());
+  }
+  result_.ranked = RankByNormalizedDistance(std::move(all));
+  return std::move(result_);
+}
+
+}  // namespace
+
+Result<ValmodResult> RunValmod(const series::DataSeries& series,
+                               const ValmodOptions& options) {
+  ValmodRunner runner(series, options);
+  return runner.Run();
+}
+
+std::vector<mp::MotifPair> RankByNormalizedDistance(
+    std::vector<mp::MotifPair> pairs) {
+  std::sort(pairs.begin(), pairs.end(),
+            [](const mp::MotifPair& a, const mp::MotifPair& b) {
+              if (a.normalized_distance != b.normalized_distance) {
+                return a.normalized_distance < b.normalized_distance;
+              }
+              if (a.length != b.length) return a.length < b.length;
+              if (a.offset_a != b.offset_a) return a.offset_a < b.offset_a;
+              return a.offset_b < b.offset_b;
+            });
+  return pairs;
+}
+
+}  // namespace valmod::core

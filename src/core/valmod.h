@@ -1,0 +1,100 @@
+#ifndef VALMOD_CORE_VALMOD_H_
+#define VALMOD_CORE_VALMOD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/timer.h"
+#include "core/valmap.h"
+#include "mp/matrix_profile.h"
+#include "mp/motif.h"
+#include "series/data_series.h"
+
+namespace valmod::core {
+
+/// Configuration of a VALMOD run.
+struct ValmodOptions {
+  /// Subsequence length range [min_length, max_length], inclusive. Required:
+  /// 2 <= min_length <= max_length < series size.
+  std::size_t min_length = 0;
+  std::size_t max_length = 0;
+  /// Motif pairs reported per length.
+  std::size_t k = 1;
+  /// Candidates kept per partial distance profile (paper's p). Larger p
+  /// certifies more rows without recomputation at the cost of O(n p) memory
+  /// and per-length work; the paper finds small values (5-10) sufficient.
+  std::size_t p = 10;
+  /// Trivial-match exclusion as a fraction of the subsequence length.
+  double exclusion_fraction = 0.5;
+  /// Worker threads: parallelizes the initial fixed-length scan (the O(n^2)
+  /// part), the per-length update sweeps, and exact-recompute batches.
+  /// Results are identical to the serial run.
+  int num_threads = 1;
+  /// Whether to maintain the VALMAP meta-data (paper §2). Disabling skips
+  /// the structure for callers that only want per-length motifs.
+  bool build_valmap = true;
+  /// How top-k pairs are selected from row minima.
+  mp::MotifSelection selection = mp::MotifSelection::kNonOverlapping;
+  /// Cooperative timeout; checked per length iteration.
+  Deadline deadline;
+};
+
+/// Per-length certification statistics — the observable behaviour of the
+/// pruning machinery of paper Figure 2 (valid vs non-valid partial profiles,
+/// rows recomputed from scratch).
+struct LengthStats {
+  std::size_t length = 0;
+  /// Rows whose partial profile certified its row minimum (minDist <= maxLB).
+  std::size_t valid_rows = 0;
+  /// Rows whose stored entries could not certify (maxLB < minDist).
+  std::size_t invalid_rows = 0;
+  /// Rows recomputed exactly with MASS (and re-seeded) at this length.
+  std::size_t recomputed_rows = 0;
+  /// Rows handled by the constant-window fast path.
+  std::size_t constant_rows = 0;
+  /// Certification passes (selection/recompute rounds) until exact.
+  std::size_t passes = 0;
+};
+
+/// Exact top-k motif pairs of one length.
+struct LengthMotifs {
+  std::size_t length = 0;
+  std::vector<mp::MotifPair> motifs;  // ascending distance; may hold < k
+};
+
+/// Complete output of a VALMOD run.
+struct ValmodResult {
+  /// Exact top-k motif pairs for every length in the range, ascending length.
+  std::vector<LengthMotifs> per_length;
+  /// Every reported pair across all lengths, ranked by length-normalized
+  /// distance — the cross-length motif ranking of paper §2.
+  std::vector<mp::MotifPair> ranked;
+  /// VALMAP meta-data (empty when options.build_valmap is false).
+  Valmap valmap;
+  /// The full matrix profile computed at min_length during initialization
+  /// (paper Fig. 1b-c); free to expose since phase 1 materializes it.
+  mp::MatrixProfile min_length_profile;
+  /// Pruning statistics per length > min_length.
+  std::vector<LengthStats> stats;
+  /// Wall-clock split: initial scan vs the variable-length phase.
+  double init_seconds = 0.0;
+  double update_seconds = 0.0;
+};
+
+/// Runs VALMOD: exact top-k motif pairs for every subsequence length in
+/// [options.min_length, options.max_length] plus VALMAP, in
+/// O(n^2 + (lmax - lmin) * n * p) expected time (worst case degrades toward
+/// one MASS recompute per uncertified row).
+Result<ValmodResult> RunValmod(const series::DataSeries& series,
+                               const ValmodOptions& options);
+
+/// Ranks motif pairs from multiple lengths by length-normalized distance
+/// (ties: shorter distance first, then offsets). Exposed separately so
+/// callers can re-rank filtered subsets.
+std::vector<mp::MotifPair> RankByNormalizedDistance(
+    std::vector<mp::MotifPair> pairs);
+
+}  // namespace valmod::core
+
+#endif  // VALMOD_CORE_VALMOD_H_

@@ -1,0 +1,63 @@
+#ifndef VALMOD_CORE_VARIABLE_DISCORDS_H_
+#define VALMOD_CORE_VARIABLE_DISCORDS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/timer.h"
+#include "mp/discord.h"
+#include "series/data_series.h"
+
+namespace valmod::core {
+
+/// Options for variable-length discord discovery.
+struct VariableDiscordOptions {
+  std::size_t min_length = 0;
+  std::size_t max_length = 0;
+  /// Discords reported per length.
+  std::size_t k = 1;
+  double exclusion_fraction = 0.5;
+  /// Threads for the per-length STOMP scans.
+  int num_threads = 1;
+  Deadline deadline;
+};
+
+/// A discord annotated with its length-normalized score, so discords of
+/// different lengths are comparable (larger normalized distance = more
+/// anomalous at its scale).
+struct RankedDiscord {
+  mp::Discord discord;
+  double normalized_distance = 0.0;
+};
+
+/// Top-k discords for one length.
+struct LengthDiscords {
+  std::size_t length = 0;
+  std::vector<mp::Discord> discords;
+};
+
+struct VariableDiscordResult {
+  /// Per length, ascending.
+  std::vector<LengthDiscords> per_length;
+  /// Every reported discord across lengths, ranked by descending
+  /// length-normalized distance.
+  std::vector<RankedDiscord> ranked;
+};
+
+/// Variable-length discord discovery: the anomaly-side counterpart of
+/// VALMOD, following the journal extension of the paper ("Matrix Profile
+/// Goes MAD": motif *and* discord discovery over a length range, ranked by
+/// the same length-normalized distance).
+///
+/// Discords need exact row *maxima* of the nearest-neighbor distance, which
+/// the VALMOD lower bound cannot certify (it prunes from below), so this
+/// implementation computes one exact matrix profile per length —
+/// O((lmax - lmin + 1) * n^2), parallelizable via `num_threads`. It is
+/// exact and intended for moderate ranges.
+Result<VariableDiscordResult> FindVariableLengthDiscords(
+    const series::DataSeries& series, const VariableDiscordOptions& options);
+
+}  // namespace valmod::core
+
+#endif  // VALMOD_CORE_VARIABLE_DISCORDS_H_

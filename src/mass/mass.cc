@@ -1,0 +1,164 @@
+#include "mass/mass.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "fft/fft.h"
+#include "series/znorm.h"
+#include "stats/moving_stats.h"
+
+namespace valmod::mass {
+
+namespace {
+
+Status ValidateWindow(const series::DataSeries& series, std::size_t offset,
+                      std::size_t length) {
+  if (length == 0) {
+    return Status::InvalidArgument("subsequence length must be positive");
+  }
+  if (offset + length > series.size()) {
+    return Status::OutOfRange(
+        "window (offset=" + std::to_string(offset) +
+        ", length=" + std::to_string(length) + ") outside series of size " +
+        std::to_string(series.size()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+namespace {
+
+/// Direct O(count * length) sliding dot products. For short windows this
+/// beats the FFT path (three size-2^k transforms) by a wide margin, and the
+/// VALMOD recompute loop calls ComputeRowProfile with short windows at high
+/// frequency; the caller picks the path on a flop estimate.
+std::vector<double> DirectSlidingDots(std::span<const double> centered,
+                                      std::size_t query_offset,
+                                      std::size_t length, std::size_t count) {
+  std::vector<double> dots(count);
+  const double* query = centered.data() + query_offset;
+  for (std::size_t j = 0; j < count; ++j) {
+    dots[j] = series::DotProduct(query, centered.data() + j, length);
+  }
+  return dots;
+}
+
+}  // namespace
+
+Result<RowProfile> ComputeRowProfile(const series::DataSeries& series,
+                                     std::size_t query_offset,
+                                     std::size_t length) {
+  VALMOD_RETURN_IF_ERROR(ValidateWindow(series, query_offset, length));
+
+  const auto centered = series.centered();
+  const stats::MovingStats& stats = series.stats();
+  const std::size_t count = series.NumSubsequences(length);
+
+  RowProfile row;
+  // Cost-based path selection: the FFT path costs three transforms of the
+  // padded size; the direct path costs count * length multiply-adds. The
+  // constant 18 approximates the per-element weight of a complex butterfly
+  // pass relative to one fused multiply-add.
+  const std::size_t fft_size = fft::NextPowerOfTwo(series.size() + length);
+  const double fft_cost = 18.0 * static_cast<double>(fft_size) *
+                          std::log2(static_cast<double>(fft_size));
+  const double direct_cost =
+      static_cast<double>(count) * static_cast<double>(length);
+  if (direct_cost <= fft_cost) {
+    row.dots = DirectSlidingDots(centered, query_offset, length, count);
+  } else {
+    VALMOD_ASSIGN_OR_RETURN(
+        row.dots, fft::SlidingDotProducts(
+                      centered, centered.subspan(query_offset, length)));
+  }
+
+  const double mean_q = stats.CenteredMean(query_offset, length);
+  const double std_q = stats.StdDev(query_offset, length);
+  const double const_threshold = stats.constant_std_threshold();
+  const bool const_q = std_q <= const_threshold;
+
+  row.distances.resize(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    const double mean_j = stats.CenteredMean(j, length);
+    const double std_j = stats.StdDev(j, length);
+    row.distances[j] = series::PairDistanceFromDot(
+        row.dots[j], mean_q, mean_j, std_q, std_j, length, const_q,
+        std_j <= const_threshold);
+  }
+  return row;
+}
+
+Result<std::vector<double>> DistanceProfile(const series::DataSeries& series,
+                                            std::span<const double> query) {
+  if (query.empty()) {
+    return Status::InvalidArgument("query must be non-empty");
+  }
+  if (query.size() > series.size()) {
+    return Status::InvalidArgument("query longer than series");
+  }
+  const std::size_t length = query.size();
+
+  // Center the query by its own mean; the covariance against each (globally
+  // centered) window then reduces to dot / l - 0 * mean_window, so the same
+  // correlation kernel applies with mean_q = 0.
+  VALMOD_ASSIGN_OR_RETURN(stats::MovingStats query_stats,
+                          stats::MovingStats::Create(query));
+  std::vector<double> centered_query(query.begin(), query.end());
+  const double query_mean = query_stats.Mean(0, length);
+  for (double& v : centered_query) v -= query_mean;
+  const double std_q = query_stats.StdDev(0, length);
+  const bool const_q = query_stats.IsConstant(0, length);
+
+  VALMOD_ASSIGN_OR_RETURN(
+      std::vector<double> dots,
+      fft::SlidingDotProducts(series.centered(), centered_query));
+
+  const stats::MovingStats& stats = series.stats();
+  const double const_threshold = stats.constant_std_threshold();
+  const std::size_t count = series.NumSubsequences(length);
+  std::vector<double> distances(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    const double mean_j = stats.CenteredMean(j, length);
+    const double std_j = stats.StdDev(j, length);
+    distances[j] = series::PairDistanceFromDot(
+        dots[j], /*mean_a=*/0.0, mean_j, std_q, std_j, length, const_q,
+        std_j <= const_threshold);
+  }
+  return distances;
+}
+
+Result<std::vector<double>> BruteDistanceProfile(
+    const series::DataSeries& series, std::span<const double> query) {
+  if (query.empty()) {
+    return Status::InvalidArgument("query must be non-empty");
+  }
+  if (query.size() > series.size()) {
+    return Status::InvalidArgument("query longer than series");
+  }
+  const std::size_t count = series.NumSubsequences(query.size());
+  std::vector<double> distances(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    VALMOD_ASSIGN_OR_RETURN(
+        std::vector<double> window, series.Subsequence(j, query.size()));
+    VALMOD_ASSIGN_OR_RETURN(double d,
+                            series::ZNormalizedDistance(query, window));
+    distances[j] = d;
+  }
+  return distances;
+}
+
+void ApplyExclusionZone(std::vector<double>* distances, std::size_t center,
+                        std::size_t exclusion) {
+  if (exclusion == 0) return;
+  const std::size_t lo = center >= exclusion - 1 ? center - (exclusion - 1)
+                                                 : 0;
+  const std::size_t hi =
+      std::min(distances->size(), center + exclusion);  // exclusive
+  for (std::size_t j = lo; j < hi; ++j) {
+    (*distances)[j] = std::numeric_limits<double>::infinity();
+  }
+}
+
+}  // namespace valmod::mass

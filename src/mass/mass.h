@@ -1,0 +1,53 @@
+#ifndef VALMOD_MASS_MASS_H_
+#define VALMOD_MASS_MASS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "series/data_series.h"
+
+namespace valmod::mass {
+
+/// A full distance-profile row for a subsequence of the series: both the
+/// centered sliding dot products and the z-normalized distances.
+///
+/// VALMOD consumes the dot products, not just the distances: when a row is
+/// recomputed at a longer length, its partial distance profile is re-seeded
+/// from these dots so they can keep being updated incrementally (one
+/// multiply-add per further length).
+struct RowProfile {
+  /// `dots[j] = sum_t centered[i + t] * centered[j + t]`, t in [0, length).
+  std::vector<double> dots;
+  /// z-normalized distance between subsequences i and j (conventions of
+  /// series/znorm.h); no exclusion zone applied.
+  std::vector<double> distances;
+};
+
+/// MASS (Mueen's Algorithm for Similarity Search), self-join form: distance
+/// profile of the subsequence of `series` at `query_offset` with `length`
+/// points against every subsequence of the same series. O(n log n).
+Result<RowProfile> ComputeRowProfile(const series::DataSeries& series,
+                                     std::size_t query_offset,
+                                     std::size_t length);
+
+/// MASS against an external query: z-normalized distances between `query`
+/// and every subsequence of `series` of `query.size()` points. O(n log n).
+Result<std::vector<double>> DistanceProfile(const series::DataSeries& series,
+                                            std::span<const double> query);
+
+/// O(n * l) reference implementation of DistanceProfile, used to validate
+/// the FFT path in tests and as a dependency-free fallback for tiny inputs.
+Result<std::vector<double>> BruteDistanceProfile(
+    const series::DataSeries& series, std::span<const double> query);
+
+/// Overwrites `(*distances)[j]` with +infinity for all j with
+/// `|j - center| < exclusion`, the standard trivial-match mask.
+void ApplyExclusionZone(std::vector<double>* distances, std::size_t center,
+                        std::size_t exclusion);
+
+}  // namespace valmod::mass
+
+#endif  // VALMOD_MASS_MASS_H_

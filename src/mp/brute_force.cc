@@ -1,0 +1,59 @@
+#include "mp/brute_force.h"
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "series/znorm.h"
+
+namespace valmod::mp {
+
+Result<MatrixProfile> ComputeBruteForce(const series::DataSeries& series,
+                                        std::size_t length,
+                                        const ProfileOptions& options) {
+  const std::size_t count = series.NumSubsequences(length);
+  if (count == 0) {
+    return Status::InvalidArgument(
+        "length " + std::to_string(length) + " yields no subsequences in a " +
+        std::to_string(series.size()) + "-point series");
+  }
+
+  MatrixProfile profile;
+  profile.subsequence_length = length;
+  profile.exclusion_zone = ExclusionZoneFor(length, options.exclusion_fraction);
+  profile.distances.assign(count, kInfinity);
+  profile.indices.assign(count, -1);
+
+  // Pre-z-normalize every window once; distances are then plain Euclidean.
+  std::vector<std::vector<double>> normalized(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    VALMOD_ASSIGN_OR_RETURN(std::vector<double> window,
+                            series.Subsequence(i, length));
+    VALMOD_ASSIGN_OR_RETURN(normalized[i], series::ZNormalize(window));
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    if ((i & 63) == 0 && options.deadline.Expired()) {
+      return Status::DeadlineExceeded("brute-force profile timed out");
+    }
+    for (std::size_t j = i + profile.exclusion_zone; j < count; ++j) {
+      double sq = 0.0;
+      for (std::size_t t = 0; t < length; ++t) {
+        const double diff = normalized[i][t] - normalized[j][t];
+        sq += diff * diff;
+      }
+      const double d = std::sqrt(sq);
+      if (d < profile.distances[i]) {
+        profile.distances[i] = d;
+        profile.indices[i] = static_cast<int64_t>(j);
+      }
+      if (d < profile.distances[j]) {
+        profile.distances[j] = d;
+        profile.indices[j] = static_cast<int64_t>(i);
+      }
+    }
+  }
+  return profile;
+}
+
+}  // namespace valmod::mp

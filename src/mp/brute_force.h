@@ -1,0 +1,25 @@
+#ifndef VALMOD_MP_BRUTE_FORCE_H_
+#define VALMOD_MP_BRUTE_FORCE_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "mp/matrix_profile.h"
+#include "series/data_series.h"
+
+namespace valmod::mp {
+
+/// Textbook O(n^2 * l) matrix profile: every pair distance is computed from
+/// the z-normalization definitions with no shared state and no FFT.
+///
+/// This is the library's ground truth — deliberately independent of the
+/// MovingStats / dot-product machinery so tests of STOMP/STAMP/VALMOD
+/// validate the full numeric pipeline, not just agreeing bugs. Use only on
+/// small inputs.
+Result<MatrixProfile> ComputeBruteForce(const series::DataSeries& series,
+                                        std::size_t length,
+                                        const ProfileOptions& options = {});
+
+}  // namespace valmod::mp
+
+#endif  // VALMOD_MP_BRUTE_FORCE_H_

@@ -1,0 +1,51 @@
+#include "mp/discord.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace valmod::mp {
+
+Result<std::vector<Discord>> ExtractTopKDiscords(const MatrixProfile& profile,
+                                                 std::size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+
+  std::vector<std::size_t> order(profile.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (profile.distances[a] != profile.distances[b]) {
+      return profile.distances[a] > profile.distances[b];  // descending
+    }
+    return a < b;
+  });
+
+  std::vector<Discord> discords;
+  std::vector<int64_t> chosen;
+  for (std::size_t row : order) {
+    if (discords.size() >= k) break;
+    if (profile.indices[row] < 0 ||
+        profile.distances[row] == kInfinity) {
+      continue;  // no valid neighbor: undefined discord score
+    }
+    const int64_t offset = static_cast<int64_t>(row);
+    bool overlapping = false;
+    for (int64_t member : chosen) {
+      if (std::llabs(member - offset) <
+          static_cast<int64_t>(profile.exclusion_zone)) {
+        overlapping = true;
+        break;
+      }
+    }
+    if (overlapping) continue;
+
+    discords.push_back(Discord{offset, profile.indices[row],
+                               profile.subsequence_length,
+                               profile.distances[row]});
+    chosen.push_back(offset);
+  }
+  return discords;
+}
+
+}  // namespace valmod::mp

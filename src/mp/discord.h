@@ -1,0 +1,33 @@
+#ifndef VALMOD_MP_DISCORD_H_
+#define VALMOD_MP_DISCORD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "mp/matrix_profile.h"
+
+namespace valmod::mp {
+
+/// A discord: the subsequence whose nearest non-trivial neighbor is farthest
+/// away — the matrix profile's anomaly primitive. Included because the
+/// matrix profile substrate yields it for free and the original Matrix
+/// Profile papers ([1] in the text) present motifs and discords together.
+struct Discord {
+  int64_t offset = -1;
+  int64_t nearest_neighbor = -1;
+  std::size_t length = 0;
+  /// Distance to the nearest neighbor (larger = more anomalous).
+  double distance = 0.0;
+};
+
+/// Top-k discords from a matrix profile, mutually separated by the profile's
+/// exclusion zone. Rows with no valid neighbor (+inf) are skipped. Returns
+/// fewer than k when the profile runs out of separated rows.
+Result<std::vector<Discord>> ExtractTopKDiscords(const MatrixProfile& profile,
+                                                 std::size_t k);
+
+}  // namespace valmod::mp
+
+#endif  // VALMOD_MP_DISCORD_H_

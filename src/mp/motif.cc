@@ -1,0 +1,100 @@
+#include "mp/motif.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <span>
+#include <utility>
+
+#include "common/status.h"
+#include "series/znorm.h"
+
+namespace valmod::mp {
+
+std::string ToString(const MotifPair& pair) {
+  return "(a=" + std::to_string(pair.offset_a) +
+         ", b=" + std::to_string(pair.offset_b) +
+         ", l=" + std::to_string(pair.length) +
+         ", d=" + std::to_string(pair.distance) +
+         ", dn=" + std::to_string(pair.normalized_distance) + ")";
+}
+
+std::vector<MotifPair> SelectFromSortedCandidates(
+    std::span<const RowCandidate> candidates, std::size_t length,
+    std::size_t exclusion_zone, std::size_t k, MotifSelection selection) {
+  std::vector<MotifPair> motifs;
+  std::set<std::pair<int64_t, int64_t>> seen_pairs;
+  std::vector<int64_t> chosen_members;
+
+  auto overlaps_chosen = [&](int64_t offset) {
+    for (int64_t member : chosen_members) {
+      if (std::llabs(member - offset) <
+          static_cast<int64_t>(exclusion_zone)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (const RowCandidate& candidate : candidates) {
+    if (motifs.size() >= k) break;
+    const int64_t a = std::min(candidate.row, candidate.match);
+    const int64_t b = std::max(candidate.row, candidate.match);
+    if (!seen_pairs.insert({a, b}).second) continue;
+
+    if (selection == MotifSelection::kNonOverlapping &&
+        (overlaps_chosen(a) || overlaps_chosen(b))) {
+      continue;
+    }
+
+    MotifPair pair;
+    pair.offset_a = a;
+    pair.offset_b = b;
+    pair.length = length;
+    pair.distance = candidate.distance;
+    pair.normalized_distance =
+        series::LengthNormalizedDistance(candidate.distance, length);
+    motifs.push_back(pair);
+    if (selection == MotifSelection::kNonOverlapping) {
+      chosen_members.push_back(a);
+      chosen_members.push_back(b);
+    }
+  }
+  return motifs;
+}
+
+Result<std::vector<MotifPair>> SelectTopKFromRowMinima(
+    std::span<const double> distances, std::span<const int64_t> indices,
+    std::size_t length, std::size_t exclusion_zone, std::size_t k,
+    MotifSelection selection) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (distances.size() != indices.size()) {
+    return Status::InvalidArgument("distances/indices size mismatch");
+  }
+
+  std::vector<RowCandidate> candidates;
+  candidates.reserve(distances.size());
+  for (std::size_t row = 0; row < distances.size(); ++row) {
+    if (indices[row] < 0 || distances[row] == kInfinity) continue;
+    candidates.push_back(RowCandidate{distances[row],
+                                      static_cast<int64_t>(row),
+                                      indices[row]});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const RowCandidate& a, const RowCandidate& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.row < b.row;
+            });
+  return SelectFromSortedCandidates(candidates, length, exclusion_zone, k,
+                                    selection);
+}
+
+Result<std::vector<MotifPair>> ExtractTopKMotifs(const MatrixProfile& profile,
+                                                 std::size_t k,
+                                                 MotifSelection selection) {
+  return SelectTopKFromRowMinima(profile.distances, profile.indices,
+                                 profile.subsequence_length,
+                                 profile.exclusion_zone, k, selection);
+}
+
+}  // namespace valmod::mp

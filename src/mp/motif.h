@@ -1,0 +1,73 @@
+#ifndef VALMOD_MP_MOTIF_H_
+#define VALMOD_MP_MOTIF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mp/matrix_profile.h"
+
+namespace valmod::mp {
+
+/// A motif pair: the two subsequence offsets, their z-normalized distance,
+/// and the length-normalized distance `d * sqrt(1/l)` used to compare pairs
+/// of different lengths (paper §2). `offset_a < offset_b` always.
+struct MotifPair {
+  int64_t offset_a = -1;
+  int64_t offset_b = -1;
+  std::size_t length = 0;
+  double distance = kInfinity;
+  double normalized_distance = kInfinity;
+
+  friend bool operator==(const MotifPair&, const MotifPair&) = default;
+};
+
+/// Renders "(a=.., b=.., l=.., d=.., dn=..)" for logs and examples.
+std::string ToString(const MotifPair& pair);
+
+/// How top-k motif pairs are selected from row minima.
+enum class MotifSelection {
+  /// After choosing a pair, subsequences overlapping either member (within
+  /// the exclusion zone) are not eligible for later pairs. This is the
+  /// standard matrix-profile motif enumeration and the default.
+  kNonOverlapping,
+  /// The k smallest distinct row minima, deduplicated only as unordered
+  /// pairs; overlapping pairs allowed.
+  kAllRowMinima,
+};
+
+/// Extracts the top-k motif pairs from a matrix profile. Returns fewer than
+/// k pairs when the profile runs out of eligible rows. k must be >= 1.
+Result<std::vector<MotifPair>> ExtractTopKMotifs(
+    const MatrixProfile& profile, std::size_t k,
+    MotifSelection selection = MotifSelection::kNonOverlapping);
+
+/// Selects top-k motif pairs directly from row-minimum arrays (the entry
+/// point shared by the matrix-profile overload above and VALMOD's
+/// certified-rows path, which has no MatrixProfile object).
+Result<std::vector<MotifPair>> SelectTopKFromRowMinima(
+    std::span<const double> distances, std::span<const int64_t> indices,
+    std::size_t length, std::size_t exclusion_zone, std::size_t k,
+    MotifSelection selection);
+
+/// One eligible row minimum: `row`'s best match is `match` at `distance`.
+struct RowCandidate {
+  double distance = kInfinity;
+  int64_t row = -1;
+  int64_t match = -1;
+};
+
+/// Core selection shared by SelectTopKFromRowMinima and VALMOD's certified
+/// sweep: `candidates` must be sorted by ascending distance (ties by row)
+/// and contain only finite, matched rows. Deduplicates unordered pairs and,
+/// for kNonOverlapping, masks the exclusion zone around chosen members.
+std::vector<MotifPair> SelectFromSortedCandidates(
+    std::span<const RowCandidate> candidates, std::size_t length,
+    std::size_t exclusion_zone, std::size_t k, MotifSelection selection);
+
+}  // namespace valmod::mp
+
+#endif  // VALMOD_MP_MOTIF_H_

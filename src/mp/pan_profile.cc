@@ -1,0 +1,109 @@
+#include "mp/pan_profile.h"
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+
+#include "common/status.h"
+#include "mp/stomp.h"
+#include "series/znorm.h"
+
+namespace valmod::mp {
+
+Result<std::span<const double>> PanProfile::Row(std::size_t length) const {
+  const auto it = std::find(lengths_.begin(), lengths_.end(), length);
+  if (it == lengths_.end()) {
+    return Status::NotFound("length " + std::to_string(length) +
+                            " is not covered by this pan profile");
+  }
+  const std::size_t row = static_cast<std::size_t>(it - lengths_.begin());
+  return std::span<const double>(&cells_[row * width_], width_);
+}
+
+Result<PanProfile::Cell> PanProfile::BestCell() const {
+  if (cells_.empty()) {
+    return Status::FailedPrecondition("pan profile is empty");
+  }
+  Cell best;
+  for (std::size_t r = 0; r < lengths_.size(); ++r) {
+    for (std::size_t i = 0; i < width_; ++i) {
+      const double value = cells_[r * width_ + i];
+      if (value < best.normalized_distance) {
+        best.normalized_distance = value;
+        best.length = lengths_[r];
+        best.offset = i;
+      }
+    }
+  }
+  if (best.normalized_distance == kInfinity) {
+    return Status::NotFound("no eligible match at any covered length");
+  }
+  return best;
+}
+
+Status PanProfile::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out.precision(10);
+  out << "length";
+  for (std::size_t i = 0; i < width_; ++i) out << ",o" << i;
+  out << '\n';
+  for (std::size_t r = 0; r < lengths_.size(); ++r) {
+    out << lengths_[r];
+    for (std::size_t i = 0; i < width_; ++i) {
+      const double value = cells_[r * width_ + i];
+      out << ',';
+      if (value == kInfinity) {
+        out << "inf";
+      } else {
+        out << value;
+      }
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+Result<PanProfile> ComputePanProfile(const series::DataSeries& series,
+                                     const PanProfileOptions& options) {
+  if (options.min_length < 2 || options.min_length > options.max_length) {
+    return Status::InvalidArgument("need 2 <= min_length <= max_length");
+  }
+  if (options.max_length + 1 > series.size()) {
+    return Status::InvalidArgument("max_length leaves fewer than 2 windows");
+  }
+  if (options.step == 0) {
+    return Status::InvalidArgument("step must be >= 1");
+  }
+
+  PanProfile pan;
+  pan.width_ = series.NumSubsequences(options.min_length);
+  for (std::size_t l = options.min_length; l <= options.max_length;
+       l += options.step) {
+    pan.lengths_.push_back(l);
+  }
+  pan.cells_.assign(pan.lengths_.size() * pan.width_, kInfinity);
+
+  for (std::size_t r = 0; r < pan.lengths_.size(); ++r) {
+    const std::size_t length = pan.lengths_[r];
+    if (options.deadline.Expired()) {
+      return Status::DeadlineExceeded("pan profile timed out at length " +
+                                      std::to_string(length));
+    }
+    ProfileOptions profile_options;
+    profile_options.exclusion_fraction = options.exclusion_fraction;
+    profile_options.num_threads = options.num_threads;
+    profile_options.deadline = options.deadline;
+    VALMOD_ASSIGN_OR_RETURN(MatrixProfile profile,
+                            ComputeStomp(series, length, profile_options));
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+      if (profile.distances[i] == kInfinity) continue;
+      pan.cells_[r * pan.width_ + i] =
+          series::LengthNormalizedDistance(profile.distances[i], length);
+    }
+  }
+  return pan;
+}
+
+}  // namespace valmod::mp

@@ -1,0 +1,74 @@
+#ifndef VALMOD_MP_PAN_PROFILE_H_
+#define VALMOD_MP_PAN_PROFILE_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/timer.h"
+#include "mp/matrix_profile.h"
+#include "series/data_series.h"
+
+namespace valmod::mp {
+
+/// Options for the pan matrix profile.
+struct PanProfileOptions {
+  std::size_t min_length = 0;
+  std::size_t max_length = 0;
+  /// Lengths are sampled every `step` (1 = every length). Coarser steps
+  /// trade resolution on the length axis for time, as in the published
+  /// pan-profile work.
+  std::size_t step = 1;
+  double exclusion_fraction = 0.5;
+  int num_threads = 1;
+  Deadline deadline;
+};
+
+/// The pan matrix profile ("PMP"): length-normalized matrix profiles for a
+/// whole range of lengths stacked into one matrix — the all-lengths
+/// visualization companion to VALMOD from the same research line. Cell
+/// (row r, offset i) holds `MP_{length(r)}[i] * sqrt(1 / length(r))`, so
+/// values are comparable across rows; +infinity marks rows/offsets without
+/// an eligible match.
+class PanProfile {
+ public:
+  /// Lengths covered, ascending (min, min+step, ...).
+  const std::vector<std::size_t>& lengths() const { return lengths_; }
+
+  /// Normalized profile of one covered length (row of the pan matrix).
+  Result<std::span<const double>> Row(std::size_t length) const;
+
+  /// Number of offsets per row (computed at min_length; longer lengths pad
+  /// their tail with +infinity so the matrix is rectangular).
+  std::size_t width() const { return width_; }
+
+  /// The globally minimal cell: the best motif of any covered length under
+  /// the length-normalized distance.
+  struct Cell {
+    std::size_t length = 0;
+    std::size_t offset = 0;
+    double normalized_distance = kInfinity;
+  };
+  Result<Cell> BestCell() const;
+
+  /// Writes the matrix as CSV (one row per length, header with offsets).
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  friend Result<PanProfile> ComputePanProfile(const series::DataSeries&,
+                                              const PanProfileOptions&);
+  std::vector<std::size_t> lengths_;
+  std::size_t width_ = 0;
+  std::vector<double> cells_;  // lengths x width, row-major
+};
+
+/// Computes the pan matrix profile with one exact STOMP per covered length.
+/// O(((lmax - lmin) / step) * n^2); `num_threads` parallelizes each STOMP.
+Result<PanProfile> ComputePanProfile(const series::DataSeries& series,
+                                     const PanProfileOptions& options);
+
+}  // namespace valmod::mp
+
+#endif  // VALMOD_MP_PAN_PROFILE_H_

@@ -1,0 +1,88 @@
+#include "mp/profile_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace valmod::mp {
+
+Status WriteProfileCsv(const MatrixProfile& profile,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out.precision(17);
+  out << "# valmod matrix profile,length=" << profile.subsequence_length
+      << ",exclusion=" << profile.exclusion_zone << '\n';
+  out << "distance,index\n";
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    if (profile.distances[i] == kInfinity) {
+      out << "inf,-1\n";
+    } else {
+      out << profile.distances[i] << ',' << profile.indices[i] << '\n';
+    }
+  }
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+Result<MatrixProfile> ReadProfileCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+
+  std::string header;
+  if (!std::getline(in, header) ||
+      header.rfind("# valmod matrix profile", 0) != 0) {
+    return Status::IoError("'" + path + "' is not a valmod profile CSV");
+  }
+  MatrixProfile profile;
+  const auto parse_field = [&](const std::string& key) -> long long {
+    const std::size_t pos = header.find(key + "=");
+    if (pos == std::string::npos) return -1;
+    return std::strtoll(header.c_str() + pos + key.size() + 1, nullptr, 10);
+  };
+  const long long length = parse_field("length");
+  const long long exclusion = parse_field("exclusion");
+  if (length <= 0 || exclusion < 0) {
+    return Status::IoError("malformed profile header in '" + path + "'");
+  }
+  profile.subsequence_length = static_cast<std::size_t>(length);
+  profile.exclusion_zone = static_cast<std::size_t>(exclusion);
+
+  std::string line;
+  std::getline(in, line);  // column header
+  std::size_t line_number = 2;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const std::size_t comma = line.find(',');
+    if (comma == std::string::npos) {
+      return Status::IoError("missing comma at line " +
+                             std::to_string(line_number) + " of '" + path +
+                             "'");
+    }
+    const std::string dist_text = line.substr(0, comma);
+    if (dist_text == "inf") {
+      profile.distances.push_back(kInfinity);
+      profile.indices.push_back(-1);
+      continue;
+    }
+    char* end = nullptr;
+    const double distance = std::strtod(dist_text.c_str(), &end);
+    if (end == dist_text.c_str()) {
+      return Status::IoError("bad distance at line " +
+                             std::to_string(line_number) + " of '" + path +
+                             "'");
+    }
+    profile.distances.push_back(distance);
+    profile.indices.push_back(
+        std::strtoll(line.c_str() + comma + 1, nullptr, 10));
+  }
+  if (profile.distances.empty()) {
+    return Status::IoError("no profile rows in '" + path + "'");
+  }
+  return profile;
+}
+
+}  // namespace valmod::mp

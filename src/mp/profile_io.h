@@ -1,0 +1,28 @@
+#ifndef VALMOD_MP_PROFILE_IO_H_
+#define VALMOD_MP_PROFILE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "mp/matrix_profile.h"
+
+namespace valmod::mp {
+
+/// Writes a matrix profile as CSV with a metadata header row:
+///
+///   # valmod matrix profile,length=<l>,exclusion=<z>
+///   distance,index
+///   1.234,17
+///   ...
+///
+/// +infinity distances serialize as "inf" with index -1.
+Status WriteProfileCsv(const MatrixProfile& profile, const std::string& path);
+
+/// Reads a matrix profile written by WriteProfileCsv (exact round trip up
+/// to decimal formatting, which uses 17 significant digits).
+Result<MatrixProfile> ReadProfileCsv(const std::string& path);
+
+}  // namespace valmod::mp
+
+#endif  // VALMOD_MP_PROFILE_IO_H_

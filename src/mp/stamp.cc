@@ -1,0 +1,44 @@
+#include "mp/stamp.h"
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mass/mass.h"
+
+namespace valmod::mp {
+
+Result<MatrixProfile> ComputeStamp(const series::DataSeries& series,
+                                   std::size_t length,
+                                   const ProfileOptions& options) {
+  const std::size_t count = series.NumSubsequences(length);
+  if (count == 0) {
+    return Status::InvalidArgument(
+        "length " + std::to_string(length) + " yields no subsequences in a " +
+        std::to_string(series.size()) + "-point series");
+  }
+
+  MatrixProfile profile;
+  profile.subsequence_length = length;
+  profile.exclusion_zone = ExclusionZoneFor(length, options.exclusion_fraction);
+  profile.distances.assign(count, kInfinity);
+  profile.indices.assign(count, -1);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    if ((i & 31) == 0 && options.deadline.Expired()) {
+      return Status::DeadlineExceeded("STAMP timed out");
+    }
+    VALMOD_ASSIGN_OR_RETURN(mass::RowProfile row,
+                            mass::ComputeRowProfile(series, i, length));
+    mass::ApplyExclusionZone(&row.distances, i, profile.exclusion_zone);
+    for (std::size_t j = 0; j < count; ++j) {
+      if (row.distances[j] < profile.distances[i]) {
+        profile.distances[i] = row.distances[j];
+        profile.indices[i] = static_cast<int64_t>(j);
+      }
+    }
+  }
+  return profile;
+}
+
+}  // namespace valmod::mp

@@ -1,0 +1,118 @@
+#include "mp/streaming.h"
+
+#include <cmath>
+#include <string>
+
+#include "series/znorm.h"
+
+namespace valmod::mp {
+
+namespace {
+
+/// Absolute variance threshold for constant-window classification in the
+/// streaming setting (the batch path scales this with the global variance,
+/// which is unknowable mid-stream; anchoring keeps values moderate).
+constexpr double kStreamConstantVariance = 1e-12;
+
+}  // namespace
+
+Result<StreamingProfile> StreamingProfile::Create(
+    std::size_t length, double exclusion_fraction) {
+  if (length < 2) {
+    return Status::InvalidArgument("subsequence length must be >= 2");
+  }
+  if (exclusion_fraction < 0.0 || exclusion_fraction > 1.0) {
+    return Status::InvalidArgument("exclusion_fraction must be in [0, 1]");
+  }
+  return StreamingProfile(length,
+                          ExclusionZoneFor(length, exclusion_fraction));
+}
+
+double StreamingProfile::Mean(std::size_t offset) const {
+  return (prefix_[offset + length_] - prefix_[offset]) /
+         static_cast<double>(length_);
+}
+
+double StreamingProfile::Variance(std::size_t offset) const {
+  const double inv_len = 1.0 / static_cast<double>(length_);
+  const double mean = (prefix_[offset + length_] - prefix_[offset]) * inv_len;
+  const double mean_sq =
+      (prefix_sq_[offset + length_] - prefix_sq_[offset]) * inv_len;
+  const double var = mean_sq - mean * mean;
+  return var > 0.0 ? var : 0.0;
+}
+
+Status StreamingProfile::Append(double value) {
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument("non-finite value appended");
+  }
+  if (!anchored_) {
+    anchor_ = value;
+    anchored_ = true;
+  }
+  const double shifted = value - anchor_;
+  values_.push_back(shifted);
+  prefix_.resize(values_.size() + 1);
+  prefix_sq_.resize(values_.size() + 1);
+  prefix_[values_.size()] = prefix_[values_.size() - 1] + shifted;
+  prefix_sq_[values_.size()] =
+      prefix_sq_[values_.size() - 1] + shifted * shifted;
+
+  if (values_.size() < length_) return Status::Ok();  // warm-up
+
+  const std::size_t m = values_.size() - length_;  // newest window offset
+  if (m == 0) {
+    last_dots_.assign(1, series::DotProduct(values_.data(), values_.data(),
+                                            length_));
+    profile_.distances.assign(1, kInfinity);
+    profile_.indices.assign(1, -1);
+    return Status::Ok();
+  }
+
+  // Dots of the new window vs every window: derive from the previous newest
+  // window's dots with the diagonal recurrence; only QT(0, m) needs a
+  // direct O(l) product.
+  std::vector<double> new_dots(m + 1);
+  new_dots[0] = series::DotProduct(values_.data(), values_.data() + m,
+                                   length_);
+  const double tail_new = values_[m + length_ - 1];
+  for (std::size_t j = 1; j <= m; ++j) {
+    new_dots[j] = last_dots_[j - 1] - values_[j - 1] * values_[m - 1] +
+                  values_[j + length_ - 1] * tail_new;
+  }
+
+  profile_.distances.push_back(kInfinity);
+  profile_.indices.push_back(-1);
+
+  const double mean_m = Mean(m);
+  const double var_m = Variance(m);
+  const double std_m = std::sqrt(var_m);
+  const bool const_m = var_m <= kStreamConstantVariance;
+
+  for (std::size_t j = 0; j + exclusion_ <= m; ++j) {
+    const double var_j = Variance(j);
+    const double d = series::PairDistanceFromDot(
+        new_dots[j], Mean(j), mean_m, std::sqrt(var_j), std_m, length_,
+        var_j <= kStreamConstantVariance, const_m);
+    if (d < profile_.distances[j]) {
+      profile_.distances[j] = d;
+      profile_.indices[j] = static_cast<int64_t>(m);
+    }
+    if (d < profile_.distances[m]) {
+      profile_.distances[m] = d;
+      profile_.indices[m] = static_cast<int64_t>(j);
+    }
+  }
+
+  last_dots_ = std::move(new_dots);
+  return Status::Ok();
+}
+
+Status StreamingProfile::AppendAll(std::span<const double> values) {
+  for (double v : values) {
+    VALMOD_RETURN_IF_ERROR(Append(v));
+  }
+  return Status::Ok();
+}
+
+}  // namespace valmod::mp

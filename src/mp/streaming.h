@@ -1,0 +1,80 @@
+#ifndef VALMOD_MP_STREAMING_H_
+#define VALMOD_MP_STREAMING_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "mp/matrix_profile.h"
+
+namespace valmod::mp {
+
+/// Incrementally maintained matrix profile for an append-only series
+/// (STAMPI/STOMPI-style, the streaming variant introduced alongside the
+/// Matrix Profile papers the demo builds on).
+///
+/// Each Append(value) admits one new subsequence and costs O(m + l): the
+/// new window's dot products against all existing windows derive from the
+/// previous newest window's dots via the same recurrence STOMP uses along
+/// diagonals, and both the new row's minimum and all affected existing rows
+/// are updated. After appending the whole series the profile equals the
+/// batch `ComputeStomp` result (unit-tested).
+///
+/// Note on normalization: the incremental statistics are anchored to the
+/// value passed first (z-normalized distances are shift-invariant), so the
+/// structure is intended for series without astronomically large level
+/// offsets; use the batch algorithms for one-shot analysis.
+class StreamingProfile {
+ public:
+  /// Creates an empty streaming profile for subsequences of `length`.
+  /// `exclusion_fraction` as in ProfileOptions.
+  static Result<StreamingProfile> Create(std::size_t length,
+                                         double exclusion_fraction = 0.5);
+
+  /// Appends one point. Fails only on non-finite input.
+  Status Append(double value);
+
+  /// Appends a batch of points.
+  Status AppendAll(std::span<const double> values);
+
+  /// Points appended so far.
+  std::size_t size() const { return values_.size(); }
+
+  /// Subsequences admitted so far (0 during warm-up).
+  std::size_t NumSubsequences() const {
+    return values_.size() >= length_ ? values_.size() - length_ + 1 : 0;
+  }
+
+  /// Snapshot of the current matrix profile. Rows without an eligible
+  /// non-trivial match hold +infinity / -1.
+  const MatrixProfile& profile() const { return profile_; }
+
+  /// The appended values.
+  std::span<const double> values() const { return values_; }
+
+ private:
+  StreamingProfile(std::size_t length, std::size_t exclusion)
+      : length_(length), exclusion_(exclusion) {
+    profile_.subsequence_length = length;
+    profile_.exclusion_zone = exclusion;
+  }
+
+  double Mean(std::size_t offset) const;
+  double Variance(std::size_t offset) const;
+
+  std::size_t length_;
+  std::size_t exclusion_;
+  double anchor_ = 0.0;         // fixed shift applied to all values
+  bool anchored_ = false;
+  std::vector<double> values_;  // shifted by anchor_
+  std::vector<double> prefix_;      // prefix sums of shifted values
+  std::vector<double> prefix_sq_;   // prefix sums of squares
+  std::vector<double> last_dots_;   // QT(j, previous newest window)
+  MatrixProfile profile_;
+};
+
+}  // namespace valmod::mp
+
+#endif  // VALMOD_MP_STREAMING_H_

@@ -1,0 +1,354 @@
+#include "series/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace valmod::synth {
+
+namespace {
+
+using series::DataSeries;
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+Status ValidateLength(std::size_t length) {
+  if (length == 0) {
+    return Status::InvalidArgument("generator length must be positive");
+  }
+  return Status::Ok();
+}
+
+/// One P-QRS-T complex evaluated at beat phase `u` in [0, 1): five Gaussian
+/// bumps at textbook phase positions (unit R amplitude).
+double EcgBeatShape(double u) {
+  struct Bump {
+    double center, width, amplitude;
+  };
+  static constexpr Bump kBumps[] = {
+      {0.18, 0.040, 0.15},   // P wave (atrial contraction)
+      {0.35, 0.012, -0.10},  // Q
+      {0.38, 0.016, 1.00},   // R
+      {0.41, 0.012, -0.20},  // S
+      {0.60, 0.055, 0.30},   // T wave (ventricular repolarization)
+  };
+  double value = 0.0;
+  for (const Bump& b : kBumps) {
+    const double z = (u - b.center) / b.width;
+    value += b.amplitude * std::exp(-0.5 * z * z);
+  }
+  return value;
+}
+
+/// Asymmetric pulse used by the ASTRO generator (RR-Lyrae-like fast rise /
+/// slow decay built from three harmonics).
+double AstroPulseShape(double phase) {
+  return std::sin(phase) + 0.35 * std::sin(2.0 * phase + 0.8) +
+         0.18 * std::sin(3.0 * phase + 1.7);
+}
+
+/// Moving-average smoothing with half-window `half` (no-op when half == 0).
+std::vector<double> Smooth(const std::vector<double>& in, std::size_t half) {
+  if (half == 0) return in;
+  std::vector<double> out(in.size());
+  const std::size_t n = in.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(n - 1, i + half);
+    double sum = 0.0;
+    for (std::size_t j = lo; j <= hi; ++j) sum += in[j];
+    out[i] = sum / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<DataSeries> RandomWalk(const RandomWalkOptions& options) {
+  VALMOD_RETURN_IF_ERROR(ValidateLength(options.length));
+  if (options.step_stddev <= 0.0) {
+    return Status::InvalidArgument("step_stddev must be positive");
+  }
+  Rng rng(options.seed);
+  std::vector<double> values(options.length);
+  double level = 0.0;
+  for (std::size_t i = 0; i < options.length; ++i) {
+    level += rng.Gaussian(0.0, options.step_stddev);
+    values[i] = level;
+  }
+  return DataSeries::Create(std::move(values));
+}
+
+Result<DataSeries> Sine(const SineOptions& options) {
+  VALMOD_RETURN_IF_ERROR(ValidateLength(options.length));
+  if (options.period <= 0.0) {
+    return Status::InvalidArgument("period must be positive");
+  }
+  Rng rng(options.seed);
+  std::vector<double> values(options.length);
+  for (std::size_t i = 0; i < options.length; ++i) {
+    const double t = static_cast<double>(i);
+    values[i] = options.amplitude *
+                    std::sin(kTwoPi * t / options.period + options.phase) +
+                rng.Gaussian(0.0, options.noise_stddev);
+  }
+  return DataSeries::Create(std::move(values));
+}
+
+Result<DataSeries> Ecg(const EcgOptions& options) {
+  VALMOD_RETURN_IF_ERROR(ValidateLength(options.length));
+  if (options.samples_per_beat < 8.0) {
+    return Status::InvalidArgument("samples_per_beat must be at least 8");
+  }
+  Rng rng(options.seed);
+  std::vector<double> values(options.length, 0.0);
+
+  // Lay beats down one after another; each beat owns its jittered duration
+  // and amplitude so consecutive heartbeats are near-copies, not exact ones.
+  std::size_t beat_start = 0;
+  while (beat_start < options.length) {
+    const double duration =
+        std::max(8.0, options.samples_per_beat *
+                          (1.0 + rng.Gaussian(0.0, options.beat_jitter)));
+    const double amplitude =
+        1.0 + rng.Gaussian(0.0, options.amplitude_jitter);
+    const std::size_t beat_len = static_cast<std::size_t>(duration);
+    for (std::size_t t = 0; t < beat_len && beat_start + t < options.length;
+         ++t) {
+      const double u = static_cast<double>(t) / duration;
+      values[beat_start + t] = amplitude * EcgBeatShape(u);
+    }
+    beat_start += beat_len;
+  }
+
+  // Baseline wander (respiration-scale drift) plus measurement noise.
+  for (std::size_t i = 0; i < options.length; ++i) {
+    const double t = static_cast<double>(i);
+    values[i] += options.baseline_wander_amplitude *
+                     std::sin(kTwoPi * t / options.baseline_wander_period) +
+                 rng.Gaussian(0.0, options.noise_stddev);
+  }
+  return DataSeries::Create(std::move(values));
+}
+
+Result<DataSeries> Astro(const AstroOptions& options) {
+  VALMOD_RETURN_IF_ERROR(ValidateLength(options.length));
+  if (options.base_period <= 1.0) {
+    return Status::InvalidArgument("base_period must exceed 1 sample");
+  }
+  Rng rng(options.seed);
+  std::vector<double> values(options.length);
+  // Integrate instantaneous frequency so the period drifts smoothly without
+  // phase jumps.
+  double phase = rng.Uniform(0.0, kTwoPi);
+  for (std::size_t i = 0; i < options.length; ++i) {
+    const double t = static_cast<double>(i);
+    const double period =
+        options.base_period *
+        (1.0 + options.period_drift *
+                   std::sin(kTwoPi * t / options.drift_period));
+    phase += kTwoPi / period;
+    const double envelope =
+        1.0 + 0.12 * std::sin(kTwoPi * t / (3.1 * options.drift_period));
+    values[i] = options.amplitude * envelope * AstroPulseShape(phase) +
+                rng.Gaussian(0.0, options.noise_stddev);
+  }
+  return DataSeries::Create(std::move(values));
+}
+
+Result<SeismicSeries> Seismic(const SeismicOptions& options) {
+  VALMOD_RETURN_IF_ERROR(ValidateLength(options.length));
+  if (options.background_ar < 0.0 || options.background_ar >= 1.0) {
+    return Status::InvalidArgument("background_ar must lie in [0, 1)");
+  }
+  Rng rng(options.seed);
+
+  // AR(1) microseism background.
+  std::vector<double> values(options.length);
+  double prev = 0.0;
+  const double innovation =
+      options.background_stddev *
+      std::sqrt(1.0 - options.background_ar * options.background_ar);
+  for (std::size_t i = 0; i < options.length; ++i) {
+    prev = options.background_ar * prev + rng.Gaussian(0.0, innovation);
+    values[i] = prev;
+  }
+
+  // Poisson event arrivals; each event is a damped oscillation whose
+  // envelope/period/amplitude jitter around the template.
+  std::vector<std::size_t> onsets;
+  const double rate = options.expected_events /
+                      std::max<double>(1.0, static_cast<double>(options.length));
+  double t = rng.Exponential(rate);
+  while (t < static_cast<double>(options.length)) {
+    const std::size_t onset = static_cast<std::size_t>(t);
+    const double jitter = 1.0 + rng.Gaussian(0.0, options.event_jitter);
+    const double duration = std::max(16.0, options.event_duration * jitter);
+    const double amplitude =
+        options.event_amplitude *
+        (1.0 + rng.Gaussian(0.0, options.event_jitter));
+    const double period =
+        std::max(4.0, options.event_period *
+                          (1.0 + rng.Gaussian(0.0, options.event_jitter)));
+    const double decay = 3.0 / duration;  // ~95% decayed at the nominal end
+    for (std::size_t s = 0; s < static_cast<std::size_t>(duration); ++s) {
+      const std::size_t idx = onset + s;
+      if (idx >= options.length) break;
+      const double ts = static_cast<double>(s);
+      values[idx] += amplitude * std::exp(-decay * ts) *
+                     std::sin(kTwoPi * ts / period);
+    }
+    onsets.push_back(onset);
+    t += rng.Exponential(rate);
+  }
+
+  VALMOD_ASSIGN_OR_RETURN(DataSeries series,
+                          DataSeries::Create(std::move(values)));
+  return SeismicSeries{std::move(series), std::move(onsets)};
+}
+
+Result<DataSeries> Entomology(const EntomologyOptions& options) {
+  VALMOD_RETURN_IF_ERROR(ValidateLength(options.length));
+  if (options.min_burst_duration > options.max_burst_duration) {
+    return Status::InvalidArgument(
+        "min_burst_duration exceeds max_burst_duration");
+  }
+  Rng rng(options.seed);
+
+  // Slow baseline drift: sum of two long incommensurate sinusoids.
+  std::vector<double> values(options.length);
+  for (std::size_t i = 0; i < options.length; ++i) {
+    const double t = static_cast<double>(i);
+    values[i] = 0.4 * std::sin(kTwoPi * t / 7919.0) +
+                0.25 * std::sin(kTwoPi * t / 3163.0) +
+                rng.Gaussian(0.0, options.noise_stddev);
+  }
+
+  // Probing bursts: sawtooth spike trains with per-burst duration drawn from
+  // [min, max] — the same waveform appearing at different temporal extents.
+  const double rate =
+      options.expected_bursts /
+      std::max<double>(1.0, static_cast<double>(options.length));
+  double t = rng.Exponential(rate);
+  while (t < static_cast<double>(options.length)) {
+    const std::size_t onset = static_cast<std::size_t>(t);
+    const double duration =
+        rng.Uniform(options.min_burst_duration, options.max_burst_duration);
+    for (std::size_t s = 0; s < static_cast<std::size_t>(duration); ++s) {
+      const std::size_t idx = onset + s;
+      if (idx >= options.length) break;
+      const double u = std::fmod(static_cast<double>(s),
+                                 options.spike_period) /
+                       options.spike_period;
+      // Rising ramp with sharp fall — the classic EPG probing waveform.
+      values[idx] += options.spike_amplitude * (u < 0.85 ? u / 0.85
+                                                         : (1.0 - u) / 0.15);
+    }
+    t += duration + rng.Exponential(rate);
+  }
+  return DataSeries::Create(std::move(values));
+}
+
+Result<PlantedMotifSeries> PlantedMotif(const PlantedMotifOptions& options) {
+  VALMOD_RETURN_IF_ERROR(ValidateLength(options.length));
+  if (options.motif_length == 0 || options.occurrences < 2) {
+    return Status::InvalidArgument(
+        "need motif_length >= 1 and at least 2 occurrences");
+  }
+  // Occurrences must fit with a separation gap of one motif length around
+  // each so copies never trivially overlap.
+  const std::size_t slot = 2 * options.motif_length;
+  if (slot * options.occurrences + options.motif_length > options.length) {
+    return Status::InvalidArgument(
+        "series too short for " + std::to_string(options.occurrences) +
+        " separated occurrences of length " +
+        std::to_string(options.motif_length));
+  }
+  Rng rng(options.seed);
+
+  // Smoothed random-walk background.
+  std::vector<double> background(options.length);
+  double level = 0.0;
+  for (std::size_t i = 0; i < options.length; ++i) {
+    level += rng.Gaussian(0.0, 0.25);
+    background[i] = level;
+  }
+  std::vector<double> values = Smooth(background, options.background_smoothing);
+
+  // Unit-scale smoothed random pattern.
+  std::vector<double> pattern(options.motif_length);
+  double p = 0.0;
+  for (std::size_t i = 0; i < options.motif_length; ++i) {
+    p += rng.Gaussian(0.0, 1.0);
+    pattern[i] = p;
+  }
+  pattern = Smooth(pattern, std::max<std::size_t>(2, options.motif_length / 32));
+  // Normalize the pattern to zero mean / unit std so planted amplitudes are
+  // meaningful relative to the background.
+  double mean = 0.0;
+  for (double v : pattern) mean += v;
+  mean /= static_cast<double>(pattern.size());
+  double var = 0.0;
+  for (double v : pattern) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(pattern.size());
+  const double inv_std = var > 0.0 ? 1.0 / std::sqrt(var) : 1.0;
+  for (double& v : pattern) v = (v - mean) * inv_std;
+
+  // Place copies in disjoint slots with random in-slot shifts.
+  std::vector<std::size_t> offsets;
+  const std::size_t usable_slots = options.length / slot;
+  const std::size_t stride = usable_slots / options.occurrences;
+  for (std::size_t o = 0; o < options.occurrences; ++o) {
+    const std::size_t slot_index = o * stride;
+    const std::size_t slot_start = slot_index * slot;
+    const std::size_t max_shift = slot - options.motif_length;
+    const std::size_t shift = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(max_shift)));
+    const std::size_t offset = slot_start + shift;
+    const double scale =
+        3.0 * (1.0 + rng.Gaussian(0.0, options.scale_jitter));
+    for (std::size_t i = 0; i < options.motif_length; ++i) {
+      values[offset + i] = scale * pattern[i] +
+                           rng.Gaussian(0.0, options.occurrence_noise);
+    }
+    offsets.push_back(offset);
+  }
+
+  VALMOD_ASSIGN_OR_RETURN(DataSeries series,
+                          DataSeries::Create(std::move(values)));
+  return PlantedMotifSeries{std::move(series), std::move(offsets)};
+}
+
+Result<DataSeries> ByName(const std::string& name, std::size_t length,
+                          uint64_t seed) {
+  if (name == "random_walk") {
+    return RandomWalk({.length = length, .seed = seed});
+  }
+  if (name == "sine") {
+    return Sine({.length = length, .seed = seed});
+  }
+  if (name == "ecg") {
+    return Ecg({.length = length, .seed = seed});
+  }
+  if (name == "astro") {
+    return Astro({.length = length, .seed = seed});
+  }
+  if (name == "seismic") {
+    VALMOD_ASSIGN_OR_RETURN(SeismicSeries s,
+                            Seismic({.length = length, .seed = seed}));
+    return std::move(s.series);
+  }
+  if (name == "entomology") {
+    return Entomology({.length = length, .seed = seed});
+  }
+  return Status::InvalidArgument("unknown generator '" + name +
+                                 "' (expected random_walk|sine|ecg|astro|"
+                                 "seismic|entomology)");
+}
+
+}  // namespace valmod::synth

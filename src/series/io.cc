@@ -1,0 +1,149 @@
+#include "series/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace valmod::series {
+
+namespace {
+
+/// Splits a line on any of the accepted delimiters.
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    // Consecutive delimiters (e.g. aligned whitespace) collapse.
+    if (c == ',' || c == ';' || c == '\t' || c == ' ') {
+      if (!current.empty()) {
+        fields.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) fields.push_back(current);
+  return fields;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || end == nullptr) return false;
+  // Allow trailing '\r' from CRLF files.
+  while (*end == '\r' || *end == ' ') ++end;
+  if (*end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Result<DataSeries> ReadDelimited(const std::string& path, std::size_t column) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+
+  std::vector<double> values;
+  std::string line;
+  std::size_t line_number = 0;
+  bool header_skipped = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line == "\r") continue;
+    const std::vector<std::string> fields = SplitFields(line);
+    if (fields.size() <= column) {
+      return Status::IoError("line " + std::to_string(line_number) + " of '" +
+                             path + "' has " + std::to_string(fields.size()) +
+                             " fields, need column " + std::to_string(column));
+    }
+    double value = 0.0;
+    if (!ParseDouble(fields[column], &value)) {
+      if (!header_skipped && values.empty()) {
+        header_skipped = true;  // tolerate one header line
+        continue;
+      }
+      return Status::IoError("non-numeric value '" + fields[column] +
+                             "' at line " + std::to_string(line_number) +
+                             " of '" + path + "'");
+    }
+    values.push_back(value);
+  }
+  if (values.empty()) {
+    return Status::IoError("no numeric data found in '" + path + "'");
+  }
+  return DataSeries::Create(std::move(values));
+}
+
+Status WriteDelimited(const DataSeries& series, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out.precision(17);
+  for (double v : series.values()) out << v << '\n';
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+Result<DataSeries> ReadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  const std::streamsize bytes = in.tellg();
+  if (bytes < 0 || bytes % static_cast<std::streamsize>(sizeof(double)) != 0) {
+    return Status::IoError("'" + path +
+                           "' size is not a multiple of sizeof(double)");
+  }
+  in.seekg(0);
+  std::vector<double> values(static_cast<std::size_t>(bytes) /
+                             sizeof(double));
+  if (!values.empty() &&
+      !in.read(reinterpret_cast<char*>(values.data()), bytes)) {
+    return Status::IoError("short read from '" + path + "'");
+  }
+  if (values.empty()) {
+    return Status::IoError("no data in '" + path + "'");
+  }
+  return DataSeries::Create(std::move(values));
+}
+
+Status WriteBinary(const DataSeries& series, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  const auto values = series.values();
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(double)));
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+Status WriteColumnsCsv(const std::vector<Column>& columns,
+                       const std::string& path) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("WriteColumnsCsv needs at least 1 column");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out.precision(17);
+
+  std::size_t rows = 0;
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (c > 0) out << ',';
+    out << columns[c].name;
+    rows = std::max(rows, columns[c].values.size());
+  }
+  out << '\n';
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (c > 0) out << ',';
+      if (r < columns[c].values.size()) out << columns[c].values[r];
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+}  // namespace valmod::series

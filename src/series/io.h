@@ -1,0 +1,45 @@
+#ifndef VALMOD_SERIES_IO_H_
+#define VALMOD_SERIES_IO_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "series/data_series.h"
+
+namespace valmod::series {
+
+/// Reads a series from a delimited text file (CSV/TSV/whitespace).
+///
+/// `column` selects the 0-based field to parse on each line. Blank lines are
+/// skipped; a single non-numeric header line is tolerated and skipped.
+/// Delimiters `,`, `;`, tab and space are all accepted.
+Result<DataSeries> ReadDelimited(const std::string& path,
+                                 std::size_t column = 0);
+
+/// Writes one value per line.
+Status WriteDelimited(const DataSeries& series, const std::string& path);
+
+/// Reads a series stored as raw little-endian IEEE-754 doubles.
+Result<DataSeries> ReadBinary(const std::string& path);
+
+/// Writes a series as raw little-endian IEEE-754 doubles.
+Status WriteBinary(const DataSeries& series, const std::string& path);
+
+/// A named column for artifact emission.
+struct Column {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Writes columns side by side as CSV with a header row; shorter columns are
+/// padded with empty cells. Used by the bench harnesses to emit the data
+/// behind each reproduced figure.
+Status WriteColumnsCsv(const std::vector<Column>& columns,
+                       const std::string& path);
+
+}  // namespace valmod::series
+
+#endif  // VALMOD_SERIES_IO_H_

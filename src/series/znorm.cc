@@ -1,0 +1,51 @@
+#include "series/znorm.h"
+
+#include <string>
+
+namespace valmod::series {
+
+Result<std::vector<double>> ZNormalize(std::span<const double> window) {
+  if (window.empty()) {
+    return Status::InvalidArgument("cannot z-normalize an empty window");
+  }
+  VALMOD_ASSIGN_OR_RETURN(stats::MovingStats stats,
+                          stats::MovingStats::Create(window));
+  std::vector<double> out(window.size(), 0.0);
+  if (stats.IsConstant(0, window.size())) return out;  // all-zeros convention
+
+  const double mean = stats.Mean(0, window.size());
+  const double inv_std = 1.0 / stats.StdDev(0, window.size());
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    out[i] = (window[i] - mean) * inv_std;
+  }
+  return out;
+}
+
+Result<double> ZNormalizedDistance(std::span<const double> a,
+                                   std::span<const double> b) {
+  if (a.empty() || a.size() != b.size()) {
+    return Status::InvalidArgument(
+        "windows must be non-empty and equal length (got " +
+        std::to_string(a.size()) + " and " + std::to_string(b.size()) + ")");
+  }
+  VALMOD_ASSIGN_OR_RETURN(std::vector<double> za, ZNormalize(a));
+  VALMOD_ASSIGN_OR_RETURN(std::vector<double> zb, ZNormalize(b));
+  double sq = 0.0;
+  for (std::size_t i = 0; i < za.size(); ++i) {
+    const double diff = za[i] - zb[i];
+    sq += diff * diff;
+  }
+  return std::sqrt(sq);
+}
+
+Result<double> SubsequenceDistance(const DataSeries& series,
+                                   std::size_t offset_a, std::size_t offset_b,
+                                   std::size_t length) {
+  VALMOD_ASSIGN_OR_RETURN(std::vector<double> a,
+                          series.Subsequence(offset_a, length));
+  VALMOD_ASSIGN_OR_RETURN(std::vector<double> b,
+                          series.Subsequence(offset_b, length));
+  return ZNormalizedDistance(a, b);
+}
+
+}  // namespace valmod::series

@@ -1,0 +1,206 @@
+// Tests for the comparison baselines: each must be exact (validated against
+// the brute-force/STOMP ground truth), since the paper's Figure 3 compares
+// exact algorithms on speed, not quality.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baselines/moen.h"
+#include "baselines/quick_motif.h"
+#include "baselines/stomp_range.h"
+#include "mp/brute_force.h"
+#include "mp/motif.h"
+#include "series/generators.h"
+
+namespace valmod::baselines {
+namespace {
+
+struct BaselineCase {
+  std::string generator;
+  std::size_t n;
+  std::size_t min_length;
+  std::size_t max_length;
+};
+
+class BaselineExactnessTest : public ::testing::TestWithParam<BaselineCase> {
+ protected:
+  /// Ground-truth best-pair distance per length via brute force.
+  std::vector<double> BruteBestDistances(const series::DataSeries& series,
+                                         std::size_t min_length,
+                                         std::size_t max_length) {
+    std::vector<double> best;
+    for (std::size_t l = min_length; l <= max_length; ++l) {
+      auto profile = mp::ComputeBruteForce(series, l, {});
+      EXPECT_TRUE(profile.ok());
+      double d = mp::kInfinity;
+      for (double value : profile->distances) d = std::min(d, value);
+      best.push_back(d);
+    }
+    return best;
+  }
+};
+
+TEST_P(BaselineExactnessTest, StompRangeMatchesBruteForce) {
+  const BaselineCase& c = GetParam();
+  auto series = synth::ByName(c.generator, c.n, 71);
+  ASSERT_TRUE(series.ok());
+
+  StompRangeOptions options;
+  options.min_length = c.min_length;
+  options.max_length = c.max_length;
+  auto result = RunStompRange(*series, options);
+  ASSERT_TRUE(result.ok());
+
+  const std::vector<double> expected =
+      BruteBestDistances(*series, c.min_length, c.max_length);
+  ASSERT_EQ(result->size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_FALSE((*result)[i].motifs.empty());
+    EXPECT_NEAR((*result)[i].motifs[0].distance, expected[i], 2e-5)
+        << "length " << c.min_length + i;
+  }
+}
+
+TEST_P(BaselineExactnessTest, MoenMatchesBruteForce) {
+  const BaselineCase& c = GetParam();
+  auto series = synth::ByName(c.generator, c.n, 73);
+  ASSERT_TRUE(series.ok());
+
+  MoenOptions options;
+  options.min_length = c.min_length;
+  options.max_length = c.max_length;
+  auto result = RunMoen(*series, options);
+  ASSERT_TRUE(result.ok());
+
+  const std::vector<double> expected =
+      BruteBestDistances(*series, c.min_length, c.max_length);
+  ASSERT_EQ(result->size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_FALSE((*result)[i].motifs.empty()) << "length " << c.min_length + i;
+    EXPECT_NEAR((*result)[i].motifs[0].distance, expected[i], 2e-5)
+        << "length " << c.min_length + i;
+  }
+}
+
+TEST_P(BaselineExactnessTest, QuickMotifMatchesBruteForce) {
+  const BaselineCase& c = GetParam();
+  auto series = synth::ByName(c.generator, c.n, 79);
+  ASSERT_TRUE(series.ok());
+
+  QuickMotifRangeOptions options;
+  options.min_length = c.min_length;
+  options.max_length = c.max_length;
+  auto result = RunQuickMotifRange(*series, options);
+  ASSERT_TRUE(result.ok());
+
+  const std::vector<double> expected =
+      BruteBestDistances(*series, c.min_length, c.max_length);
+  ASSERT_EQ(result->size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_FALSE((*result)[i].motifs.empty()) << "length " << c.min_length + i;
+    EXPECT_NEAR((*result)[i].motifs[0].distance, expected[i], 2e-5)
+        << "length " << c.min_length + i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, BaselineExactnessTest,
+    ::testing::Values(BaselineCase{"random_walk", 300, 16, 32},
+                      BaselineCase{"sine", 350, 25, 40},
+                      BaselineCase{"ecg", 400, 30, 45},
+                      BaselineCase{"entomology", 350, 20, 35}));
+
+TEST(MoenTest, ValidatesOptions) {
+  auto series = synth::ByName("random_walk", 100, 81);
+  ASSERT_TRUE(series.ok());
+  MoenOptions options;
+  options.min_length = 1;
+  options.max_length = 10;
+  EXPECT_FALSE(RunMoen(*series, options).ok());
+  options.min_length = 20;
+  options.max_length = 10;
+  EXPECT_FALSE(RunMoen(*series, options).ok());
+  options.min_length = 10;
+  options.max_length = 100;
+  EXPECT_FALSE(RunMoen(*series, options).ok());
+  options.max_length = 20;
+  options.num_references = 0;
+  EXPECT_FALSE(RunMoen(*series, options).ok());
+}
+
+TEST(MoenTest, SingleReferenceStillExact) {
+  auto series = synth::ByName("ecg", 300, 83);
+  ASSERT_TRUE(series.ok());
+  MoenOptions options;
+  options.min_length = 25;
+  options.max_length = 30;
+  options.num_references = 1;
+  auto result = RunMoen(*series, options);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 0; i < result->size(); ++i) {
+    auto profile = mp::ComputeBruteForce(*series, 25 + i, {});
+    ASSERT_TRUE(profile.ok());
+    double best = mp::kInfinity;
+    for (double d : profile->distances) best = std::min(best, d);
+    EXPECT_NEAR((*result)[i].motifs[0].distance, best, 2e-5);
+  }
+}
+
+TEST(QuickMotifTest, SmallBlocksAndDimensions) {
+  auto series = synth::ByName("sine", 300, 87);
+  ASSERT_TRUE(series.ok());
+  QuickMotifOptions options;
+  options.paa_dimensions = 4;
+  options.block_size = 8;
+  auto pair = RunQuickMotif(*series, 30, options);
+  ASSERT_TRUE(pair.ok());
+
+  auto profile = mp::ComputeBruteForce(*series, 30, {});
+  ASSERT_TRUE(profile.ok());
+  double best = mp::kInfinity;
+  for (double d : profile->distances) best = std::min(best, d);
+  EXPECT_NEAR(pair->distance, best, 2e-5);
+}
+
+TEST(QuickMotifTest, ValidatesOptions) {
+  auto series = synth::ByName("random_walk", 100, 89);
+  ASSERT_TRUE(series.ok());
+  QuickMotifOptions bad_paa;
+  bad_paa.paa_dimensions = 0;
+  EXPECT_FALSE(RunQuickMotif(*series, 20, bad_paa).ok());
+  bad_paa.paa_dimensions = 30;  // exceeds length
+  EXPECT_FALSE(RunQuickMotif(*series, 20, bad_paa).ok());
+  QuickMotifOptions bad_block;
+  bad_block.block_size = 0;
+  EXPECT_FALSE(RunQuickMotif(*series, 20, bad_block).ok());
+  // Length with no non-trivial pairs.
+  EXPECT_FALSE(RunQuickMotif(*series, 99, {}).ok());
+}
+
+TEST(StompRangeTest, ValidatesOptions) {
+  auto series = synth::ByName("random_walk", 100, 91);
+  ASSERT_TRUE(series.ok());
+  StompRangeOptions options;
+  options.min_length = 30;
+  options.max_length = 20;
+  EXPECT_FALSE(RunStompRange(*series, options).ok());
+  options.min_length = 10;
+  options.max_length = 20;
+  options.k = 0;
+  EXPECT_FALSE(RunStompRange(*series, options).ok());
+}
+
+TEST(StompRangeTest, HonorsDeadline) {
+  auto series = synth::ByName("random_walk", 3000, 93);
+  ASSERT_TRUE(series.ok());
+  StompRangeOptions options;
+  options.min_length = 50;
+  options.max_length = 100;
+  options.deadline = Deadline::After(-1.0);
+  EXPECT_EQ(RunStompRange(*series, options).status().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace valmod::baselines

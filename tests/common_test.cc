@@ -1,0 +1,200 @@
+// Tests for common utilities: Status, Result, Flags, Rng, Deadline.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace valmod {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad length");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad length");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad length");
+}
+
+TEST(StatusTest, FactoriesMapToCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IoError("a"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::IoError("disk"); };
+  auto wrapper = [&]() -> Status {
+    VALMOD_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kIoError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("missing"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MovesValueOut) {
+  Result<std::vector<int>> result(std::vector<int>{1, 2, 3});
+  std::vector<int> taken = std::move(result).value();
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto produce = []() -> Result<int> { return 7; };
+  auto consume = [&]() -> Result<int> {
+    VALMOD_ASSIGN_OR_RETURN(int x, produce());
+    return x + 1;
+  };
+  EXPECT_EQ(consume().value(), 8);
+
+  auto fail = []() -> Result<int> { return Status::Internal("boom"); };
+  auto propagate = [&]() -> Result<int> {
+    VALMOD_ASSIGN_OR_RETURN(int x, fail());
+    return x;
+  };
+  EXPECT_EQ(propagate().status().code(), StatusCode::kInternal);
+}
+
+TEST(FlagsTest, ParsesEqualsAndBooleanForms) {
+  const char* argv[] = {"prog", "--n=100", "--k=5", "--verbose",
+                        "positional"};
+  Flags flags = Flags::Parse(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("n", 0), 100);
+  EXPECT_EQ(flags.GetInt("k", 0), 5);
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags flags = Flags::Parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("n", 123), 123);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("x", 2.5), 2.5);
+  EXPECT_EQ(flags.GetString("s", "fallback"), "fallback");
+  EXPECT_FALSE(flags.Has("n"));
+}
+
+TEST(FlagsTest, ParsesDoublesAndStrings) {
+  const char* argv[] = {"prog", "--ratio=0.25", "--name=ecg"};
+  Flags flags = Flags::Parse(3, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio", 0.0), 0.25);
+  EXPECT_EQ(flags.GetString("name", ""), "ecg");
+  EXPECT_TRUE(flags.Has("ratio"));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Gaussian(), b.Gaussian());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Gaussian() != b.Gaussian()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian(1.0, 2.0);
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  Deadline deadline;
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_FALSE(Deadline::Infinite().Expired());
+}
+
+TEST(DeadlineTest, PastDeadlineExpires) {
+  Deadline deadline = Deadline::After(-1.0);
+  EXPECT_TRUE(deadline.Expired());
+}
+
+TEST(DeadlineTest, FutureDeadlineNotExpired) {
+  Deadline deadline = Deadline::After(60.0);
+  EXPECT_FALSE(deadline.Expired());
+}
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  timer.Restart();
+  EXPECT_GE(timer.ElapsedMillis(), 0.0);
+}
+
+}  // namespace
+}  // namespace valmod

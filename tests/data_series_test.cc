@@ -1,0 +1,94 @@
+// Tests for the DataSeries container.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "series/data_series.h"
+
+namespace valmod::series {
+namespace {
+
+TEST(DataSeriesTest, CreateValidates) {
+  EXPECT_FALSE(DataSeries::Create({}).ok());
+  EXPECT_FALSE(DataSeries::Create({1.0, std::nan("")}).ok());
+  EXPECT_TRUE(DataSeries::Create({1.0}).ok());
+}
+
+TEST(DataSeriesTest, ExposesValues) {
+  auto series = DataSeries::Create({1.0, 2.0, 3.0});
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->size(), 3u);
+  EXPECT_DOUBLE_EQ(series->values()[1], 2.0);
+}
+
+TEST(DataSeriesTest, CenteredHasZeroMean) {
+  auto series = DataSeries::Create({10.0, 20.0, 30.0, 40.0});
+  ASSERT_TRUE(series.ok());
+  double sum = 0.0;
+  for (double c : series->centered()) sum += c;
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(series->centered()[0], -15.0);
+}
+
+TEST(DataSeriesTest, NumSubsequences) {
+  auto series = DataSeries::Create(std::vector<double>(100, 0.0));
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->NumSubsequences(1), 100u);
+  EXPECT_EQ(series->NumSubsequences(100), 1u);
+  EXPECT_EQ(series->NumSubsequences(101), 0u);
+  EXPECT_EQ(series->NumSubsequences(0), 0u);
+}
+
+TEST(DataSeriesTest, SubsequenceCopies) {
+  auto series = DataSeries::Create({1.0, 2.0, 3.0, 4.0, 5.0});
+  ASSERT_TRUE(series.ok());
+  auto sub = series->Subsequence(1, 3);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(*sub, (std::vector<double>{2.0, 3.0, 4.0}));
+}
+
+TEST(DataSeriesTest, SubsequenceBoundsChecked) {
+  auto series = DataSeries::Create({1.0, 2.0, 3.0});
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->Subsequence(2, 2).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(series->Subsequence(0, 0).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_TRUE(series->Subsequence(0, 3).ok());
+}
+
+TEST(DataSeriesTest, PrefixSnippets) {
+  auto series = DataSeries::Create({1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(series.ok());
+  auto prefix = series->Prefix(2);
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_EQ(prefix->size(), 2u);
+  EXPECT_DOUBLE_EQ(prefix->values()[1], 2.0);
+  EXPECT_FALSE(series->Prefix(0).ok());
+  EXPECT_FALSE(series->Prefix(5).ok());
+  EXPECT_TRUE(series->Prefix(4).ok());
+}
+
+TEST(DataSeriesTest, PrefixRebuildStats) {
+  // Prefix statistics must describe the prefix, not the original.
+  auto series = DataSeries::Create({0.0, 0.0, 100.0, 100.0});
+  ASSERT_TRUE(series.ok());
+  auto prefix = series->Prefix(2);
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_DOUBLE_EQ(prefix->stats().Mean(0, 2), 0.0);
+  EXPECT_TRUE(prefix->stats().IsConstant(0, 2));
+}
+
+TEST(DataSeriesTest, CloneIsDeepAndEqual) {
+  auto series = DataSeries::Create({5.0, 6.0, 7.0});
+  ASSERT_TRUE(series.ok());
+  DataSeries clone = series->Clone();
+  EXPECT_EQ(clone.size(), series->size());
+  EXPECT_DOUBLE_EQ(clone.values()[2], 7.0);
+  EXPECT_NE(clone.values().data(), series->values().data());
+}
+
+}  // namespace
+}  // namespace valmod::series

@@ -1,0 +1,208 @@
+// Tests for the FFT engine: transform correctness, convolution, and the
+// sliding-dot-product kernel used by MASS.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "common/rng.h"
+#include "fft/fft.h"
+
+namespace valmod::fft {
+namespace {
+
+TEST(FftTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(0), 1u);
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1025), 2048u);
+}
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(3);
+  EXPECT_EQ(Transform(data, Direction::kForward).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FftTest, SizeOneIsIdentity) {
+  std::vector<std::complex<double>> data = {{3.0, -1.0}};
+  ASSERT_TRUE(Transform(data, Direction::kForward).ok());
+  EXPECT_DOUBLE_EQ(data[0].real(), 3.0);
+  EXPECT_DOUBLE_EQ(data[0].imag(), -1.0);
+}
+
+TEST(FftTest, MatchesAnalyticDftOfImpulse) {
+  // DFT of a unit impulse is all-ones.
+  std::vector<std::complex<double>> data(8, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  ASSERT_TRUE(Transform(data, Direction::kForward).ok());
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, MatchesNaiveDft) {
+  Rng rng(3);
+  const std::size_t n = 64;
+  std::vector<std::complex<double>> data(n);
+  for (auto& x : data) x = {rng.Gaussian(), rng.Gaussian()};
+  std::vector<std::complex<double>> expected(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      acc += data[t] * std::complex<double>(std::cos(angle),
+                                            std::sin(angle));
+    }
+    expected[k] = acc;
+  }
+  ASSERT_TRUE(Transform(data, Direction::kForward).ok());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(data[k].real(), expected[k].real(), 1e-9);
+    EXPECT_NEAR(data[k].imag(), expected[k].imag(), 1e-9);
+  }
+}
+
+class FftRoundTripTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTripTest, ForwardInverseReproducesInput) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<std::complex<double>> data(n);
+  for (auto& x : data) x = {rng.Gaussian(), rng.Gaussian()};
+  const std::vector<std::complex<double>> original = data;
+
+  ASSERT_TRUE(Transform(data, Direction::kForward).ok());
+  ASSERT_TRUE(Transform(data, Direction::kInverse).ok());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST_P(FftRoundTripTest, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 1);
+  std::vector<std::complex<double>> data(n);
+  double time_energy = 0.0;
+  for (auto& x : data) {
+    x = {rng.Gaussian(), rng.Gaussian()};
+    time_energy += std::norm(x);
+  }
+  ASSERT_TRUE(Transform(data, Direction::kForward).ok());
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-7 * time_energy + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTripTest,
+                         ::testing::Values(1, 2, 4, 8, 32, 128, 1024, 4096));
+
+TEST(ConvolveTest, RejectsEmptyInputs) {
+  std::vector<double> a = {1.0};
+  std::vector<double> empty;
+  EXPECT_FALSE(Convolve(empty, a).ok());
+  EXPECT_FALSE(Convolve(a, empty).ok());
+}
+
+TEST(ConvolveTest, KnownSmallConvolution) {
+  // [1, 2] * [3, 4, 5] = [3, 10, 13, 10].
+  std::vector<double> a = {1.0, 2.0};
+  std::vector<double> b = {3.0, 4.0, 5.0};
+  auto result = Convolve(a, b);
+  ASSERT_TRUE(result.ok());
+  const std::vector<double> expected = {3.0, 10.0, 13.0, 10.0};
+  ASSERT_EQ(result->size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR((*result)[i], expected[i], 1e-10);
+  }
+}
+
+struct ConvolveCase {
+  std::size_t len_a;
+  std::size_t len_b;
+};
+
+class ConvolveRandomTest : public ::testing::TestWithParam<ConvolveCase> {};
+
+TEST_P(ConvolveRandomTest, MatchesNaiveConvolution) {
+  const auto [len_a, len_b] = GetParam();
+  Rng rng(len_a * 131 + len_b);
+  std::vector<double> a(len_a), b(len_b);
+  for (auto& x : a) x = rng.Gaussian();
+  for (auto& x : b) x = rng.Gaussian();
+
+  auto result = Convolve(a, b);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), len_a + len_b - 1);
+  for (std::size_t k = 0; k < result->size(); ++k) {
+    double expected = 0.0;
+    for (std::size_t i = 0; i < len_a; ++i) {
+      if (k >= i && k - i < len_b) expected += a[i] * b[k - i];
+    }
+    EXPECT_NEAR((*result)[k], expected, 1e-8)
+        << "k=" << k << " len_a=" << len_a << " len_b=" << len_b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvolveRandomTest,
+    ::testing::Values(ConvolveCase{1, 1}, ConvolveCase{5, 3},
+                      ConvolveCase{16, 16}, ConvolveCase{100, 7},
+                      ConvolveCase{63, 65}, ConvolveCase{256, 1}));
+
+struct SlidingCase {
+  std::size_t series_len;
+  std::size_t query_len;
+};
+
+class SlidingDotTest : public ::testing::TestWithParam<SlidingCase> {};
+
+TEST_P(SlidingDotTest, MatchesNaiveDotProducts) {
+  const auto [series_len, query_len] = GetParam();
+  Rng rng(series_len * 17 + query_len);
+  std::vector<double> series(series_len), query(query_len);
+  for (auto& x : series) x = rng.Gaussian();
+  for (auto& x : query) x = rng.Gaussian();
+
+  auto result = SlidingDotProducts(series, query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), series_len - query_len + 1);
+  for (std::size_t i = 0; i + query_len <= series_len; ++i) {
+    double expected = 0.0;
+    for (std::size_t t = 0; t < query_len; ++t) {
+      expected += query[t] * series[i + t];
+    }
+    EXPECT_NEAR((*result)[i], expected, 1e-8 * (1.0 + std::abs(expected)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SlidingDotTest,
+    ::testing::Values(SlidingCase{1, 1}, SlidingCase{10, 1},
+                      SlidingCase{10, 10}, SlidingCase{100, 3},
+                      SlidingCase{1000, 100}, SlidingCase{777, 33}));
+
+TEST(SlidingDotTest, RejectsQueryLongerThanSeries) {
+  std::vector<double> series(5, 1.0), query(6, 1.0);
+  EXPECT_EQ(SlidingDotProducts(series, query).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SlidingDotTest, RejectsEmpty) {
+  std::vector<double> series(5, 1.0), empty;
+  EXPECT_FALSE(SlidingDotProducts(series, empty).ok());
+  EXPECT_FALSE(SlidingDotProducts(empty, empty).ok());
+}
+
+}  // namespace
+}  // namespace valmod::fft

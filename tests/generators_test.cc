@@ -1,0 +1,190 @@
+// Tests for the synthetic workload generators.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "series/generators.h"
+#include "series/znorm.h"
+
+namespace valmod::synth {
+namespace {
+
+TEST(RandomWalkTest, DeterministicAndSized) {
+  auto a = RandomWalk({.length = 500, .seed = 9});
+  auto b = RandomWalk({.length = 500, .seed = 9});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->size(), 500u);
+  for (std::size_t i = 0; i < 500; ++i) {
+    EXPECT_DOUBLE_EQ(a->values()[i], b->values()[i]);
+  }
+  auto c = RandomWalk({.length = 500, .seed = 10});
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->values()[499], c->values()[499]);
+}
+
+TEST(RandomWalkTest, RejectsBadOptions) {
+  EXPECT_FALSE(RandomWalk({.length = 0}).ok());
+  EXPECT_FALSE(RandomWalk({.length = 10, .seed = 1, .step_stddev = 0.0}).ok());
+}
+
+TEST(SineTest, OscillatesAtRequestedPeriod) {
+  auto series = Sine({.length = 1000,
+                      .seed = 1,
+                      .period = 100.0,
+                      .amplitude = 1.0,
+                      .noise_stddev = 0.0});
+  ASSERT_TRUE(series.ok());
+  // Shifted by one full period the series repeats exactly (no noise).
+  for (std::size_t i = 0; i + 100 < 1000; i += 37) {
+    EXPECT_NEAR(series->values()[i], series->values()[i + 100], 1e-9);
+  }
+}
+
+TEST(SineTest, RejectsBadPeriod) {
+  EXPECT_FALSE(Sine({.length = 10, .seed = 1, .period = 0.0}).ok());
+}
+
+TEST(EcgTest, BeatsRepeatApproximately) {
+  EcgOptions options;
+  options.length = 4000;
+  options.seed = 3;
+  options.samples_per_beat = 200.0;
+  options.beat_jitter = 0.0;
+  options.amplitude_jitter = 0.0;
+  options.noise_stddev = 0.0;
+  options.baseline_wander_amplitude = 0.0;
+  auto series = Ecg(options);
+  ASSERT_TRUE(series.ok());
+  // With all jitter off, consecutive beats are exact copies.
+  auto d = series::SubsequenceDistance(*series, 200, 400, 200);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 0.0, 1e-6);
+}
+
+TEST(EcgTest, HasProminentRPeaks) {
+  auto series = Ecg({.length = 2000, .seed = 5});
+  ASSERT_TRUE(series.ok());
+  const double max_value =
+      *std::max_element(series->values().begin(), series->values().end());
+  const double mean = series->stats().Mean(0, series->size());
+  EXPECT_GT(max_value, mean + 0.5);  // R peaks stand far above baseline
+}
+
+TEST(EcgTest, RejectsTinyBeat) {
+  EXPECT_FALSE(Ecg({.length = 100, .seed = 1, .samples_per_beat = 2.0}).ok());
+}
+
+TEST(AstroTest, QuasiPeriodicStructure) {
+  AstroOptions options;
+  options.length = 3000;
+  options.seed = 2;
+  options.base_period = 150.0;
+  options.period_drift = 0.0;
+  options.noise_stddev = 0.0;
+  auto series = Astro(options);
+  ASSERT_TRUE(series.ok());
+  // Without drift the pulse repeats with the base period (tolerance covers
+  // accumulated floating-point phase rounding).
+  auto d = series::SubsequenceDistance(*series, 300, 450, 150);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 0.0, 1e-4);
+}
+
+TEST(AstroTest, RejectsBadPeriod) {
+  EXPECT_FALSE(Astro({.length = 10, .seed = 1, .base_period = 0.5}).ok());
+}
+
+TEST(SeismicTest, EventsInsertedAtReportedOnsets) {
+  auto result = Seismic({.length = 30000, .seed = 4});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->event_onsets.size(), 0u);
+  // Sample variance around an onset should exceed background variance.
+  const auto& series = result->series;
+  const auto& stats = series.stats();
+  for (std::size_t onset : result->event_onsets) {
+    if (onset + 200 >= series.size()) continue;
+    const double event_var = stats.Variance(onset, 200);
+    const double background_var = stats.Variance(0, series.size());
+    EXPECT_GT(event_var, background_var * 0.5)
+        << "event at " << onset << " not visible";
+  }
+}
+
+TEST(SeismicTest, RejectsBadAr) {
+  EXPECT_FALSE(Seismic({.length = 100, .seed = 1, .background_ar = 1.0}).ok());
+}
+
+TEST(EntomologyTest, GeneratesAndValidates) {
+  auto series = Entomology({.length = 10000, .seed = 6});
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->size(), 10000u);
+  EntomologyOptions bad;
+  bad.length = 1000;
+  bad.min_burst_duration = 500.0;
+  bad.max_burst_duration = 100.0;
+  EXPECT_FALSE(Entomology(bad).ok());
+}
+
+TEST(PlantedMotifTest, OccurrencesAreNearCopies) {
+  PlantedMotifOptions options;
+  options.length = 6000;
+  options.seed = 8;
+  options.motif_length = 150;
+  options.occurrences = 3;
+  options.occurrence_noise = 0.01;
+  auto planted = PlantedMotif(options);
+  ASSERT_TRUE(planted.ok());
+  ASSERT_EQ(planted->motif_offsets.size(), 3u);
+
+  // All occurrence pairs are close in z-normalized space.
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      auto d = series::SubsequenceDistance(planted->series,
+                                           planted->motif_offsets[i],
+                                           planted->motif_offsets[j], 150);
+      ASSERT_TRUE(d.ok());
+      EXPECT_LT(*d, 1.0) << "occurrences " << i << "," << j;
+    }
+  }
+}
+
+TEST(PlantedMotifTest, OffsetsAreSeparated) {
+  PlantedMotifOptions options;
+  options.length = 8000;
+  options.seed = 12;
+  options.motif_length = 100;
+  options.occurrences = 4;
+  auto planted = PlantedMotif(options);
+  ASSERT_TRUE(planted.ok());
+  for (std::size_t i = 1; i < planted->motif_offsets.size(); ++i) {
+    EXPECT_GE(planted->motif_offsets[i] - planted->motif_offsets[i - 1],
+              options.motif_length);
+  }
+}
+
+TEST(PlantedMotifTest, RejectsOvercrowding) {
+  PlantedMotifOptions options;
+  options.length = 500;
+  options.motif_length = 100;
+  options.occurrences = 5;
+  EXPECT_FALSE(PlantedMotif(options).ok());
+}
+
+TEST(ByNameTest, DispatchesAllNames) {
+  for (const std::string name : {"random_walk", "sine", "ecg", "astro",
+                                 "seismic", "entomology"}) {
+    auto series = ByName(name, 2048, 1);
+    ASSERT_TRUE(series.ok()) << name;
+    EXPECT_EQ(series->size(), 2048u) << name;
+  }
+  EXPECT_EQ(ByName("unknown", 100, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace valmod::synth

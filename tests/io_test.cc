@@ -1,0 +1,173 @@
+// Tests for series I/O: delimited text, binary, and artifact CSV emission.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "series/data_series.h"
+#include "series/io.h"
+
+namespace valmod::series {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/valmod_io_" + name;
+  }
+
+  void WriteText(const std::string& path, const std::string& text) {
+    std::ofstream out(path);
+    out << text;
+  }
+};
+
+TEST_F(IoTest, DelimitedRoundTrip) {
+  Rng rng(1);
+  std::vector<double> values(100);
+  for (auto& v : values) v = rng.Gaussian();
+  auto series = DataSeries::Create(values);
+  ASSERT_TRUE(series.ok());
+
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteDelimited(*series, path).ok());
+  auto loaded = ReadDelimited(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), series->size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded->values()[i], values[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, ReadsSelectedColumn) {
+  const std::string path = TempPath("columns.csv");
+  WriteText(path, "1.0,10.0\n2.0,20.0\n3.0,30.0\n");
+  auto col1 = ReadDelimited(path, 1);
+  ASSERT_TRUE(col1.ok());
+  EXPECT_EQ(col1->size(), 3u);
+  EXPECT_DOUBLE_EQ(col1->values()[2], 30.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, SkipsSingleHeaderLine) {
+  const std::string path = TempPath("header.csv");
+  WriteText(path, "value\n1.5\n2.5\n");
+  auto loaded = ReadDelimited(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->values()[0], 1.5);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, AcceptsWhitespaceAndTabDelimiters) {
+  const std::string path = TempPath("tsv.tsv");
+  WriteText(path, "1.0\t9\n 2.0\t8\n3.0\t7\n");
+  auto loaded = ReadDelimited(path, 0);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded->values()[1], 2.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, ParsesScientificNotationAndCrlf) {
+  const std::string path = TempPath("sci.csv");
+  WriteText(path, "1.5e-3\r\n-2E+2\r\n3.25\r\n");
+  auto loaded = ReadDelimited(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded->values()[0], 1.5e-3);
+  EXPECT_DOUBLE_EQ(loaded->values()[1], -200.0);
+  EXPECT_DOUBLE_EQ(loaded->values()[2], 3.25);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, SkipsBlankLines) {
+  const std::string path = TempPath("blanks.csv");
+  WriteText(path, "1.0\n\n2.0\n\n\n3.0\n");
+  auto loaded = ReadDelimited(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, RejectsNonNumericBody) {
+  const std::string path = TempPath("bad.csv");
+  WriteText(path, "1.0\noops\n3.0\n");
+  EXPECT_EQ(ReadDelimited(path).status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, RejectsMissingColumn) {
+  const std::string path = TempPath("short.csv");
+  WriteText(path, "1.0\n2.0\n");
+  EXPECT_EQ(ReadDelimited(path, 3).status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, RejectsMissingFile) {
+  EXPECT_EQ(ReadDelimited(TempPath("nonexistent.csv")).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(IoTest, RejectsEmptyFile) {
+  const std::string path = TempPath("empty.csv");
+  WriteText(path, "");
+  EXPECT_FALSE(ReadDelimited(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  Rng rng(2);
+  std::vector<double> values(257);
+  for (auto& v : values) v = rng.Gaussian();
+  auto series = DataSeries::Create(values);
+  ASSERT_TRUE(series.ok());
+
+  const std::string path = TempPath("roundtrip.bin");
+  ASSERT_TRUE(WriteBinary(*series, path).ok());
+  auto loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), series->size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded->values()[i], values[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BinaryRejectsTruncatedFile) {
+  const std::string path = TempPath("trunc.bin");
+  WriteText(path, "abc");  // 3 bytes: not a multiple of sizeof(double)
+  EXPECT_EQ(ReadBinary(path).status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, ColumnsCsvWritesPaddedTable) {
+  const std::string path = TempPath("cols.csv");
+  std::vector<Column> columns = {{"a", {1.0, 2.0, 3.0}}, {"b", {9.0}}};
+  ASSERT_TRUE(WriteColumnsCsv(columns, path).ok());
+
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,9");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,");
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, ColumnsCsvRejectsEmpty) {
+  EXPECT_EQ(WriteColumnsCsv({}, TempPath("x.csv")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace valmod::series

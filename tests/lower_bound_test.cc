@@ -1,0 +1,184 @@
+// Property tests for the VALMOD cross-length lower bound: admissibility
+// (LB <= true distance) and rank invariance across length updates — the two
+// properties the whole pruning scheme rests on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/lower_bound.h"
+#include "series/data_series.h"
+#include "series/generators.h"
+#include "series/znorm.h"
+
+namespace valmod::core {
+namespace {
+
+struct LbCase {
+  std::string generator;
+  std::size_t n;
+  std::size_t base_length;
+  std::size_t max_extension;
+};
+
+class LowerBoundPropertyTest : public ::testing::TestWithParam<LbCase> {};
+
+TEST_P(LowerBoundPropertyTest, AdmissibleForAllPairsAndExtensions) {
+  const LbCase& c = GetParam();
+  auto series = synth::ByName(c.generator, c.n, 101);
+  ASSERT_TRUE(series.ok());
+
+  // Dense sweep over row offsets, candidate offsets, and extensions.
+  for (std::size_t i = 0; i + c.base_length + c.max_extension <= c.n;
+       i += 29) {
+    for (std::size_t j = 0; j + c.base_length + c.max_extension <= c.n;
+         j += 41) {
+      if (i == j) continue;
+      for (std::size_t k : {std::size_t{1}, c.max_extension / 2,
+                            c.max_extension}) {
+        if (k == 0) continue;
+        const std::size_t target = c.base_length + k;
+        auto lb = PairLowerBound(*series, i, j, c.base_length, target);
+        ASSERT_TRUE(lb.ok());
+        auto d = series::SubsequenceDistance(*series, i, j, target);
+        ASSERT_TRUE(d.ok());
+        EXPECT_LE(*lb, *d + 1e-7)
+            << "i=" << i << " j=" << j << " base=" << c.base_length
+            << " target=" << target;
+      }
+    }
+  }
+}
+
+TEST_P(LowerBoundPropertyTest, RankPreservedAcrossLengths) {
+  const LbCase& c = GetParam();
+  auto series = synth::ByName(c.generator, c.n, 103);
+  ASSERT_TRUE(series.ok());
+
+  const std::size_t i = c.n / 5;
+  std::vector<std::size_t> candidates;
+  for (std::size_t j = 0; j + c.base_length + c.max_extension <= c.n;
+       j += 13) {
+    if (j != i) candidates.push_back(j);
+  }
+  ASSERT_GE(candidates.size(), 3u);
+
+  auto rank_at = [&](std::size_t target) {
+    std::vector<std::pair<double, std::size_t>> scored;
+    for (std::size_t j : candidates) {
+      auto lb = PairLowerBound(*series, i, j, c.base_length, target);
+      EXPECT_TRUE(lb.ok());
+      scored.emplace_back(*lb, j);
+    }
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::vector<std::size_t> order;
+    for (const auto& [lb, j] : scored) order.push_back(j);
+    return order;
+  };
+
+  // The sigma ratio is shared by every candidate of row i, so the LB
+  // ordering must be identical at every target length.
+  const auto base_rank = rank_at(c.base_length + 1);
+  for (std::size_t k : {std::size_t{2}, c.max_extension}) {
+    EXPECT_EQ(rank_at(c.base_length + k), base_rank) << "extension " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, LowerBoundPropertyTest,
+    ::testing::Values(LbCase{"random_walk", 400, 24, 32},
+                      LbCase{"sine", 400, 32, 48},
+                      LbCase{"ecg", 500, 40, 60},
+                      LbCase{"astro", 450, 30, 40},
+                      LbCase{"entomology", 500, 25, 50},
+                      LbCase{"seismic", 500, 20, 30}));
+
+TEST(BaseLowerBoundTest, Formula) {
+  // rho <= 0 collapses to sqrt(l).
+  EXPECT_DOUBLE_EQ(BaseLowerBound(0.0, 100), 10.0);
+  EXPECT_DOUBLE_EQ(BaseLowerBound(-0.7, 100), 10.0);
+  // rho = 1: perfectly correlated head, bound vanishes.
+  EXPECT_NEAR(BaseLowerBound(1.0, 100), 0.0, 1e-12);
+  // Intermediate value: sqrt(l (1 - rho^2)).
+  EXPECT_NEAR(BaseLowerBound(0.6, 100), std::sqrt(100.0 * 0.64), 1e-12);
+}
+
+TEST(BaseLowerBoundTest, MonotonicallyShrinksWithCorrelation) {
+  double previous = BaseLowerBound(0.05, 64);
+  for (double rho = 0.1; rho <= 1.0; rho += 0.05) {
+    const double current = BaseLowerBound(rho, 64);
+    EXPECT_LE(current, previous + 1e-12) << "rho=" << rho;
+    previous = current;
+  }
+}
+
+TEST(ScaledLowerBoundTest, SigmaRatioScaling) {
+  EXPECT_DOUBLE_EQ(ScaledLowerBound(10.0, 2.0, 4.0), 5.0);
+  EXPECT_DOUBLE_EQ(ScaledLowerBound(10.0, 2.0, 1.0), 20.0);
+}
+
+TEST(ScaledLowerBoundTest, DegenerateSigmasGiveZero) {
+  EXPECT_DOUBLE_EQ(ScaledLowerBound(10.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ScaledLowerBound(10.0, 1.0, 0.0), 0.0);
+}
+
+TEST(PairLowerBoundTest, ValidatesArguments) {
+  auto series = synth::ByName("random_walk", 100, 1);
+  ASSERT_TRUE(series.ok());
+  EXPECT_FALSE(PairLowerBound(*series, 0, 10, 20, 10).ok());  // base > target
+  EXPECT_FALSE(PairLowerBound(*series, 0, 10, 0, 10).ok());   // base = 0
+  EXPECT_FALSE(PairLowerBound(*series, 0, 95, 10, 20).ok());  // j overflows
+  EXPECT_TRUE(PairLowerBound(*series, 0, 50, 10, 20).ok());
+}
+
+TEST(PairLowerBoundTest, ConstantRowWindowGivesZero) {
+  std::vector<double> data(200);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::sin(static_cast<double>(i) * 0.3);
+  }
+  for (std::size_t i = 20; i < 60; ++i) data[i] = 1.0;  // constant region
+  auto series = series::DataSeries::Create(data);
+  ASSERT_TRUE(series.ok());
+  auto lb = PairLowerBound(*series, 25, 100, 20, 40);
+  ASSERT_TRUE(lb.ok());
+  EXPECT_DOUBLE_EQ(*lb, 0.0);
+}
+
+TEST(PairLowerBoundTest, ConstantCandidateStillAdmissible) {
+  std::vector<double> data(300);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::cos(static_cast<double>(i) * 0.21);
+  }
+  for (std::size_t i = 150; i < 200; ++i) data[i] = -0.4;
+  auto series = series::DataSeries::Create(data);
+  ASSERT_TRUE(series.ok());
+  // Row non-constant, candidate constant at the base length.
+  for (std::size_t target : {35u, 45u, 60u}) {
+    auto lb = PairLowerBound(*series, 10, 155, 30, target);
+    auto d = series::SubsequenceDistance(*series, 10, 155, target);
+    ASSERT_TRUE(lb.ok());
+    ASSERT_TRUE(d.ok());
+    EXPECT_LE(*lb, *d + 1e-7) << "target=" << target;
+  }
+}
+
+TEST(PairLowerBoundTest, TargetEqualsBaseStillAdmissible) {
+  auto series = synth::ByName("ecg", 300, 9);
+  ASSERT_TRUE(series.ok());
+  // k = 0: the bound must not exceed the actual distance at the base length.
+  auto lb = PairLowerBound(*series, 10, 100, 40, 40);
+  auto d = series::SubsequenceDistance(*series, 10, 100, 40);
+  ASSERT_TRUE(lb.ok());
+  ASSERT_TRUE(d.ok());
+  EXPECT_LE(*lb, *d + 1e-7);
+}
+
+}  // namespace
+}  // namespace valmod::core

@@ -1,0 +1,117 @@
+// Tests for variable-length motif-set enumeration.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/motif_set_enumeration.h"
+#include "series/generators.h"
+
+namespace valmod::core {
+namespace {
+
+TEST(MotifSetEnumerationTest, TopSetCoversPlantedOccurrences) {
+  synth::PlantedMotifOptions plant;
+  plant.length = 9000;
+  plant.seed = 71;
+  plant.motif_length = 150;
+  plant.occurrences = 5;
+  plant.occurrence_noise = 0.02;
+  auto planted = synth::PlantedMotif(plant);
+  ASSERT_TRUE(planted.ok());
+
+  MotifSetEnumerationOptions options;
+  options.valmod.min_length = 140;
+  options.valmod.max_length = 160;
+  options.valmod.k = 2;
+  options.valmod.num_threads = 4;
+  options.radius_factor = 3.0;
+  auto result = EnumerateMotifSets(planted->series, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->sets.empty());
+
+  // The highest-cardinality set must cover all planted occurrences.
+  const RankedMotifSet& top = result->sets.front();
+  EXPECT_GE(top.cardinality, plant.occurrences);
+  for (std::size_t offset : planted->motif_offsets) {
+    bool covered = false;
+    for (const MotifSetMember& member : top.set.members) {
+      if (std::llabs(member.offset - static_cast<int64_t>(offset)) <= 20) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "occurrence " << offset;
+  }
+}
+
+TEST(MotifSetEnumerationTest, RankingOrder) {
+  auto series = synth::ByName("ecg", 1500, 73);
+  ASSERT_TRUE(series.ok());
+  MotifSetEnumerationOptions options;
+  options.valmod.min_length = 40;
+  options.valmod.max_length = 60;
+  options.valmod.k = 2;
+  auto result = EnumerateMotifSets(*series, options);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 1; i < result->sets.size(); ++i) {
+    const auto& prev = result->sets[i - 1];
+    const auto& cur = result->sets[i];
+    if (prev.cardinality == cur.cardinality) {
+      EXPECT_LE(prev.normalized_seed_distance,
+                cur.normalized_seed_distance + 1e-12);
+    } else {
+      EXPECT_GT(prev.cardinality, cur.cardinality);
+    }
+  }
+}
+
+TEST(MotifSetEnumerationTest, DeduplicationCollapsesScales) {
+  // A strongly periodic signal yields essentially the same event at every
+  // length; deduplication should collapse most of them.
+  auto series = synth::ByName("sine", 2000, 75);
+  ASSERT_TRUE(series.ok());
+
+  MotifSetEnumerationOptions with_dedup;
+  with_dedup.valmod.min_length = 50;
+  with_dedup.valmod.max_length = 70;
+  with_dedup.valmod.k = 1;
+  auto deduped = EnumerateMotifSets(*series, with_dedup);
+  ASSERT_TRUE(deduped.ok());
+
+  MotifSetEnumerationOptions without = with_dedup;
+  without.deduplicate_across_lengths = false;
+  auto raw = EnumerateMotifSets(*series, without);
+  ASSERT_TRUE(raw.ok());
+
+  EXPECT_EQ(raw->sets.size(), 21u);  // one per length at k = 1
+  EXPECT_LT(deduped->sets.size(), raw->sets.size());
+}
+
+TEST(MotifSetEnumerationTest, ExposesUnderlyingValmodResult) {
+  auto series = synth::ByName("random_walk", 600, 77);
+  ASSERT_TRUE(series.ok());
+  MotifSetEnumerationOptions options;
+  options.valmod.min_length = 20;
+  options.valmod.max_length = 30;
+  auto result = EnumerateMotifSets(*series, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->valmod.per_length.size(), 11u);
+  EXPECT_EQ(result->valmod.valmap.size(), series->size() - 20 + 1);
+}
+
+TEST(MotifSetEnumerationTest, ValidatesOptions) {
+  auto series = synth::ByName("random_walk", 200, 79);
+  ASSERT_TRUE(series.ok());
+  MotifSetEnumerationOptions options;
+  options.valmod.min_length = 20;
+  options.valmod.max_length = 30;
+  options.radius_factor = -1.0;
+  EXPECT_FALSE(EnumerateMotifSets(*series, options).ok());
+  options.radius_factor = 2.0;
+  options.valmod.min_length = 0;
+  EXPECT_FALSE(EnumerateMotifSets(*series, options).ok());
+}
+
+}  // namespace
+}  // namespace valmod::core

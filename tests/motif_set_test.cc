@@ -1,0 +1,174 @@
+// Tests for motif-set expansion.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/motif_set.h"
+#include "core/valmod.h"
+#include "series/generators.h"
+#include "series/znorm.h"
+
+namespace valmod::core {
+namespace {
+
+mp::MotifPair MakePair(int64_t a, int64_t b, std::size_t length, double d) {
+  mp::MotifPair pair;
+  pair.offset_a = a;
+  pair.offset_b = b;
+  pair.length = length;
+  pair.distance = d;
+  pair.normalized_distance = series::LengthNormalizedDistance(d, length);
+  return pair;
+}
+
+TEST(MotifSetTest, RecoversAllPlantedOccurrences) {
+  synth::PlantedMotifOptions plant;
+  plant.length = 8000;
+  plant.seed = 5;
+  plant.motif_length = 120;
+  plant.occurrences = 5;
+  plant.occurrence_noise = 0.02;
+  auto planted = synth::PlantedMotif(plant);
+  ASSERT_TRUE(planted.ok());
+
+  // Find the best pair at the motif length, then expand it.
+  ValmodOptions options;
+  options.min_length = 120;
+  options.max_length = 120;
+  auto result = RunValmod(planted->series, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->per_length[0].motifs.empty());
+  const mp::MotifPair seed = result->per_length[0].motifs[0];
+
+  MotifSetOptions set_options;
+  set_options.radius_factor = 3.0;
+  auto set = ExpandMotifSet(planted->series, seed, set_options);
+  ASSERT_TRUE(set.ok());
+
+  // Every planted occurrence must be represented by a member close to it.
+  for (std::size_t plant_offset : planted->motif_offsets) {
+    bool found = false;
+    for (const MotifSetMember& member : set->members) {
+      if (std::abs(member.offset - static_cast<int64_t>(plant_offset)) <=
+          16) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "occurrence at " << plant_offset << " missed";
+  }
+}
+
+TEST(MotifSetTest, SeedsComeFirstWithZeroDistance) {
+  auto series = synth::ByName("sine", 1000, 7);
+  ASSERT_TRUE(series.ok());
+  ValmodOptions options;
+  options.min_length = 50;
+  options.max_length = 50;
+  auto result = RunValmod(*series, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->per_length[0].motifs.empty());
+  const mp::MotifPair seed = result->per_length[0].motifs[0];
+
+  auto set = ExpandMotifSet(*series, seed, {});
+  ASSERT_TRUE(set.ok());
+  ASSERT_GE(set->members.size(), 2u);
+  EXPECT_NEAR(set->members[0].distance, 0.0, 1e-9);
+  EXPECT_NEAR(set->members[1].distance, 0.0, 1e-9);
+  const std::vector<int64_t> head = {set->members[0].offset,
+                                     set->members[1].offset};
+  EXPECT_TRUE(std::find(head.begin(), head.end(), seed.offset_a) !=
+              head.end());
+  EXPECT_TRUE(std::find(head.begin(), head.end(), seed.offset_b) !=
+              head.end());
+}
+
+TEST(MotifSetTest, MembersRespectExclusionZone) {
+  auto series = synth::ByName("sine", 2000, 9);
+  ASSERT_TRUE(series.ok());
+  ValmodOptions options;
+  options.min_length = 60;
+  options.max_length = 60;
+  auto result = RunValmod(*series, options);
+  ASSERT_TRUE(result.ok());
+  const mp::MotifPair seed = result->per_length[0].motifs[0];
+
+  MotifSetOptions set_options;
+  set_options.radius_factor = 10.0;  // generous: admit many candidates
+  auto set = ExpandMotifSet(*series, seed, set_options);
+  ASSERT_TRUE(set.ok());
+  const std::size_t exclusion = 30;  // 60 * 0.5
+  for (std::size_t x = 0; x < set->members.size(); ++x) {
+    for (std::size_t y = x + 1; y < set->members.size(); ++y) {
+      EXPECT_GE(std::abs(set->members[x].offset - set->members[y].offset),
+                static_cast<int64_t>(exclusion));
+    }
+  }
+}
+
+TEST(MotifSetTest, AbsoluteRadiusOverridesFactor) {
+  auto series = synth::ByName("random_walk", 600, 11);
+  ASSERT_TRUE(series.ok());
+  ValmodOptions options;
+  options.min_length = 30;
+  options.max_length = 30;
+  auto result = RunValmod(*series, options);
+  ASSERT_TRUE(result.ok());
+  const mp::MotifPair seed = result->per_length[0].motifs[0];
+
+  MotifSetOptions tight;
+  tight.radius = 0.0;  // only exact matches (the seeds themselves)
+  auto set = ExpandMotifSet(*series, seed, tight);
+  ASSERT_TRUE(set.ok());
+  EXPECT_DOUBLE_EQ(set->radius, 0.0);
+  EXPECT_EQ(set->members.size(), 2u);
+}
+
+TEST(MotifSetTest, MembersSortedByDistanceWithinRadius) {
+  auto series = synth::ByName("ecg", 1500, 13);
+  ASSERT_TRUE(series.ok());
+  ValmodOptions options;
+  options.min_length = 40;
+  options.max_length = 40;
+  auto result = RunValmod(*series, options);
+  ASSERT_TRUE(result.ok());
+  const mp::MotifPair seed = result->per_length[0].motifs[0];
+
+  MotifSetOptions set_options;
+  set_options.radius_factor = 4.0;
+  auto set = ExpandMotifSet(*series, seed, set_options);
+  ASSERT_TRUE(set.ok());
+  for (std::size_t i = 1; i < set->members.size(); ++i) {
+    EXPECT_LE(set->members[i - 1].distance,
+              set->members[i].distance + 1e-12);
+  }
+  for (const MotifSetMember& member : set->members) {
+    EXPECT_LE(member.distance, set->radius + 1e-9);
+  }
+}
+
+TEST(MotifSetTest, ValidatesArguments) {
+  auto series = synth::ByName("random_walk", 200, 15);
+  ASSERT_TRUE(series.ok());
+  mp::MotifPair bogus;  // unpopulated
+  EXPECT_EQ(ExpandMotifSet(*series, bogus, {}).status().code(),
+            StatusCode::kInvalidArgument);
+
+  mp::MotifPair overflow = MakePair(0, 190, 50, 1.0);
+  EXPECT_EQ(ExpandMotifSet(*series, overflow, {}).status().code(),
+            StatusCode::kOutOfRange);
+
+  mp::MotifPair valid = MakePair(0, 100, 50, 1.0);
+  MotifSetOptions bad;
+  bad.radius = -1.0;
+  EXPECT_FALSE(ExpandMotifSet(*series, valid, bad).ok());
+  MotifSetOptions bad_factor;
+  bad_factor.radius_factor = -2.0;
+  EXPECT_FALSE(ExpandMotifSet(*series, valid, bad_factor).ok());
+}
+
+}  // namespace
+}  // namespace valmod::core

@@ -1,0 +1,161 @@
+// Tests for top-k motif-pair extraction from matrix profiles.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mp/brute_force.h"
+#include "mp/motif.h"
+#include "series/generators.h"
+
+namespace valmod::mp {
+namespace {
+
+MatrixProfile MakeProfile(std::vector<double> distances,
+                          std::vector<int64_t> indices, std::size_t length,
+                          std::size_t exclusion) {
+  MatrixProfile profile;
+  profile.subsequence_length = length;
+  profile.exclusion_zone = exclusion;
+  profile.distances = std::move(distances);
+  profile.indices = std::move(indices);
+  return profile;
+}
+
+TEST(MotifExtractionTest, PicksSmallestPair) {
+  // Rows 1 and 5 point at each other with the global minimum.
+  MatrixProfile profile = MakeProfile({4.0, 1.0, 3.0, 5.0, 6.0, 1.0},
+                                      {3, 5, 4, 0, 2, 1}, 10, 2);
+  auto motifs = ExtractTopKMotifs(profile, 1);
+  ASSERT_TRUE(motifs.ok());
+  ASSERT_EQ(motifs->size(), 1u);
+  EXPECT_EQ((*motifs)[0].offset_a, 1);
+  EXPECT_EQ((*motifs)[0].offset_b, 5);
+  EXPECT_DOUBLE_EQ((*motifs)[0].distance, 1.0);
+  EXPECT_EQ((*motifs)[0].length, 10u);
+}
+
+TEST(MotifExtractionTest, DeduplicatesMirroredRows) {
+  // Both rows of the same pair appear in the profile; only one pair results.
+  MatrixProfile profile =
+      MakeProfile({1.0, 9.0, 9.0, 9.0, 1.0}, {4, 3, 4, 1, 0}, 5, 1);
+  auto motifs = ExtractTopKMotifs(profile, 3, MotifSelection::kAllRowMinima);
+  ASSERT_TRUE(motifs.ok());
+  ASSERT_GE(motifs->size(), 1u);
+  EXPECT_EQ((*motifs)[0].offset_a, 0);
+  EXPECT_EQ((*motifs)[0].offset_b, 4);
+  for (std::size_t i = 1; i < motifs->size(); ++i) {
+    EXPECT_FALSE((*motifs)[i].offset_a == 0 && (*motifs)[i].offset_b == 4);
+  }
+}
+
+TEST(MotifExtractionTest, NonOverlappingMasksNeighbors) {
+  // Second-best pair overlaps the best pair's members; with exclusion 3 it
+  // must be skipped and the third-best chosen instead.
+  MatrixProfile profile = MakeProfile(
+      {1.0, 1.5, 9.0, 9.0, 9.0, 9.0, 9.0, 9.0, 9.0, 9.0, 2.0, 9.0},
+      {6, 7, 6, 7, 8, 9, 0, 1, 4, 5, 11, 10}, 6, 3);
+  auto motifs = ExtractTopKMotifs(profile, 2, MotifSelection::kNonOverlapping);
+  ASSERT_TRUE(motifs.ok());
+  ASSERT_EQ(motifs->size(), 2u);
+  EXPECT_EQ((*motifs)[0].offset_a, 0);
+  EXPECT_EQ((*motifs)[0].offset_b, 6);
+  // (1, 7) overlaps both 0 and 6 within exclusion 3 -> skipped.
+  EXPECT_EQ((*motifs)[1].offset_a, 10);
+  EXPECT_EQ((*motifs)[1].offset_b, 11);
+}
+
+TEST(MotifExtractionTest, AllRowMinimaKeepsOverlapping) {
+  MatrixProfile profile = MakeProfile(
+      {1.0, 1.5, 9.0, 9.0, 9.0, 9.0, 9.0, 9.0, 9.0, 9.0, 2.0, 9.0},
+      {6, 7, 6, 7, 8, 9, 0, 1, 4, 5, 11, 10}, 6, 3);
+  auto motifs = ExtractTopKMotifs(profile, 2, MotifSelection::kAllRowMinima);
+  ASSERT_TRUE(motifs.ok());
+  ASSERT_EQ(motifs->size(), 2u);
+  EXPECT_EQ((*motifs)[1].offset_a, 1);
+  EXPECT_EQ((*motifs)[1].offset_b, 7);
+}
+
+TEST(MotifExtractionTest, SkipsInvalidRows) {
+  MatrixProfile profile =
+      MakeProfile({kInfinity, 2.0, kInfinity, 2.0}, {-1, 3, -1, 1}, 4, 1);
+  auto motifs = ExtractTopKMotifs(profile, 5, MotifSelection::kAllRowMinima);
+  ASSERT_TRUE(motifs.ok());
+  ASSERT_EQ(motifs->size(), 1u);
+  EXPECT_EQ((*motifs)[0].offset_a, 1);
+}
+
+TEST(MotifExtractionTest, ReturnsFewerWhenExhausted) {
+  MatrixProfile profile = MakeProfile({1.0, 1.0}, {1, 0}, 3, 1);
+  auto motifs = ExtractTopKMotifs(profile, 10);
+  ASSERT_TRUE(motifs.ok());
+  EXPECT_EQ(motifs->size(), 1u);
+}
+
+TEST(MotifExtractionTest, RejectsZeroK) {
+  MatrixProfile profile = MakeProfile({1.0}, {0}, 2, 1);
+  EXPECT_EQ(ExtractTopKMotifs(profile, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MotifExtractionTest, NormalizedDistancePopulated) {
+  MatrixProfile profile = MakeProfile({2.0, 9.0, 2.0}, {2, 2, 0}, 4, 1);
+  auto motifs = ExtractTopKMotifs(profile, 1);
+  ASSERT_TRUE(motifs.ok());
+  ASSERT_EQ(motifs->size(), 1u);
+  EXPECT_DOUBLE_EQ((*motifs)[0].normalized_distance, 2.0 / 2.0);  // 2*sqrt(1/4)
+}
+
+TEST(MotifExtractionTest, DeterministicTieBreaking) {
+  // Equal distances: the lower row index wins.
+  MatrixProfile profile =
+      MakeProfile({3.0, 3.0, 3.0, 3.0}, {2, 3, 0, 1}, 5, 1);
+  auto motifs = ExtractTopKMotifs(profile, 1, MotifSelection::kAllRowMinima);
+  ASSERT_TRUE(motifs.ok());
+  EXPECT_EQ((*motifs)[0].offset_a, 0);
+  EXPECT_EQ((*motifs)[0].offset_b, 2);
+}
+
+TEST(MotifExtractionTest, EndToEndOnPlantedMotif) {
+  synth::PlantedMotifOptions options;
+  options.length = 3000;
+  options.seed = 77;
+  options.motif_length = 80;
+  options.occurrences = 2;
+  options.occurrence_noise = 0.01;
+  auto planted = synth::PlantedMotif(options);
+  ASSERT_TRUE(planted.ok());
+
+  auto profile = ComputeBruteForce(planted->series, 80, {});
+  ASSERT_TRUE(profile.ok());
+  auto motifs = ExtractTopKMotifs(*profile, 1);
+  ASSERT_TRUE(motifs.ok());
+  ASSERT_EQ(motifs->size(), 1u);
+  // The found pair must land on the planted offsets (within a small shift).
+  const auto near_any_plant = [&](int64_t offset) {
+    for (std::size_t plant : planted->motif_offsets) {
+      if (std::abs(offset - static_cast<int64_t>(plant)) <= 8) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(near_any_plant((*motifs)[0].offset_a))
+      << "a=" << (*motifs)[0].offset_a;
+  EXPECT_TRUE(near_any_plant((*motifs)[0].offset_b))
+      << "b=" << (*motifs)[0].offset_b;
+}
+
+TEST(MotifToStringTest, RendersFields) {
+  MotifPair pair;
+  pair.offset_a = 3;
+  pair.offset_b = 9;
+  pair.length = 20;
+  pair.distance = 1.5;
+  pair.normalized_distance = 0.3;
+  const std::string text = ToString(pair);
+  EXPECT_NE(text.find("a=3"), std::string::npos);
+  EXPECT_NE(text.find("b=9"), std::string::npos);
+  EXPECT_NE(text.find("l=20"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace valmod::mp

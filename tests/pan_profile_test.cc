@@ -1,0 +1,134 @@
+// Tests for the pan matrix profile.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "mp/pan_profile.h"
+#include "mp/stomp.h"
+#include "series/generators.h"
+#include "series/znorm.h"
+
+namespace valmod::mp {
+namespace {
+
+TEST(PanProfileTest, RowsMatchPerLengthProfiles) {
+  auto series = synth::ByName("ecg", 400, 111);
+  ASSERT_TRUE(series.ok());
+  PanProfileOptions options;
+  options.min_length = 20;
+  options.max_length = 32;
+  options.step = 4;  // 20, 24, 28, 32
+  auto pan = ComputePanProfile(*series, options);
+  ASSERT_TRUE(pan.ok());
+  ASSERT_EQ(pan->lengths().size(), 4u);
+  EXPECT_EQ(pan->width(), series->size() - 20 + 1);
+
+  for (std::size_t length : pan->lengths()) {
+    auto profile = ComputeStomp(*series, length, {});
+    ASSERT_TRUE(profile.ok());
+    auto row = pan->Row(length);
+    ASSERT_TRUE(row.ok());
+    for (std::size_t i = 0; i < profile->size(); ++i) {
+      EXPECT_NEAR((*row)[i],
+                  series::LengthNormalizedDistance(profile->distances[i],
+                                                   length),
+                  1e-9)
+          << "length " << length << " offset " << i;
+    }
+    // Offsets past the row's subsequence count stay +inf padding.
+    for (std::size_t i = profile->size(); i < pan->width(); ++i) {
+      EXPECT_EQ((*row)[i], kInfinity);
+    }
+  }
+}
+
+TEST(PanProfileTest, BestCellIsGlobalMinimum) {
+  auto series = synth::ByName("sine", 500, 113);
+  ASSERT_TRUE(series.ok());
+  PanProfileOptions options;
+  options.min_length = 25;
+  options.max_length = 40;
+  auto pan = ComputePanProfile(*series, options);
+  ASSERT_TRUE(pan.ok());
+  auto best = pan->BestCell();
+  ASSERT_TRUE(best.ok());
+
+  double expected = kInfinity;
+  for (std::size_t length : pan->lengths()) {
+    auto row = pan->Row(length);
+    ASSERT_TRUE(row.ok());
+    for (double v : *row) expected = std::min(expected, v);
+  }
+  EXPECT_DOUBLE_EQ(best->normalized_distance, expected);
+  auto row = pan->Row(best->length);
+  ASSERT_TRUE(row.ok());
+  EXPECT_DOUBLE_EQ((*row)[best->offset], expected);
+}
+
+TEST(PanProfileTest, RowLookupRejectsUncoveredLength) {
+  auto series = synth::ByName("random_walk", 200, 115);
+  ASSERT_TRUE(series.ok());
+  PanProfileOptions options;
+  options.min_length = 10;
+  options.max_length = 20;
+  options.step = 5;
+  auto pan = ComputePanProfile(*series, options);
+  ASSERT_TRUE(pan.ok());
+  EXPECT_TRUE(pan->Row(15).ok());
+  EXPECT_EQ(pan->Row(16).status().code(), StatusCode::kNotFound);
+}
+
+TEST(PanProfileTest, WritesCsv) {
+  auto series = synth::ByName("sine", 150, 117);
+  ASSERT_TRUE(series.ok());
+  PanProfileOptions options;
+  options.min_length = 10;
+  options.max_length = 14;
+  options.step = 2;
+  auto pan = ComputePanProfile(*series, options);
+  ASSERT_TRUE(pan.ok());
+
+  const std::string path = testing::TempDir() + "/valmod_pan.csv";
+  ASSERT_TRUE(pan->WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header.rfind("length,o0,o1", 0), 0u);
+  std::size_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 3u);  // lengths 10, 12, 14
+  std::remove(path.c_str());
+}
+
+TEST(PanProfileTest, ValidatesOptions) {
+  auto series = synth::ByName("random_walk", 100, 119);
+  ASSERT_TRUE(series.ok());
+  PanProfileOptions options;
+  options.min_length = 1;
+  options.max_length = 10;
+  EXPECT_FALSE(ComputePanProfile(*series, options).ok());
+  options.min_length = 10;
+  options.step = 0;
+  EXPECT_FALSE(ComputePanProfile(*series, options).ok());
+  options.step = 1;
+  options.max_length = 100;
+  EXPECT_FALSE(ComputePanProfile(*series, options).ok());
+}
+
+TEST(PanProfileTest, HonorsDeadline) {
+  auto series = synth::ByName("random_walk", 2000, 121);
+  ASSERT_TRUE(series.ok());
+  PanProfileOptions options;
+  options.min_length = 50;
+  options.max_length = 80;
+  options.deadline = Deadline::After(-1.0);
+  EXPECT_EQ(ComputePanProfile(*series, options).status().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace valmod::mp

@@ -1,0 +1,146 @@
+// Tests for the partial distance profile storage (p best-LB entries per
+// subsequence).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/partial_profile.h"
+
+namespace valmod::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(PartialProfileTest, KeepsSmallestBaseLbs) {
+  PartialProfileSet set(1, 3, 50);
+  const double lbs[] = {5.0, 1.0, 4.0, 2.0, 9.0, 3.0};
+  for (int i = 0; i < 6; ++i) {
+    set.Offer(0, i, /*dot=*/0.0, lbs[i]);
+  }
+  set.FinishSeeding(0);
+
+  auto row = set.Row(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[0].base_lb, 1.0);
+  EXPECT_DOUBLE_EQ(row[1].base_lb, 2.0);
+  EXPECT_DOUBLE_EQ(row[2].base_lb, 3.0);
+  EXPECT_EQ(row[0].match, 1);
+  EXPECT_EQ(row[1].match, 3);
+  EXPECT_EQ(row[2].match, 5);
+}
+
+TEST(PartialProfileTest, MaxBaseLbIsPthSmallestWhenFull) {
+  PartialProfileSet set(1, 2, 10);
+  set.Offer(0, 0, 0.0, 7.0);
+  set.Offer(0, 1, 0.0, 3.0);
+  set.Offer(0, 2, 0.0, 5.0);
+  set.FinishSeeding(0);
+  EXPECT_DOUBLE_EQ(set.max_base_lb(0), 5.0);
+}
+
+TEST(PartialProfileTest, UnderfullRowHasInfiniteBound) {
+  // Fewer candidates than p: the stored set is exhaustive, so nothing is
+  // unexplored and the bound must be vacuous (+inf).
+  PartialProfileSet set(1, 5, 10);
+  set.Offer(0, 0, 0.0, 2.0);
+  set.Offer(0, 1, 0.0, 1.0);
+  set.FinishSeeding(0);
+  EXPECT_EQ(set.max_base_lb(0), kInf);
+  EXPECT_EQ(set.Row(0).size(), 2u);
+}
+
+TEST(PartialProfileTest, RowsAreIndependent) {
+  PartialProfileSet set(3, 2, 10);
+  set.Offer(0, 5, 0.0, 1.0);
+  set.Offer(2, 6, 0.0, 2.0);
+  set.FinishSeeding(0);
+  set.FinishSeeding(1);
+  set.FinishSeeding(2);
+  EXPECT_EQ(set.Row(0).size(), 1u);
+  EXPECT_EQ(set.Row(1).size(), 0u);
+  EXPECT_EQ(set.Row(2).size(), 1u);
+  EXPECT_EQ(set.rows(), 3u);
+  EXPECT_EQ(set.capacity_per_row(), 2u);
+}
+
+TEST(PartialProfileTest, CompactionPreservesOrder) {
+  PartialProfileSet set(1, 4, 10);
+  set.Offer(0, 10, 0.0, 1.0);
+  set.Offer(0, 20, 0.0, 2.0);
+  set.Offer(0, 30, 0.0, 3.0);
+  set.Offer(0, 40, 0.0, 4.0);
+  set.FinishSeeding(0);
+
+  set.CompactRow(0, [](const Entry& e) { return e.match == 20; });
+  auto row = set.Row(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0].match, 10);
+  EXPECT_EQ(row[1].match, 30);
+  EXPECT_EQ(row[2].match, 40);
+
+  // The frozen bound is untouched by compaction.
+  EXPECT_DOUBLE_EQ(set.max_base_lb(0), 4.0);
+}
+
+TEST(PartialProfileTest, CompactAllLeavesEmptyRow) {
+  PartialProfileSet set(1, 2, 10);
+  set.Offer(0, 1, 0.0, 1.0);
+  set.Offer(0, 2, 0.0, 2.0);
+  set.FinishSeeding(0);
+  set.CompactRow(0, [](const Entry&) { return true; });
+  EXPECT_EQ(set.Row(0).size(), 0u);
+}
+
+TEST(PartialProfileTest, ResetReanchorsRow) {
+  PartialProfileSet set(1, 2, 10);
+  set.Offer(0, 1, 0.0, 1.0);
+  set.Offer(0, 2, 0.0, 2.0);
+  set.FinishSeeding(0);
+  EXPECT_EQ(set.base_length(0), 10u);
+
+  set.Reset(0, 25);
+  EXPECT_EQ(set.Row(0).size(), 0u);
+  EXPECT_EQ(set.base_length(0), 25u);
+  EXPECT_EQ(set.max_base_lb(0), kInf);
+
+  set.Offer(0, 7, 0.0, 0.5);
+  set.FinishSeeding(0);
+  EXPECT_EQ(set.Row(0)[0].match, 7);
+}
+
+TEST(PartialProfileTest, MutableRowUpdatesStick) {
+  PartialProfileSet set(1, 2, 10);
+  set.Offer(0, 1, 5.0, 1.0);
+  set.FinishSeeding(0);
+  for (Entry& e : set.MutableRow(0)) {
+    e.dot += 1.5;
+    e.distance = 3.0;
+  }
+  EXPECT_DOUBLE_EQ(set.Row(0)[0].dot, 6.5);
+  EXPECT_DOUBLE_EQ(set.Row(0)[0].distance, 3.0);
+}
+
+TEST(PartialProfileTest, ManyOffersStressHeap) {
+  // 1000 offers into p = 8; result must be exactly the 8 smallest.
+  PartialProfileSet set(1, 8, 100);
+  std::vector<double> lbs;
+  for (int i = 0; i < 1000; ++i) {
+    const double lb = static_cast<double>((i * 7919) % 10007);
+    lbs.push_back(lb);
+    set.Offer(0, i, 0.0, lb);
+  }
+  set.FinishSeeding(0);
+  std::sort(lbs.begin(), lbs.end());
+  auto row = set.Row(0);
+  ASSERT_EQ(row.size(), 8u);
+  for (std::size_t e = 0; e < 8; ++e) {
+    EXPECT_DOUBLE_EQ(row[e].base_lb, lbs[e]) << e;
+  }
+  EXPECT_DOUBLE_EQ(set.max_base_lb(0), lbs[7]);
+}
+
+}  // namespace
+}  // namespace valmod::core

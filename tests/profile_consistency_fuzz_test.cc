@@ -1,0 +1,69 @@
+// Cross-algorithm consistency fuzz: on randomly drawn workloads, the four
+// independent fixed-length implementations — brute force, STOMP (serial and
+// parallel), STAMP, and the streaming profile — must produce the same
+// matrix profile. Any kernel/convention drift between them fails here.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "mp/brute_force.h"
+#include "mp/stamp.h"
+#include "mp/stomp.h"
+#include "mp/streaming.h"
+#include "series/generators.h"
+
+namespace valmod::mp {
+namespace {
+
+const char* const kGenerators[] = {"random_walk", "sine",       "ecg",
+                                   "astro",       "entomology", "seismic"};
+
+class ProfileConsistencyFuzzTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProfileConsistencyFuzzTest, AllImplementationsAgree) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 104729 + 7);
+  const std::string generator = kGenerators[rng.UniformInt(0, 5)];
+  const std::size_t n = static_cast<std::size_t>(rng.UniformInt(150, 450));
+  const std::size_t length =
+      static_cast<std::size_t>(rng.UniformInt(4, 48));
+  SCOPED_TRACE("generator=" + generator + " n=" + std::to_string(n) +
+               " l=" + std::to_string(length));
+
+  auto series = synth::ByName(generator, n, seed);
+  ASSERT_TRUE(series.ok());
+
+  auto brute = ComputeBruteForce(*series, length, {});
+  ASSERT_TRUE(brute.ok());
+  auto stomp = ComputeStomp(*series, length, {});
+  ASSERT_TRUE(stomp.ok());
+  ProfileOptions threaded;
+  threaded.num_threads = 3;
+  auto stomp_mt = ComputeStomp(*series, length, threaded);
+  ASSERT_TRUE(stomp_mt.ok());
+  auto stamp = ComputeStamp(*series, length, {});
+  ASSERT_TRUE(stamp.ok());
+  auto stream = StreamingProfile::Create(length);
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(stream->AppendAll(series->values()).ok());
+
+  ASSERT_EQ(stomp->size(), brute->size());
+  ASSERT_EQ(stamp->size(), brute->size());
+  ASSERT_EQ(stream->profile().size(), brute->size());
+  for (std::size_t i = 0; i < brute->size(); ++i) {
+    EXPECT_NEAR(stomp->distances[i], brute->distances[i], 3e-5) << i;
+    EXPECT_DOUBLE_EQ(stomp_mt->distances[i], stomp->distances[i]) << i;
+    EXPECT_NEAR(stamp->distances[i], brute->distances[i], 3e-5) << i;
+    EXPECT_NEAR(stream->profile().distances[i], brute->distances[i], 3e-5)
+        << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileConsistencyFuzzTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace valmod::mp

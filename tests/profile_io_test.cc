@@ -1,0 +1,89 @@
+// Tests for matrix-profile serialization.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "mp/profile_io.h"
+#include "mp/stomp.h"
+#include "series/generators.h"
+
+namespace valmod::mp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/valmod_profile_" + name;
+}
+
+TEST(ProfileIoTest, RoundTripsRealProfile) {
+  auto series = synth::ByName("ecg", 400, 91);
+  ASSERT_TRUE(series.ok());
+  auto profile = ComputeStomp(*series, 30, {});
+  ASSERT_TRUE(profile.ok());
+
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteProfileCsv(*profile, path).ok());
+  auto loaded = ReadProfileCsv(path);
+  ASSERT_TRUE(loaded.ok());
+
+  EXPECT_EQ(loaded->subsequence_length, profile->subsequence_length);
+  EXPECT_EQ(loaded->exclusion_zone, profile->exclusion_zone);
+  ASSERT_EQ(loaded->size(), profile->size());
+  for (std::size_t i = 0; i < profile->size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded->distances[i], profile->distances[i]) << i;
+    EXPECT_EQ(loaded->indices[i], profile->indices[i]) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ProfileIoTest, RoundTripsInfinities) {
+  MatrixProfile profile;
+  profile.subsequence_length = 10;
+  profile.exclusion_zone = 5;
+  profile.distances = {1.5, kInfinity, 2.5};
+  profile.indices = {2, -1, 0};
+
+  const std::string path = TempPath("inf.csv");
+  ASSERT_TRUE(WriteProfileCsv(profile, path).ok());
+  auto loaded = ReadProfileCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->distances[1], kInfinity);
+  EXPECT_EQ(loaded->indices[1], -1);
+  EXPECT_DOUBLE_EQ(loaded->distances[2], 2.5);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileIoTest, RejectsForeignFile) {
+  const std::string path = TempPath("foreign.csv");
+  std::ofstream(path) << "a,b\n1,2\n";
+  EXPECT_EQ(ReadProfileCsv(path).status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileIoTest, RejectsMissingFile) {
+  EXPECT_EQ(ReadProfileCsv(TempPath("missing.csv")).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(ProfileIoTest, RejectsMalformedRows) {
+  const std::string path = TempPath("malformed.csv");
+  std::ofstream(path)
+      << "# valmod matrix profile,length=5,exclusion=2\n"
+      << "distance,index\n"
+      << "not-a-number,3\n";
+  EXPECT_FALSE(ReadProfileCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ProfileIoTest, RejectsEmptyBody) {
+  const std::string path = TempPath("empty.csv");
+  std::ofstream(path) << "# valmod matrix profile,length=5,exclusion=2\n"
+                      << "distance,index\n";
+  EXPECT_FALSE(ReadProfileCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace valmod::mp

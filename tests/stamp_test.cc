@@ -1,0 +1,67 @@
+// Tests for STAMP: agreement with STOMP (independent inner loops) and with
+// the brute-force ground truth.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/timer.h"
+#include "mp/brute_force.h"
+#include "mp/stamp.h"
+#include "mp/stomp.h"
+#include "series/generators.h"
+
+namespace valmod::mp {
+namespace {
+
+struct StampCase {
+  std::string generator;
+  std::size_t n;
+  std::size_t length;
+};
+
+class StampTest : public ::testing::TestWithParam<StampCase> {};
+
+TEST_P(StampTest, MatchesBruteForce) {
+  const StampCase& c = GetParam();
+  auto series = synth::ByName(c.generator, c.n, 41);
+  ASSERT_TRUE(series.ok());
+  auto stamp = ComputeStamp(*series, c.length, {});
+  auto brute = ComputeBruteForce(*series, c.length, {});
+  ASSERT_TRUE(stamp.ok());
+  ASSERT_TRUE(brute.ok());
+  ASSERT_EQ(stamp->size(), brute->size());
+  for (std::size_t i = 0; i < brute->size(); ++i) {
+    EXPECT_NEAR(stamp->distances[i], brute->distances[i], 2e-6) << i;
+  }
+}
+
+TEST_P(StampTest, AgreesWithStomp) {
+  const StampCase& c = GetParam();
+  auto series = synth::ByName(c.generator, c.n, 43);
+  ASSERT_TRUE(series.ok());
+  auto stamp = ComputeStamp(*series, c.length, {});
+  auto stomp = ComputeStomp(*series, c.length, {});
+  ASSERT_TRUE(stamp.ok());
+  ASSERT_TRUE(stomp.ok());
+  for (std::size_t i = 0; i < stamp->size(); ++i) {
+    EXPECT_NEAR(stamp->distances[i], stomp->distances[i], 2e-6) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, StampTest,
+                         ::testing::Values(StampCase{"random_walk", 250, 25},
+                                           StampCase{"sine", 300, 30},
+                                           StampCase{"ecg", 350, 40}));
+
+TEST(StampDeadlineTest, HonorsDeadline) {
+  auto series = synth::ByName("random_walk", 2000, 5);
+  ASSERT_TRUE(series.ok());
+  ProfileOptions options;
+  options.deadline = Deadline::After(-1.0);
+  EXPECT_EQ(ComputeStamp(*series, 50, options).status().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace valmod::mp

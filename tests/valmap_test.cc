@@ -1,0 +1,141 @@
+// Tests for the VALMAP meta-data structure.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/valmap.h"
+#include "mp/matrix_profile.h"
+#include "mp/motif.h"
+#include "series/znorm.h"
+
+namespace valmod::core {
+namespace {
+
+mp::MatrixProfile MakeProfile(std::vector<double> distances,
+                              std::vector<int64_t> indices,
+                              std::size_t length) {
+  mp::MatrixProfile profile;
+  profile.subsequence_length = length;
+  profile.exclusion_zone = length / 2;
+  profile.distances = std::move(distances);
+  profile.indices = std::move(indices);
+  return profile;
+}
+
+mp::MotifPair MakePair(int64_t a, int64_t b, std::size_t length, double d) {
+  mp::MotifPair pair;
+  pair.offset_a = a;
+  pair.offset_b = b;
+  pair.length = length;
+  pair.distance = d;
+  pair.normalized_distance = series::LengthNormalizedDistance(d, length);
+  return pair;
+}
+
+TEST(ValmapTest, FromProfileNormalizesDistances) {
+  auto valmap = Valmap::FromProfile(
+      MakeProfile({4.0, 2.0, 8.0}, {2, 0, 1}, 16));
+  ASSERT_TRUE(valmap.ok());
+  EXPECT_EQ(valmap->size(), 3u);
+  EXPECT_EQ(valmap->min_length(), 16u);
+  EXPECT_DOUBLE_EQ(valmap->normalized_profile()[0], 1.0);   // 4/sqrt(16)
+  EXPECT_DOUBLE_EQ(valmap->normalized_profile()[1], 0.5);
+  EXPECT_EQ(valmap->index_profile()[0], 2);
+  EXPECT_EQ(valmap->length_profile()[0], 16u);  // flat at min length
+}
+
+TEST(ValmapTest, FromEmptyProfileRejected) {
+  mp::MatrixProfile empty;
+  EXPECT_FALSE(Valmap::FromProfile(empty).ok());
+}
+
+TEST(ValmapTest, ApplyImprovesBothSides) {
+  auto valmap =
+      Valmap::FromProfile(MakeProfile({4.0, 4.0, 4.0}, {1, 0, 0}, 16));
+  ASSERT_TRUE(valmap.ok());
+  // Pair (0, 2) at length 64 with raw distance 4: normalized 0.5 < 1.0.
+  valmap->Apply(MakePair(0, 2, 64, 4.0));
+  EXPECT_DOUBLE_EQ(valmap->normalized_profile()[0], 0.5);
+  EXPECT_DOUBLE_EQ(valmap->normalized_profile()[2], 0.5);
+  EXPECT_EQ(valmap->index_profile()[0], 2);
+  EXPECT_EQ(valmap->index_profile()[2], 0);
+  EXPECT_EQ(valmap->length_profile()[0], 64u);
+  // Untouched offset keeps its init state.
+  EXPECT_DOUBLE_EQ(valmap->normalized_profile()[1], 1.0);
+  EXPECT_EQ(valmap->length_profile()[1], 16u);
+}
+
+TEST(ValmapTest, ApplyIgnoresWorsePairs) {
+  auto valmap =
+      Valmap::FromProfile(MakeProfile({1.0, 1.0, 1.0}, {1, 0, 0}, 16));
+  ASSERT_TRUE(valmap.ok());
+  valmap->Apply(MakePair(0, 2, 64, 40.0));  // normalized 5.0 > 0.25
+  EXPECT_DOUBLE_EQ(valmap->normalized_profile()[0], 0.25);
+  EXPECT_EQ(valmap->length_profile()[0], 16u);
+  EXPECT_TRUE(valmap->updates().empty());
+}
+
+TEST(ValmapTest, UpdatesRecordedAndStamped) {
+  auto valmap =
+      Valmap::FromProfile(MakeProfile({4.0, 4.0, 4.0, 4.0}, {1, 0, 3, 2},
+                                      16));
+  ASSERT_TRUE(valmap.ok());
+  valmap->Checkpoint(16);
+
+  valmap->Apply(MakePair(0, 2, 17, 3.0));
+  valmap->Checkpoint(17);
+  valmap->Apply(MakePair(1, 3, 18, 2.0));
+  valmap->Checkpoint(18);
+
+  ASSERT_EQ(valmap->updates().size(), 4u);  // two sides per pair
+  EXPECT_EQ(valmap->UpdatesForLength(17).size(), 2u);
+  EXPECT_EQ(valmap->UpdatesForLength(18).size(), 2u);
+  EXPECT_TRUE(valmap->UpdatesForLength(16).empty());
+  EXPECT_EQ(valmap->UpdatesForLength(17)[0].offset, 0u);
+  EXPECT_EQ(valmap->UpdatesForLength(17)[0].match, 2);
+}
+
+TEST(ValmapTest, RepeatedImprovementKeepsLatest) {
+  auto valmap = Valmap::FromProfile(MakeProfile({8.0, 8.0}, {1, 0}, 16));
+  ASSERT_TRUE(valmap.ok());
+  valmap->Apply(MakePair(0, 1, 20, 6.0));
+  valmap->Apply(MakePair(0, 1, 30, 4.0));
+  EXPECT_EQ(valmap->length_profile()[0], 30u);
+  EXPECT_DOUBLE_EQ(valmap->normalized_profile()[0],
+                   series::LengthNormalizedDistance(4.0, 30));
+}
+
+TEST(ValmapTest, BestOffsetTracksMinimum) {
+  auto valmap =
+      Valmap::FromProfile(MakeProfile({4.0, 2.0, 8.0}, {2, 0, 1}, 16));
+  ASSERT_TRUE(valmap.ok());
+  auto best = valmap->BestOffset();
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(*best, 1u);
+
+  valmap->Apply(MakePair(2, 0, 100, 1.0));  // normalized 0.1
+  best = valmap->BestOffset();
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(*best, 0u);  // offsets 0 and 2 both at 0.1; lower offset wins
+}
+
+TEST(ValmapTest, EmptyValmapBestOffsetFails) {
+  Valmap valmap;
+  EXPECT_EQ(valmap.BestOffset().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ValmapTest, ApplyOutOfRangeOffsetIgnored) {
+  auto valmap = Valmap::FromProfile(MakeProfile({4.0, 4.0}, {1, 0}, 16));
+  ASSERT_TRUE(valmap.ok());
+  // Offset 5 does not exist in a 2-entry VALMAP; only side 0 updates.
+  valmap->Apply(MakePair(0, 5, 32, 2.0));
+  EXPECT_EQ(valmap->updates().size(), 1u);
+  EXPECT_DOUBLE_EQ(valmap->normalized_profile()[0],
+                   series::LengthNormalizedDistance(2.0, 32));
+}
+
+}  // namespace
+}  // namespace valmod::core

@@ -1,0 +1,84 @@
+// Randomized exactness sweep: VALMOD vs the naive per-length baseline on
+// randomly drawn workloads, shapes, ranges, and parameters. Each seed
+// derives one full configuration; any divergence of the per-length top-k
+// distances fails the property.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baselines/stomp_range.h"
+#include "common/rng.h"
+#include "core/valmod.h"
+#include "series/generators.h"
+
+namespace valmod::core {
+namespace {
+
+const char* const kGenerators[] = {"random_walk", "sine",       "ecg",
+                                   "astro",       "entomology", "seismic"};
+
+class ValmodFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ValmodFuzzTest, RandomConfigurationStaysExact) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 7919 + 13);
+
+  const std::string generator =
+      kGenerators[rng.UniformInt(0, 5)];
+  const std::size_t n = static_cast<std::size_t>(rng.UniformInt(300, 700));
+  const std::size_t lmin = static_cast<std::size_t>(rng.UniformInt(8, 40));
+  const std::size_t lmax =
+      lmin + static_cast<std::size_t>(rng.UniformInt(5, 40));
+  const std::size_t k = static_cast<std::size_t>(rng.UniformInt(1, 3));
+  const std::size_t p = static_cast<std::size_t>(rng.UniformInt(1, 12));
+  const double exclusion = rng.Flip(0.5) ? 0.5 : 0.25;
+  const auto selection = rng.Flip(0.5) ? mp::MotifSelection::kNonOverlapping
+                                       : mp::MotifSelection::kAllRowMinima;
+  SCOPED_TRACE("generator=" + generator + " n=" + std::to_string(n) +
+               " lmin=" + std::to_string(lmin) +
+               " lmax=" + std::to_string(lmax) + " k=" + std::to_string(k) +
+               " p=" + std::to_string(p) +
+               " excl=" + std::to_string(exclusion));
+
+  auto series = synth::ByName(generator, n, seed);
+  ASSERT_TRUE(series.ok());
+
+  ValmodOptions options;
+  options.min_length = lmin;
+  options.max_length = lmax;
+  options.k = k;
+  options.p = p;
+  options.exclusion_fraction = exclusion;
+  options.selection = selection;
+  auto result = RunValmod(*series, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  baselines::StompRangeOptions baseline_options;
+  baseline_options.min_length = lmin;
+  baseline_options.max_length = lmax;
+  baseline_options.k = k;
+  baseline_options.exclusion_fraction = exclusion;
+  baseline_options.selection = selection;
+  auto baseline = baselines::RunStompRange(*series, baseline_options);
+  ASSERT_TRUE(baseline.ok());
+
+  ASSERT_EQ(result->per_length.size(), baseline->size());
+  for (std::size_t i = 0; i < baseline->size(); ++i) {
+    ASSERT_EQ(result->per_length[i].motifs.size(),
+              (*baseline)[i].motifs.size())
+        << "length " << (*baseline)[i].length;
+    for (std::size_t m = 0; m < (*baseline)[i].motifs.size(); ++m) {
+      EXPECT_NEAR(result->per_length[i].motifs[m].distance,
+                  (*baseline)[i].motifs[m].distance, 3e-5)
+          << "length " << (*baseline)[i].length << " rank " << m;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValmodFuzzTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace valmod::core

@@ -1,0 +1,188 @@
+// Tests for z-normalization conventions and the shared distance kernel.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "series/data_series.h"
+#include "series/znorm.h"
+
+namespace valmod::series {
+namespace {
+
+TEST(ZNormalizeTest, ProducesZeroMeanUnitStd) {
+  Rng rng(3);
+  std::vector<double> window(50);
+  for (auto& x : window) x = 2.0 + 3.0 * rng.Gaussian();
+  auto z = ZNormalize(window);
+  ASSERT_TRUE(z.ok());
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : *z) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / 50.0, 0.0, 1e-10);
+  EXPECT_NEAR(sum_sq / 50.0, 1.0, 1e-10);
+}
+
+TEST(ZNormalizeTest, ConstantMapsToZeros) {
+  auto z = ZNormalize(std::vector<double>(10, 4.2));
+  ASSERT_TRUE(z.ok());
+  for (double v : *z) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ZNormalizeTest, RejectsEmpty) { EXPECT_FALSE(ZNormalize({}).ok()); }
+
+TEST(ZNormalizeTest, InvariantToAffineTransform) {
+  Rng rng(7);
+  std::vector<double> window(32), scaled(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    window[i] = rng.Gaussian();
+    scaled[i] = 5.0 * window[i] - 11.0;
+  }
+  auto za = ZNormalize(window);
+  auto zb = ZNormalize(scaled);
+  ASSERT_TRUE(za.ok());
+  ASSERT_TRUE(zb.ok());
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR((*za)[i], (*zb)[i], 1e-9);
+  }
+}
+
+TEST(ZNormalizedDistanceTest, IdenticalWindowsAtZero) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 2.0};
+  auto d = ZNormalizedDistance(a, a);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 0.0, 1e-12);
+}
+
+TEST(ZNormalizedDistanceTest, BothConstantIsZero) {
+  std::vector<double> a(8, 1.0), b(8, 99.0);
+  auto d = ZNormalizedDistance(a, b);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 0.0);
+}
+
+TEST(ZNormalizedDistanceTest, OneConstantIsSqrtLength) {
+  std::vector<double> a(16, 1.0);
+  Rng rng(1);
+  std::vector<double> b(16);
+  for (auto& x : b) x = rng.Gaussian();
+  auto d = ZNormalizedDistance(a, b);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 4.0, 1e-9);  // sqrt(16)
+}
+
+TEST(ZNormalizedDistanceTest, RejectsMismatchedLengths) {
+  std::vector<double> a(5, 0.0), b(6, 0.0);
+  EXPECT_FALSE(ZNormalizedDistance(a, b).ok());
+  EXPECT_FALSE(ZNormalizedDistance({}, {}).ok());
+}
+
+TEST(ZNormalizedDistanceTest, AntiCorrelatedReachesMaximum) {
+  // Perfectly anti-correlated windows have rho = -1 => d = sqrt(4l) = 2*sqrt(l).
+  std::vector<double> a, b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(static_cast<double>(i));
+    b.push_back(static_cast<double>(-i));
+  }
+  auto d = ZNormalizedDistance(a, b);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 2.0 * std::sqrt(20.0), 1e-9);
+}
+
+TEST(KernelTest, DistanceFromCorrelationEndpoints) {
+  EXPECT_NEAR(DistanceFromCorrelation(1.0, 100), 0.0, 1e-12);
+  EXPECT_NEAR(DistanceFromCorrelation(0.0, 100), std::sqrt(200.0), 1e-12);
+  EXPECT_NEAR(DistanceFromCorrelation(-1.0, 100), 20.0, 1e-12);
+}
+
+TEST(KernelTest, CorrelationFromDotClamps) {
+  // Construct values that would round slightly past 1.
+  const double rho =
+      CorrelationFromDot(/*dot=*/10.0000001, /*mean_a=*/0.0, /*mean_b=*/0.0,
+                         /*std_a=*/1.0, /*std_b=*/1.0, /*length=*/10);
+  EXPECT_LE(rho, 1.0);
+  EXPECT_GE(rho, -1.0);
+}
+
+TEST(KernelTest, PairDistanceMatchesDefinition) {
+  // The O(1) kernel must agree with the O(l) definitional path.
+  Rng rng(17);
+  std::vector<double> data(200);
+  for (auto& x : data) x = rng.Gaussian();
+  auto series = DataSeries::Create(data);
+  ASSERT_TRUE(series.ok());
+  const auto& stats = series->stats();
+  const auto c = series->centered();
+  const std::size_t length = 32;
+  for (std::size_t a : {0u, 10u, 100u}) {
+    for (std::size_t b : {50u, 120u, 168u}) {
+      double dot = 0.0;
+      for (std::size_t t = 0; t < length; ++t) dot += c[a + t] * c[b + t];
+      const double kernel = PairDistanceFromDot(
+          dot, stats.CenteredMean(a, length), stats.CenteredMean(b, length),
+          stats.StdDev(a, length), stats.StdDev(b, length), length, false,
+          false);
+      auto reference = SubsequenceDistance(*series, a, b, length);
+      ASSERT_TRUE(reference.ok());
+      EXPECT_NEAR(kernel, *reference, 1e-8);
+    }
+  }
+}
+
+TEST(KernelTest, PairDistanceConstantConventions) {
+  EXPECT_DOUBLE_EQ(
+      PairDistanceFromDot(0.0, 0.0, 0.0, 0.0, 1.0, 25, true, false), 5.0);
+  EXPECT_DOUBLE_EQ(
+      PairDistanceFromDot(0.0, 0.0, 0.0, 1.0, 0.0, 25, false, true), 5.0);
+  EXPECT_DOUBLE_EQ(
+      PairDistanceFromDot(0.0, 0.0, 0.0, 0.0, 0.0, 25, true, true), 0.0);
+}
+
+TEST(KernelTest, LengthNormalizedDistance) {
+  EXPECT_DOUBLE_EQ(LengthNormalizedDistance(10.0, 100), 1.0);
+  EXPECT_DOUBLE_EQ(LengthNormalizedDistance(10.0, 25), 2.0);
+  // Longer, equally-similar pairs rank better: same raw distance, smaller
+  // normalized value at the greater length.
+  EXPECT_LT(LengthNormalizedDistance(5.0, 400),
+            LengthNormalizedDistance(5.0, 100));
+}
+
+TEST(DotProductTest, MatchesNaiveForAllResidues) {
+  // The 4-way unrolled kernel must agree with a plain loop for every
+  // length residue mod 4, including the empty product.
+  Rng rng(23);
+  std::vector<double> a(37), b(37);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Gaussian();
+    b[i] = rng.Gaussian();
+  }
+  for (std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 16u, 33u, 37u}) {
+    double expected = 0.0;
+    for (std::size_t t = 0; t < n; ++t) expected += a[t] * b[t];
+    EXPECT_NEAR(DotProduct(a.data(), b.data(), n), expected,
+                1e-12 * (1.0 + std::abs(expected)))
+        << "n=" << n;
+  }
+}
+
+TEST(DotProductTest, AliasedInputsAllowed) {
+  // STOMP feeds overlapping windows of the same buffer; self-overlap must
+  // be handled like any other input.
+  std::vector<double> data = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const double dot = DotProduct(data.data(), data.data() + 1, 5);
+  EXPECT_DOUBLE_EQ(dot, 1 * 2 + 2 * 3 + 3 * 4 + 4 * 5 + 5 * 6);
+}
+
+TEST(SubsequenceDistanceTest, BoundsChecked) {
+  auto series = DataSeries::Create({1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(series.ok());
+  EXPECT_FALSE(SubsequenceDistance(*series, 0, 3, 3).ok());
+  EXPECT_TRUE(SubsequenceDistance(*series, 0, 2, 2).ok());
+}
+
+}  // namespace
+}  // namespace valmod::series

@@ -1,0 +1,233 @@
+// valmod_cli — command-line front end to the VALMOD suite.
+//
+// Subcommands (first positional argument):
+//   motifs    exact top-k motif pairs per length over [--lmin, --lmax]
+//   discords  exact top-k discords per length (variable-length anomalies)
+//   valmap    VALMAP meta-data (MPn / IP / LP) to CSV
+//   profile   fixed-length matrix profile (--l) to CSV
+//   query     best matches of a query file inside the series
+//   generate  write a synthetic dataset to CSV
+//
+// Input comes from --input=<csv> (one value per line, or --column=<c>) or a
+// synthetic source via --generate=<name> --n=<points> --seed=<s>.
+//
+// Examples:
+//   valmod_cli generate --generate=ecg --n=20000 --output=ecg.csv
+//   valmod_cli motifs --input=ecg.csv --lmin=100 --lmax=400 --k=3
+//   valmod_cli valmap --input=ecg.csv --lmin=100 --lmax=400 --output=vm.csv
+//   valmod_cli query --input=ecg.csv --query=pattern.csv --k=5
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "core/valmod.h"
+#include "core/variable_discords.h"
+#include "mass/query_search.h"
+#include "mp/motif.h"
+#include "mp/profile_io.h"
+#include "mp/stomp.h"
+#include "series/data_series.h"
+#include "series/generators.h"
+#include "series/io.h"
+#include "series/znorm.h"
+
+namespace {
+
+using valmod::Flags;
+using valmod::Result;
+using valmod::series::DataSeries;
+
+int Fail(const valmod::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: valmod_cli <motifs|discords|valmap|profile|query|"
+               "generate> [flags]\n"
+               "  common: --input=<csv> [--column=0] | --generate=<name> "
+               "--n=<points> [--seed=1]\n"
+               "  motifs/valmap/discords: --lmin --lmax [--k=1] [--p=10] "
+               "[--threads=1]\n"
+               "  profile: --l [--output=profile.csv]\n"
+               "  query: --query=<csv> [--k=1]\n"
+               "  generate: --output=<csv>\n");
+  return 2;
+}
+
+Result<DataSeries> LoadSeries(const Flags& flags) {
+  if (flags.Has("input")) {
+    return valmod::series::ReadDelimited(
+        flags.GetString("input", ""),
+        static_cast<std::size_t>(flags.GetInt("column", 0)));
+  }
+  return valmod::synth::ByName(
+      flags.GetString("generate", "ecg"),
+      static_cast<std::size_t>(flags.GetInt("n", 20000)),
+      static_cast<uint64_t>(flags.GetInt("seed", 1)));
+}
+
+int RunMotifs(const Flags& flags) {
+  auto series = LoadSeries(flags);
+  if (!series.ok()) return Fail(series.status());
+
+  valmod::core::ValmodOptions options;
+  options.min_length = static_cast<std::size_t>(flags.GetInt("lmin", 0));
+  options.max_length = static_cast<std::size_t>(flags.GetInt("lmax", 0));
+  options.k = static_cast<std::size_t>(flags.GetInt("k", 1));
+  options.p = static_cast<std::size_t>(flags.GetInt("p", 10));
+  options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  auto result = valmod::core::RunValmod(*series, options);
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("length,rank,offset_a,offset_b,distance,normalized\n");
+  for (const auto& lm : result->per_length) {
+    for (std::size_t r = 0; r < lm.motifs.size(); ++r) {
+      const auto& m = lm.motifs[r];
+      std::printf("%zu,%zu,%lld,%lld,%.10g,%.10g\n", lm.length, r + 1,
+                  static_cast<long long>(m.offset_a),
+                  static_cast<long long>(m.offset_b), m.distance,
+                  m.normalized_distance);
+    }
+  }
+  std::fprintf(stderr, "ranked best: %s (init %.3fs, update %.3fs)\n",
+               result->ranked.empty()
+                   ? "none"
+                   : valmod::mp::ToString(result->ranked[0]).c_str(),
+               result->init_seconds, result->update_seconds);
+  return 0;
+}
+
+int RunDiscords(const Flags& flags) {
+  auto series = LoadSeries(flags);
+  if (!series.ok()) return Fail(series.status());
+
+  valmod::core::VariableDiscordOptions options;
+  options.min_length = static_cast<std::size_t>(flags.GetInt("lmin", 0));
+  options.max_length = static_cast<std::size_t>(flags.GetInt("lmax", 0));
+  options.k = static_cast<std::size_t>(flags.GetInt("k", 1));
+  options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  auto result = valmod::core::FindVariableLengthDiscords(*series, options);
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("length,rank,offset,neighbor,distance,normalized\n");
+  for (const auto& ld : result->per_length) {
+    for (std::size_t r = 0; r < ld.discords.size(); ++r) {
+      const auto& d = ld.discords[r];
+      std::printf("%zu,%zu,%lld,%lld,%.10g,%.10g\n", ld.length, r + 1,
+                  static_cast<long long>(d.offset),
+                  static_cast<long long>(d.nearest_neighbor), d.distance,
+                  valmod::series::LengthNormalizedDistance(d.distance,
+                                                           d.length));
+    }
+  }
+  return 0;
+}
+
+int RunValmapCommand(const Flags& flags) {
+  auto series = LoadSeries(flags);
+  if (!series.ok()) return Fail(series.status());
+
+  valmod::core::ValmodOptions options;
+  options.min_length = static_cast<std::size_t>(flags.GetInt("lmin", 0));
+  options.max_length = static_cast<std::size_t>(flags.GetInt("lmax", 0));
+  options.k = static_cast<std::size_t>(flags.GetInt("k", 4));
+  options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  auto result = valmod::core::RunValmod(*series, options);
+  if (!result.ok()) return Fail(result.status());
+
+  const auto& valmap = result->valmap;
+  const std::string output = flags.GetString("output", "valmap.csv");
+  std::vector<double> lp(valmap.length_profile().begin(),
+                         valmap.length_profile().end());
+  std::vector<double> ip(valmap.index_profile().begin(),
+                         valmap.index_profile().end());
+  auto status = valmod::series::WriteColumnsCsv(
+      {valmod::series::Column{"mpn", valmap.normalized_profile()},
+       valmod::series::Column{"index_profile", ip},
+       valmod::series::Column{"length_profile", lp}},
+      output);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %s (%zu entries, %zu updates beyond lmin)\n",
+              output.c_str(), valmap.size(), valmap.updates().size());
+  return 0;
+}
+
+int RunProfile(const Flags& flags) {
+  auto series = LoadSeries(flags);
+  if (!series.ok()) return Fail(series.status());
+
+  const std::size_t length =
+      static_cast<std::size_t>(flags.GetInt("l", 0));
+  valmod::mp::ProfileOptions options;
+  options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  auto profile = valmod::mp::ComputeStomp(*series, length, options);
+  if (!profile.ok()) return Fail(profile.status());
+
+  const std::string output = flags.GetString("output", "profile.csv");
+  auto status = valmod::mp::WriteProfileCsv(*profile, output);
+  if (!status.ok()) return Fail(status);
+
+  auto motifs = valmod::mp::ExtractTopKMotifs(
+      *profile, static_cast<std::size_t>(flags.GetInt("k", 3)));
+  if (motifs.ok()) {
+    for (std::size_t r = 0; r < motifs->size(); ++r) {
+      std::printf("motif %zu: %s\n", r + 1,
+                  valmod::mp::ToString((*motifs)[r]).c_str());
+    }
+  }
+  std::printf("wrote %s\n", output.c_str());
+  return 0;
+}
+
+int RunQuery(const Flags& flags) {
+  auto series = LoadSeries(flags);
+  if (!series.ok()) return Fail(series.status());
+  auto query_series = valmod::series::ReadDelimited(
+      flags.GetString("query", ""),
+      static_cast<std::size_t>(flags.GetInt("column", 0)));
+  if (!query_series.ok()) return Fail(query_series.status());
+
+  valmod::mass::QuerySearchOptions options;
+  options.k = static_cast<std::size_t>(flags.GetInt("k", 1));
+  std::vector<double> query(query_series->values().begin(),
+                            query_series->values().end());
+  auto matches = valmod::mass::FindQueryMatches(*series, query, options);
+  if (!matches.ok()) return Fail(matches.status());
+
+  std::printf("rank,offset,distance\n");
+  for (std::size_t r = 0; r < matches->size(); ++r) {
+    std::printf("%zu,%lld,%.10g\n", r + 1,
+                static_cast<long long>((*matches)[r].offset),
+                (*matches)[r].distance);
+  }
+  return 0;
+}
+
+int RunGenerate(const Flags& flags) {
+  auto series = LoadSeries(flags);
+  if (!series.ok()) return Fail(series.status());
+  const std::string output = flags.GetString("output", "series.csv");
+  auto status = valmod::series::WriteDelimited(*series, output);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu points to %s\n", series->size(), output.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  if (flags.positional().empty()) return Usage();
+  const std::string command = flags.positional()[0];
+  if (command == "motifs") return RunMotifs(flags);
+  if (command == "discords") return RunDiscords(flags);
+  if (command == "valmap") return RunValmapCommand(flags);
+  if (command == "profile") return RunProfile(flags);
+  if (command == "query") return RunQuery(flags);
+  if (command == "generate") return RunGenerate(flags);
+  return Usage();
+}
