@@ -1,0 +1,182 @@
+// Micro-benchmark for the batched MASS engine (emits JSON for the perf
+// trajectory):
+//
+//   1. Repeated ComputeRowProfile at a fixed length on a 2^17-point series:
+//      the seed's uncached algorithm (three full-size complex transforms,
+//      trig recomputed per call) vs the current uncached free function
+//      (plan-cached real-input FFT) vs the cached MassEngine (series
+//      spectrum computed once; one query transform + one inverse per call).
+//   2. ParallelFor dispatch: spawn-per-call std::thread (the seed's
+//      implementation) vs the persistent pool, plus the pool's
+//      threads-created counter across the timed regions — the observable
+//      "no per-batch thread spawn" guarantee.
+
+#include <complex>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "fft/fft.h"
+#include "mass/engine.h"
+#include "mass/mass.h"
+#include "series/data_series.h"
+#include "series/generators.h"
+
+namespace {
+
+using valmod::WallTimer;
+using valmod::series::DataSeries;
+
+/// The seed's sliding-dot algorithm: zero-pad both operands to the full
+/// FFT size and run three complex transforms, exactly as the pre-engine
+/// fft::Convolve did. Kept here as the uncached baseline.
+std::vector<double> SeedSlidingDots(std::span<const double> series,
+                                    std::span<const double> query) {
+  const std::size_t n = series.size();
+  const std::size_t m = query.size();
+  const std::size_t fft_size = valmod::fft::NextPowerOfTwo(n + m - 1);
+  std::vector<std::complex<double>> fa(fft_size), fb(fft_size);
+  for (std::size_t i = 0; i < n; ++i) fa[i] = series[i];
+  for (std::size_t i = 0; i < m; ++i) fb[i] = query[m - 1 - i];
+  (void)valmod::fft::Transform(fa, valmod::fft::Direction::kForward);
+  (void)valmod::fft::Transform(fb, valmod::fft::Direction::kForward);
+  for (std::size_t i = 0; i < fft_size; ++i) fa[i] *= fb[i];
+  (void)valmod::fft::Transform(fa, valmod::fft::Direction::kInverse);
+  std::vector<double> dots(n - m + 1);
+  for (std::size_t i = 0; i + m <= n; ++i) dots[i] = fa[m - 1 + i].real();
+  return dots;
+}
+
+/// Full seed-equivalent row profile (dots + distances) on the baseline.
+void SeedRowProfile(const DataSeries& series, std::size_t offset,
+                    std::size_t length, std::vector<double>* distances) {
+  const auto centered = series.centered();
+  const std::vector<double> dots = SeedSlidingDots(
+      centered, centered.subspan(offset, length));
+  valmod::mass::DistancesFromDots(series, offset, length, dots, distances);
+}
+
+/// The seed's ParallelFor: spawn and join std::threads on every call.
+void SpawnParallelFor(std::size_t begin, std::size_t end, int threads,
+                      const std::function<void(std::size_t)>& fn) {
+  const std::size_t count = end > begin ? end - begin : 0;
+  const std::size_t workers = std::min<std::size_t>(
+      threads > 1 ? static_cast<std::size_t>(threads) : 1, count);
+  if (workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  const std::size_t chunk = (count + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([lo, hi, &fn]() {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+double Checksum(const std::vector<double>& values) {
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = std::size_t{1} << 17;
+  const std::size_t length = 1024;  // past the cost-model crossover: FFT path
+  const std::size_t repetitions = 20;
+
+  auto series_result = valmod::synth::ByName("ecg", n, 11);
+  if (!series_result.ok()) {
+    std::fprintf(stderr, "series generation failed: %s\n",
+                 series_result.status().ToString().c_str());
+    return 1;
+  }
+  const DataSeries& series = *series_result;
+  const std::size_t count = series.NumSubsequences(length);
+  const std::size_t stride = count / repetitions;
+
+  valmod::mass::MassEngine engine(series);
+  std::vector<double> scratch;
+  double checksum = 0.0;
+
+  // Untimed warmup: builds FFT plans for every variant and the engine's
+  // cached series spectrum (the engine's one-time cost is deliberately
+  // excluded — it is amortized over thousands of calls in real runs, and
+  // the uncached paths get the same plan-warm treatment).
+  SeedRowProfile(series, 0, length, &scratch);
+  (void)valmod::mass::ComputeRowProfile(series, 0, length);
+  (void)engine.ComputeRowProfile(0, length);
+
+  WallTimer timer;
+  for (std::size_t r = 0; r < repetitions; ++r) {
+    SeedRowProfile(series, r * stride, length, &scratch);
+    checksum += Checksum(scratch);
+  }
+  const double seed_seconds = timer.ElapsedSeconds();
+
+  timer.Restart();
+  for (std::size_t r = 0; r < repetitions; ++r) {
+    auto row = valmod::mass::ComputeRowProfile(series, r * stride, length);
+    checksum += Checksum(row->distances);
+  }
+  const double uncached_seconds = timer.ElapsedSeconds();
+
+  timer.Restart();
+  for (std::size_t r = 0; r < repetitions; ++r) {
+    auto row = engine.ComputeRowProfile(r * stride, length);
+    checksum += Checksum(row->distances);
+  }
+  const double cached_seconds = timer.ElapsedSeconds();
+
+  // --- ParallelFor dispatch: spawn-per-call vs persistent pool ----------
+  const int threads = 4;
+  const std::size_t rounds = 200;
+  const std::size_t range = 4096;
+  std::vector<double> sink(range, 0.0);
+  const auto body = [&](std::size_t i) { sink[i] += 1.0; };
+
+  timer.Restart();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    SpawnParallelFor(0, range, threads, body);
+  }
+  const double spawn_seconds = timer.ElapsedSeconds();
+
+  valmod::ParallelFor(0, range, threads, body);  // warm the pool
+  const std::uint64_t created_before =
+      valmod::ThreadPool::Shared().threads_created();
+  timer.Restart();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    valmod::ParallelFor(0, range, threads, body);
+  }
+  const double pool_seconds = timer.ElapsedSeconds();
+  const std::uint64_t created_during =
+      valmod::ThreadPool::Shared().threads_created() - created_before;
+  checksum += Checksum(sink);
+
+  std::printf(
+      "{\"bench\":\"mass_engine\",\"series_n\":%zu,\"length\":%zu,"
+      "\"repetitions\":%zu,"
+      "\"seed_uncached_seconds\":%.6f,\"uncached_seconds\":%.6f,"
+      "\"cached_seconds\":%.6f,"
+      "\"speedup_cached_vs_seed_uncached\":%.3f,"
+      "\"speedup_cached_vs_uncached\":%.3f,"
+      "\"parallel_for\":{\"rounds\":%zu,\"range\":%zu,\"threads\":%d,"
+      "\"spawn_seconds\":%.6f,\"pool_seconds\":%.6f,"
+      "\"pool_threads_created_during_timed_rounds\":%llu},"
+      "\"checksum\":%.6e}\n",
+      n, length, repetitions, seed_seconds, uncached_seconds, cached_seconds,
+      seed_seconds / cached_seconds, uncached_seconds / cached_seconds,
+      rounds, range, threads, spawn_seconds, pool_seconds,
+      static_cast<unsigned long long>(created_during), checksum);
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "mass/engine.h"
 #include "mass/mass.h"
 #include "mp/matrix_profile.h"
 #include "mp/motif.h"
@@ -72,6 +73,11 @@ Result<std::vector<core::LengthMotifs>> RunMoen(
   const auto centered = series.centered();
   const double const_threshold = stats.constant_std_threshold();
 
+  // One engine across the whole length sweep: every length computes
+  // `num_references` row profiles, and the cached series spectrum serves
+  // them all.
+  mass::MassEngine engine(series);
+
   std::vector<core::LengthMotifs> per_length;
   BestPair previous;  // motif of the previous length, seeds the next bsf
 
@@ -116,9 +122,8 @@ Result<std::vector<core::LengthMotifs>> RunMoen(
     for (std::size_t r = 0; r < refs; ++r) {
       const std::size_t ref_offset = r * (count - 1) / std::max<std::size_t>(
                                                            1, refs - 1);
-      VALMOD_ASSIGN_OR_RETURN(
-          mass::RowProfile profile,
-          mass::ComputeRowProfile(series, ref_offset, length));
+      VALMOD_ASSIGN_OR_RETURN(mass::RowProfile profile,
+                              engine.ComputeRowProfile(ref_offset, length));
       ref_profiles.push_back(std::move(profile.distances));
     }
 

@@ -14,6 +14,14 @@ namespace valmod::core {
 Result<MotifSet> ExpandMotifSet(const series::DataSeries& series,
                                 const mp::MotifPair& pair,
                                 const MotifSetOptions& options) {
+  mass::MassEngine engine(series);
+  return ExpandMotifSet(engine, pair, options);
+}
+
+Result<MotifSet> ExpandMotifSet(mass::MassEngine& engine,
+                                const mp::MotifPair& pair,
+                                const MotifSetOptions& options) {
+  const series::DataSeries& series = engine.series();
   if (pair.offset_a < 0 || pair.offset_b < 0 || pair.length == 0) {
     return Status::InvalidArgument("motif pair is not populated");
   }
@@ -40,14 +48,12 @@ Result<MotifSet> ExpandMotifSet(const series::DataSeries& series,
   // Distance to the nearer seed member, for every subsequence.
   VALMOD_ASSIGN_OR_RETURN(
       mass::RowProfile from_a,
-      mass::ComputeRowProfile(series,
-                              static_cast<std::size_t>(pair.offset_a),
-                              length));
+      engine.ComputeRowProfile(static_cast<std::size_t>(pair.offset_a),
+                               length));
   VALMOD_ASSIGN_OR_RETURN(
       mass::RowProfile from_b,
-      mass::ComputeRowProfile(series,
-                              static_cast<std::size_t>(pair.offset_b),
-                              length));
+      engine.ComputeRowProfile(static_cast<std::size_t>(pair.offset_b),
+                               length));
 
   struct Candidate {
     double distance;

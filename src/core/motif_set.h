@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "mass/engine.h"
 #include "mp/motif.h"
 #include "series/data_series.h"
 
@@ -44,6 +45,14 @@ struct MotifSet {
 /// point-wise minimum, threshold at the radius, then greedy non-overlapping
 /// admission in ascending distance order. O(n log n).
 Result<MotifSet> ExpandMotifSet(const series::DataSeries& series,
+                                const mp::MotifPair& pair,
+                                const MotifSetOptions& options = {});
+
+/// Engine form: expands against `engine.series()`, reusing the engine's
+/// cached series spectrum across the two seed profiles — and across calls,
+/// which is how EnumerateMotifSets expands every ranked pair for the cost
+/// of one series transform. The series-taking overload wraps this one.
+Result<MotifSet> ExpandMotifSet(mass::MassEngine& engine,
                                 const mp::MotifPair& pair,
                                 const MotifSetOptions& options = {});
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/status.h"
+#include "mass/engine.h"
 #include "mp/matrix_profile.h"
 
 namespace valmod::core {
@@ -35,13 +36,17 @@ Result<MotifSetEnumerationResult> EnumerateMotifSets(
   VALMOD_ASSIGN_OR_RETURN(ValmodResult valmod_result,
                           RunValmod(series, options.valmod));
 
+  // One engine for all expansions: every ranked pair needs two MASS row
+  // profiles, and the cached series spectrum serves the whole enumeration.
+  mass::MassEngine engine(series);
+
   MotifSetEnumerationResult result;
   for (const mp::MotifPair& pair : valmod_result.ranked) {
     MotifSetOptions set_options;
     set_options.radius_factor = options.radius_factor;
     set_options.exclusion_fraction = options.valmod.exclusion_fraction;
     VALMOD_ASSIGN_OR_RETURN(MotifSet set,
-                            ExpandMotifSet(series, pair, set_options));
+                            ExpandMotifSet(engine, pair, set_options));
     RankedMotifSet ranked;
     ranked.cardinality = set.members.size();
     ranked.normalized_seed_distance = pair.normalized_distance;

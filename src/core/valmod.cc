@@ -7,7 +7,6 @@
 #include <limits>
 #include <memory>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
@@ -15,6 +14,7 @@
 #include "common/status.h"
 #include "core/lower_bound.h"
 #include "core/partial_profile.h"
+#include "mass/engine.h"
 #include "mass/mass.h"
 #include "series/znorm.h"
 #include "stats/moving_stats.h"
@@ -48,7 +48,8 @@ class ValmodRunner {
       : series_(series),
         options_(options),
         stats_(series.stats()),
-        centered_(series.centered()) {}
+        centered_(series.centered()),
+        engine_(series) {}
 
   Result<ValmodResult> Run();
 
@@ -69,6 +70,11 @@ class ValmodRunner {
   const ValmodOptions& options_;
   const stats::MovingStats& stats_;
   std::span<const double> centered_;
+  /// Shared MASS engine: the certification loop recomputes thousands of
+  /// rows per run, and the engine amortizes the series transform and FFT
+  /// plan across all of them (it is internally thread-safe, so the
+  /// recompute batches call it concurrently).
+  mass::MassEngine engine_;
 
   // Phase-1 products.
   std::unique_ptr<PartialProfileSet> partial_;
@@ -262,14 +268,10 @@ Status ValmodRunner::InitialScan() {
     }
   };
 
-  if (threads == 1) {
-    walk(0);
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (int t = 0; t < threads; ++t) workers.emplace_back(walk, t);
-    for (auto& w : workers) w.join();
-  }
+  // One chunk per logical worker on the persistent pool (the round-robin
+  // diagonal split is the load balancer; the pool only supplies threads).
+  ParallelFor(0, static_cast<std::size_t>(threads), threads,
+              [&](std::size_t t) { walk(static_cast<int>(t)); });
   if (expired.load()) {
     return Status::DeadlineExceeded("VALMOD initial scan timed out");
   }
@@ -322,7 +324,7 @@ Status ValmodRunner::InitialScan() {
 Status ValmodRunner::RecomputeRow(std::size_t row, std::size_t length,
                                   std::size_t exclusion) {
   VALMOD_ASSIGN_OR_RETURN(mass::RowProfile profile,
-                          mass::ComputeRowProfile(series_, row, length));
+                          engine_.ComputeRowProfile(row, length));
   mass::ApplyExclusionZone(&profile.distances, row, exclusion);
 
   partial_->Reset(row, length);

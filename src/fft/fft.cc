@@ -1,29 +1,11 @@
 #include "fft/fft.h"
 
 #include <cmath>
-#include <numbers>
 #include <utility>
 
+#include "fft/plan.h"
+
 namespace valmod::fft {
-
-namespace {
-
-bool IsPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
-
-/// Reorders `data` into bit-reversed index order (the radix-2 input
-/// permutation), using the incremental bit-reversal counter technique.
-void BitReversePermute(std::span<std::complex<double>> data) {
-  const std::size_t n = data.size();
-  std::size_t j = 0;
-  for (std::size_t i = 1; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(data[i], data[j]);
-  }
-}
-
-}  // namespace
 
 std::size_t NextPowerOfTwo(std::size_t n) {
   std::size_t p = 1;
@@ -37,30 +19,11 @@ Status Transform(std::span<std::complex<double>> data, Direction direction) {
     return Status::InvalidArgument("FFT size must be a power of two, got " +
                                    std::to_string(n));
   }
-  if (n == 1) return Status::Ok();
-
-  BitReversePermute(data);
-
-  const double sign = direction == Direction::kForward ? -1.0 : 1.0;
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = sign * 2.0 * std::numbers::pi /
-                         static_cast<double>(len);
-    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t start = 0; start < n; start += len) {
-      std::complex<double> w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const std::complex<double> u = data[start + k];
-        const std::complex<double> v = data[start + k + len / 2] * w;
-        data[start + k] = u + v;
-        data[start + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-
-  if (direction == Direction::kInverse) {
-    const double inv_n = 1.0 / static_cast<double>(n);
-    for (auto& x : data) x *= inv_n;
+  const std::shared_ptr<const FftPlan> plan = GetPlan(n);
+  if (direction == Direction::kForward) {
+    plan->Forward(data);
+  } else {
+    plan->Inverse(data);
   }
   return Status::Ok();
 }
@@ -72,19 +35,25 @@ Result<std::vector<double>> Convolve(std::span<const double> a,
   }
   const std::size_t out_size = a.size() + b.size() - 1;
   const std::size_t fft_size = NextPowerOfTwo(out_size);
+  if (fft_size < 2) {
+    return std::vector<double>{a[0] * b[0]};
+  }
 
-  std::vector<std::complex<double>> fa(fft_size), fb(fft_size);
-  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = a[i];
-  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = b[i];
+  // Both inputs are real, so the whole convolution runs on half spectra:
+  // two packed forward transforms, a pointwise product (the product of two
+  // conjugate-symmetric spectra stays conjugate-symmetric), one packed
+  // inverse — each a complex transform of size fft_size / 2.
+  const std::shared_ptr<const FftPlan> plan = GetPlan(fft_size);
+  const std::size_t bins = plan->half_spectrum_size();
+  std::vector<std::complex<double>> fa(bins), fb(bins);
+  plan->RealForward(a, fa);
+  plan->RealForward(b, fb);
+  for (std::size_t i = 0; i < bins; ++i) fa[i] *= fb[i];
 
-  VALMOD_RETURN_IF_ERROR(Transform(fa, Direction::kForward));
-  VALMOD_RETURN_IF_ERROR(Transform(fb, Direction::kForward));
-  for (std::size_t i = 0; i < fft_size; ++i) fa[i] *= fb[i];
-  VALMOD_RETURN_IF_ERROR(Transform(fa, Direction::kInverse));
-
-  std::vector<double> out(out_size);
-  for (std::size_t i = 0; i < out_size; ++i) out[i] = fa[i].real();
-  return out;
+  std::vector<double> padded(fft_size);
+  plan->RealInverse(fa, padded);
+  padded.resize(out_size);
+  return padded;
 }
 
 Result<std::vector<double>> SlidingDotProducts(std::span<const double> series,

@@ -1,0 +1,190 @@
+#include "fft/plan.h"
+
+#include <cassert>
+#include <cmath>
+#include <mutex>
+#include <numbers>
+#include <unordered_map>
+#include <utility>
+
+namespace valmod::fft {
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  assert(IsPowerOfTwo(n));
+
+  bit_reverse_.resize(n_);
+  std::size_t j = 0;
+  bit_reverse_[0] = 0;
+  for (std::size_t i = 1; i < n_; ++i) {
+    std::size_t bit = n_ >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    bit_reverse_[i] = static_cast<std::uint32_t>(j);
+  }
+
+  twiddles_.resize(n_ / 2);
+  for (std::size_t k = 0; k < n_ / 2; ++k) {
+    const double angle =
+        -2.0 * std::numbers::pi * static_cast<double>(k) /
+        static_cast<double>(n_);
+    twiddles_[k] = {std::cos(angle), std::sin(angle)};
+  }
+
+  if (n_ >= 4) half_ = GetPlan(n_ / 2);
+}
+
+void FftPlan::TransformImpl(std::span<std::complex<double>> data,
+                            bool forward) const {
+  assert(data.size() == n_);
+  if (n_ == 1) return;
+
+  for (std::size_t i = 1; i < n_; ++i) {
+    const std::size_t j = bit_reverse_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t stride = n_ / len;
+    for (std::size_t start = 0; start < n_; start += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const std::complex<double> w =
+            forward ? twiddles_[k * stride] : std::conj(twiddles_[k * stride]);
+        const std::complex<double> u = data[start + k];
+        const std::complex<double> v = data[start + k + half] * w;
+        data[start + k] = u + v;
+        data[start + k + half] = u - v;
+      }
+    }
+  }
+
+  if (!forward) {
+    const double inv_n = 1.0 / static_cast<double>(n_);
+    for (auto& x : data) x *= inv_n;
+  }
+}
+
+void FftPlan::Forward(std::span<std::complex<double>> data) const {
+  TransformImpl(data, /*forward=*/true);
+}
+
+void FftPlan::Inverse(std::span<std::complex<double>> data) const {
+  TransformImpl(data, /*forward=*/false);
+}
+
+void FftPlan::RealForward(std::span<const double> input,
+                          std::span<std::complex<double>> spectrum) const {
+  assert(n_ >= 2);
+  assert(input.size() <= n_);
+  assert(spectrum.size() == half_spectrum_size());
+
+  if (n_ == 2) {
+    const double x0 = input.size() > 0 ? input[0] : 0.0;
+    const double x1 = input.size() > 1 ? input[1] : 0.0;
+    spectrum[0] = {x0 + x1, 0.0};
+    spectrum[1] = {x0 - x1, 0.0};
+    return;
+  }
+
+  const std::size_t m = n_ / 2;
+  // Pack pairs of reals into the first m complex slots (slot m stays free
+  // for the Nyquist bin) and run the half-size complex transform in place.
+  auto packed = spectrum.first(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const double re = 2 * k < input.size() ? input[2 * k] : 0.0;
+    const double im = 2 * k + 1 < input.size() ? input[2 * k + 1] : 0.0;
+    packed[k] = {re, im};
+  }
+  half_->Forward(packed);
+
+  // Split Z into the spectra of the even/odd subsequences and recombine:
+  //   E[k] = (Z[k] + conj(Z[m-k])) / 2,  O[k] = (Z[k] - conj(Z[m-k])) / 2i,
+  //   X[k] = E[k] + w[k] O[k]            with w[k] = exp(-2*pi*i*k / n).
+  const std::complex<double> z0 = spectrum[0];
+  spectrum[0] = {z0.real() + z0.imag(), 0.0};
+  spectrum[m] = {z0.real() - z0.imag(), 0.0};
+  for (std::size_t k = 1; k < m - k; ++k) {
+    const std::size_t j = m - k;
+    const std::complex<double> zk = spectrum[k];
+    const std::complex<double> zj = spectrum[j];
+    const std::complex<double> ek = 0.5 * (zk + std::conj(zj));
+    const std::complex<double> ok =
+        (zk - std::conj(zj)) * std::complex<double>(0.0, -0.5);
+    const std::complex<double> ej = 0.5 * (zj + std::conj(zk));
+    const std::complex<double> oj =
+        (zj - std::conj(zk)) * std::complex<double>(0.0, -0.5);
+    spectrum[k] = ek + twiddles_[k] * ok;
+    spectrum[j] = ej + twiddles_[j] * oj;
+  }
+  // k == m/2 pairs with itself: X reduces to conj(Z).
+  spectrum[m / 2] = std::conj(spectrum[m / 2]);
+}
+
+void FftPlan::RealInverse(std::span<std::complex<double>> spectrum,
+                          std::span<double> output) const {
+  assert(n_ >= 2);
+  assert(spectrum.size() == half_spectrum_size());
+  assert(output.size() == n_);
+
+  if (n_ == 2) {
+    output[0] = 0.5 * (spectrum[0].real() + spectrum[1].real());
+    output[1] = 0.5 * (spectrum[0].real() - spectrum[1].real());
+    return;
+  }
+
+  const std::size_t m = n_ / 2;
+  // Exact inverse of the RealForward recombination: recover the half-size
+  // spectrum Z[k] = E[k] + i O[k] from X, with
+  //   E[k] = (X[k] + conj(X[m-k])) / 2,
+  //   O[k] = conj(w[k]) (X[k] - conj(X[m-k])) / 2.
+  const std::complex<double> x0 = spectrum[0];
+  const std::complex<double> xm = spectrum[m];
+  {
+    const std::complex<double> e0 = 0.5 * (x0 + std::conj(xm));
+    const std::complex<double> o0 = 0.5 * (x0 - std::conj(xm));
+    spectrum[0] = e0 + std::complex<double>(0.0, 1.0) * o0;
+  }
+  for (std::size_t k = 1; k < m - k; ++k) {
+    const std::size_t j = m - k;
+    const std::complex<double> xk = spectrum[k];
+    const std::complex<double> xj = spectrum[j];
+    const std::complex<double> ek = 0.5 * (xk + std::conj(xj));
+    const std::complex<double> ok =
+        0.5 * (xk - std::conj(xj)) * std::conj(twiddles_[k]);
+    const std::complex<double> ej = 0.5 * (xj + std::conj(xk));
+    const std::complex<double> oj =
+        0.5 * (xj - std::conj(xk)) * std::conj(twiddles_[j]);
+    spectrum[k] = ek + std::complex<double>(0.0, 1.0) * ok;
+    spectrum[j] = ej + std::complex<double>(0.0, 1.0) * oj;
+  }
+  spectrum[m / 2] = std::conj(spectrum[m / 2]);
+
+  auto packed = spectrum.first(m);
+  half_->Inverse(packed);
+  for (std::size_t k = 0; k < m; ++k) {
+    output[2 * k] = packed[k].real();
+    output[2 * k + 1] = packed[k].imag();
+  }
+}
+
+std::shared_ptr<const FftPlan> GetPlan(std::size_t n) {
+  assert(IsPowerOfTwo(n));
+  static std::mutex mutex;
+  static std::unordered_map<std::size_t, std::shared_ptr<const FftPlan>>*
+      registry =
+          new std::unordered_map<std::size_t, std::shared_ptr<const FftPlan>>();
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = registry->find(n);
+    if (it != registry->end()) return it->second;
+  }
+  // Built outside the lock: construction recurses into GetPlan(n/2) for the
+  // real-input path, and table construction for large sizes is slow enough
+  // that serializing it would stall concurrent callers. A racing duplicate
+  // build is harmless; the first insert wins.
+  auto plan = std::make_shared<const FftPlan>(n);
+  std::lock_guard<std::mutex> lock(mutex);
+  return registry->emplace(n, std::move(plan)).first->second;
+}
+
+}  // namespace valmod::fft

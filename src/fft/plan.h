@@ -1,0 +1,87 @@
+#ifndef VALMOD_FFT_PLAN_H_
+#define VALMOD_FFT_PLAN_H_
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace valmod::fft {
+
+inline bool IsPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// A reusable radix-2 FFT plan for one power-of-two size.
+///
+/// The plan precomputes the bit-reversal permutation and a twiddle-factor
+/// table `w[j] = exp(-2*pi*i*j / n)` once, so transforms are pure table
+/// lookups: no trigonometry on the hot path and, unlike the incremental
+/// `w *= wlen` recurrence, no error accumulation across a butterfly pass
+/// (every twiddle is exact to one rounding of sin/cos).
+///
+/// Plans also expose a real-input path (`RealForward` / `RealInverse`) built
+/// on the pack-two-reals trick: a real transform of size n runs as one
+/// complex transform of size n/2 plus an O(n) recombination, roughly halving
+/// the cost of real convolutions. The half-spectrum convention is the usual
+/// one for real data: `n/2 + 1` bins, the remaining bins implied by
+/// conjugate symmetry.
+///
+/// Instances are immutable after construction and safe to share across
+/// threads. Obtain them through `GetPlan`, which caches one plan per size.
+class FftPlan {
+ public:
+  /// Builds tables for size `n`; `n` must be a power of two >= 1.
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// Number of bins written by RealForward / read by RealInverse.
+  std::size_t half_spectrum_size() const { return n_ / 2 + 1; }
+
+  /// In-place complex transform. `data.size()` must equal `size()`. The
+  /// inverse includes the 1/n scaling, so Forward followed by Inverse
+  /// reproduces the input up to rounding.
+  void Forward(std::span<std::complex<double>> data) const;
+  void Inverse(std::span<std::complex<double>> data) const;
+
+  /// Forward transform of a real signal, zero-padded to `size()` on the
+  /// right. Requires `size() >= 2`, `input.size() <= size()`, and
+  /// `spectrum.size() == half_spectrum_size()`. Writes bins 0..n/2 of the
+  /// length-n DFT of the padded input (bins n/2+1..n-1 are the conjugate
+  /// mirror). Costs one complex transform of size n/2.
+  void RealForward(std::span<const double> input,
+                   std::span<std::complex<double>> spectrum) const;
+
+  /// Inverse of RealForward, including the 1/n scaling: reconstructs the n
+  /// real samples whose half spectrum is `spectrum`. Requires
+  /// `size() >= 2`, `spectrum.size() == half_spectrum_size()`, and
+  /// `output.size() == size()`. `spectrum` is consumed as scratch, so the
+  /// transform allocates nothing.
+  void RealInverse(std::span<std::complex<double>> spectrum,
+                   std::span<double> output) const;
+
+ private:
+  void TransformImpl(std::span<std::complex<double>> data,
+                     bool forward) const;
+
+  std::size_t n_;
+  /// Input permutation: element i swaps into bit_reverse_[i].
+  std::vector<std::uint32_t> bit_reverse_;
+  /// twiddles_[j] = exp(-2*pi*i*j / n), j in [0, n/2). A butterfly pass of
+  /// span `len` reads every (n/len)-th entry, so one table serves every
+  /// stage; the real-input recombination reads it directly.
+  std::vector<std::complex<double>> twiddles_;
+  /// Complex plan of size n/2 backing the real-input path (null for n < 4;
+  /// the n == 2 real path is handled directly).
+  std::shared_ptr<const FftPlan> half_;
+};
+
+/// Process-wide plan registry: returns the cached plan for `n` (a power of
+/// two), building it on first use. Thread-safe; the handle keeps the plan
+/// alive independently of the registry.
+std::shared_ptr<const FftPlan> GetPlan(std::size_t n);
+
+}  // namespace valmod::fft
+
+#endif  // VALMOD_FFT_PLAN_H_

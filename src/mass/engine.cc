@@ -1,0 +1,145 @@
+#include "mass/engine.h"
+
+#include <string>
+#include <utility>
+
+#include "common/parallel.h"
+#include "fft/fft.h"
+#include "series/znorm.h"
+#include "stats/moving_stats.h"
+
+namespace valmod::mass {
+
+const MassEngine::SeriesSpectrum& MassEngine::SpectrumFor(
+    std::size_t fft_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = spectra_.find(fft_size);
+  if (it == spectra_.end()) {
+    auto spectrum = std::make_unique<SeriesSpectrum>();
+    spectrum->plan = fft::GetPlan(fft_size);
+    spectrum->bins.resize(spectrum->plan->half_spectrum_size());
+    spectrum->plan->RealForward(series_.centered(), spectrum->bins);
+    it = spectra_.emplace(fft_size, std::move(spectrum)).first;
+  }
+  // References stay valid: spectra are heap-allocated, and map nodes are
+  // never erased, so concurrent inserts cannot move this entry.
+  return *it->second;
+}
+
+std::unique_ptr<MassEngine::Scratch> MassEngine::AcquireScratch() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_scratch_.empty()) {
+      std::unique_ptr<Scratch> scratch = std::move(free_scratch_.back());
+      free_scratch_.pop_back();
+      return scratch;
+    }
+  }
+  return std::make_unique<Scratch>();
+}
+
+void MassEngine::ReleaseScratch(std::unique_ptr<Scratch> scratch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_scratch_.push_back(std::move(scratch));
+}
+
+void MassEngine::CachedSlidingDots(std::span<const double> query,
+                                   std::size_t length,
+                                   std::vector<double>* dots) {
+  const auto centered = series_.centered();
+  const std::size_t n = centered.size();
+  const std::size_t m = length;
+  const std::size_t out_size = n + m - 1;
+  const std::size_t fft_size = fft::NextPowerOfTwo(out_size);
+  const std::size_t count = n - m + 1;
+
+  if (fft_size < 2) {  // single-point series and query
+    dots->assign(1, query[0] * centered[0]);
+    return;
+  }
+
+  const SeriesSpectrum& spectrum = SpectrumFor(fft_size);
+  std::unique_ptr<Scratch> scratch = AcquireScratch();
+
+  // One forward transform of the reversed query, a pointwise product
+  // against the cached series spectrum, one inverse — versus the uncached
+  // path's extra forward transform of the full padded series. Operand
+  // order in the product matches fft::Convolve (series spectrum first) so
+  // the two paths stay bit-identical.
+  scratch->reversed_query.assign(query.rbegin(), query.rend());
+  const std::size_t bins = spectrum.plan->half_spectrum_size();
+  scratch->bins.resize(bins);
+  spectrum.plan->RealForward(scratch->reversed_query, scratch->bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    scratch->bins[i] = spectrum.bins[i] * scratch->bins[i];
+  }
+  scratch->conv.resize(fft_size);
+  spectrum.plan->RealInverse(scratch->bins, scratch->conv);
+
+  dots->resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    (*dots)[i] = scratch->conv[m - 1 + i];
+  }
+  ReleaseScratch(std::move(scratch));
+}
+
+Result<RowProfile> MassEngine::ComputeRowProfile(std::size_t query_offset,
+                                                 std::size_t length) {
+  VALMOD_RETURN_IF_ERROR(ValidateWindow(series_, query_offset, length));
+  const std::size_t count = series_.NumSubsequences(length);
+
+  RowProfile row;
+  if (!PreferFftSlidingDots(series_.size(), length, count)) {
+    row.dots =
+        DirectSlidingDots(series_.centered(), query_offset, length, count);
+  } else {
+    CachedSlidingDots(series_.centered().subspan(query_offset, length),
+                      length, &row.dots);
+  }
+  DistancesFromDots(series_, query_offset, length, row.dots, &row.distances);
+  return row;
+}
+
+Result<std::vector<RowProfile>> MassEngine::ComputeRowProfiles(
+    std::span<const std::size_t> rows, std::size_t length, int num_threads) {
+  for (std::size_t row : rows) {
+    VALMOD_RETURN_IF_ERROR(ValidateWindow(series_, row, length));
+  }
+  const std::size_t count = series_.NumSubsequences(length);
+  if (!rows.empty() && PreferFftSlidingDots(series_.size(), length, count)) {
+    // Warm the spectrum serially so pool workers never contend on its
+    // one-time construction.
+    SpectrumFor(fft::NextPowerOfTwo(series_.size() + length - 1));
+  }
+
+  std::vector<RowProfile> profiles(rows.size());
+  VALMOD_RETURN_IF_ERROR(ParallelForWithStatus(
+      0, rows.size(), num_threads, [&](std::size_t i) -> Status {
+        VALMOD_ASSIGN_OR_RETURN(profiles[i],
+                                ComputeRowProfile(rows[i], length));
+        return Status::Ok();
+      }));
+  return profiles;
+}
+
+Result<std::vector<double>> MassEngine::DistanceProfile(
+    std::span<const double> query) {
+  if (query.empty()) {
+    return Status::InvalidArgument("query must be non-empty");
+  }
+  if (query.size() > series_.size()) {
+    return Status::InvalidArgument("query longer than series");
+  }
+  const std::size_t length = query.size();
+
+  VALMOD_ASSIGN_OR_RETURN(CenteredQuery centered, CenterQuery(query));
+  std::vector<double> dots;
+  CachedSlidingDots(centered.values, length, &dots);
+
+  std::vector<double> distances;
+  DistancesFromExternalQueryDots(series_, centered.std_dev,
+                                 centered.constant, length, dots, &distances);
+  return distances;
+}
+
+}  // namespace valmod::mass

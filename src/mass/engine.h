@@ -1,0 +1,99 @@
+#ifndef VALMOD_MASS_ENGINE_H_
+#define VALMOD_MASS_ENGINE_H_
+
+#include <complex>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "fft/plan.h"
+#include "mass/mass.h"
+#include "series/data_series.h"
+
+namespace valmod::mass {
+
+/// A MASS engine bound to one series: amortizes everything that does not
+/// depend on the query across calls.
+///
+/// The uncached `ComputeRowProfile` pays three FFT-sized transforms per
+/// call, one of which — the forward transform of the zero-padded series —
+/// is identical every time. The engine computes that series spectrum once
+/// per FFT size (VALMOD's sweep over lengths touches at most two sizes),
+/// reuses the cached `FftPlan` tables, and keeps per-call scratch buffers in
+/// a free list, so a cached row profile costs one query transform plus one
+/// inverse with zero steady-state allocation of transform buffers.
+///
+/// Outputs are bit-identical to the uncached `mass::ComputeRowProfile` /
+/// `mass::DistanceProfile` free functions: both paths share the same cost
+/// model, the same direct-dot fallback for short windows, and the same FFT
+/// primitive applied in the same order.
+///
+/// Thread-safety: all public methods are safe to call concurrently (the
+/// VALMOD certification loop recomputes batches of rows in parallel). The
+/// series must outlive the engine.
+class MassEngine {
+ public:
+  explicit MassEngine(const series::DataSeries& series) : series_(series) {}
+
+  MassEngine(const MassEngine&) = delete;
+  MassEngine& operator=(const MassEngine&) = delete;
+
+  const series::DataSeries& series() const { return series_; }
+
+  /// Same contract (and numerics) as mass::ComputeRowProfile.
+  Result<RowProfile> ComputeRowProfile(std::size_t query_offset,
+                                       std::size_t length);
+
+  /// Batched form: row profiles for every offset in `rows` at one length,
+  /// in input order. Builds the series spectrum once up front and fans the
+  /// per-row work across `num_threads` pool workers.
+  Result<std::vector<RowProfile>> ComputeRowProfiles(
+      std::span<const std::size_t> rows, std::size_t length,
+      int num_threads = 1);
+
+  /// Same contract (and numerics) as mass::DistanceProfile: z-normalized
+  /// distances of an external query against every window of the series.
+  Result<std::vector<double>> DistanceProfile(std::span<const double> query);
+
+ private:
+  /// The forward half-spectrum of the series zero-padded to one FFT size.
+  struct SeriesSpectrum {
+    std::shared_ptr<const fft::FftPlan> plan;
+    std::vector<std::complex<double>> bins;  // plan->half_spectrum_size()
+  };
+
+  /// Reusable per-call transform buffers, recycled through a free list.
+  struct Scratch {
+    std::vector<double> reversed_query;
+    std::vector<std::complex<double>> bins;
+    std::vector<double> conv;
+  };
+
+  /// Spectrum for `fft_size`, built on first use. The returned reference is
+  /// stable: spectra are heap-allocated and never evicted.
+  const SeriesSpectrum& SpectrumFor(std::size_t fft_size);
+
+  std::unique_ptr<Scratch> AcquireScratch();
+  void ReleaseScratch(std::unique_ptr<Scratch> scratch);
+
+  /// Sliding dot products of the centered window `[query_offset,
+  /// query_offset + length)` against the whole centered series, via the
+  /// cached spectrum. `query` overrides the window for external queries.
+  void CachedSlidingDots(std::span<const double> query, std::size_t length,
+                         std::vector<double>* dots);
+
+  const series::DataSeries& series_;
+
+  std::mutex mutex_;
+  std::map<std::size_t, std::unique_ptr<SeriesSpectrum>> spectra_;
+  std::vector<std::unique_ptr<Scratch>> free_scratch_;
+};
+
+}  // namespace valmod::mass
+
+#endif  // VALMOD_MASS_ENGINE_H_

@@ -10,8 +10,6 @@
 
 namespace valmod::mass {
 
-namespace {
-
 Status ValidateWindow(const series::DataSeries& series, std::size_t offset,
                       std::size_t length) {
   if (length == 0) {
@@ -26,14 +24,38 @@ Status ValidateWindow(const series::DataSeries& series, std::size_t offset,
   return Status::Ok();
 }
 
-}  // namespace
+Result<CenteredQuery> CenterQuery(std::span<const double> query) {
+  if (query.empty()) {
+    return Status::InvalidArgument("query must be non-empty");
+  }
+  VALMOD_ASSIGN_OR_RETURN(stats::MovingStats query_stats,
+                          stats::MovingStats::Create(query));
+  CenteredQuery centered;
+  centered.values.assign(query.begin(), query.end());
+  const double mean = query_stats.Mean(0, query.size());
+  for (double& v : centered.values) v -= mean;
+  centered.std_dev = query_stats.StdDev(0, query.size());
+  centered.constant = query_stats.IsConstant(0, query.size());
+  return centered;
+}
 
-namespace {
+void DistancesFromExternalQueryDots(const series::DataSeries& series,
+                                    double query_std, bool query_constant,
+                                    std::size_t length,
+                                    std::span<const double> dots,
+                                    std::vector<double>* distances) {
+  const stats::MovingStats& stats = series.stats();
+  const double const_threshold = stats.constant_std_threshold();
+  distances->resize(dots.size());
+  for (std::size_t j = 0; j < dots.size(); ++j) {
+    const double mean_j = stats.CenteredMean(j, length);
+    const double std_j = stats.StdDev(j, length);
+    (*distances)[j] = series::PairDistanceFromDot(
+        dots[j], /*mean_a=*/0.0, mean_j, query_std, std_j, length,
+        query_constant, std_j <= const_threshold);
+  }
+}
 
-/// Direct O(count * length) sliding dot products. For short windows this
-/// beats the FFT path (three size-2^k transforms) by a wide margin, and the
-/// VALMOD recompute loop calls ComputeRowProfile with short windows at high
-/// frequency; the caller picks the path on a flop estimate.
 std::vector<double> DirectSlidingDots(std::span<const double> centered,
                                       std::size_t query_offset,
                                       std::size_t length, std::size_t count) {
@@ -45,7 +67,41 @@ std::vector<double> DirectSlidingDots(std::span<const double> centered,
   return dots;
 }
 
-}  // namespace
+bool PreferFftSlidingDots(std::size_t series_size, std::size_t length,
+                          std::size_t count) {
+  // Cost-based path selection: the FFT path costs a few transforms of the
+  // padded size (the convolution needs series_size + length - 1 points);
+  // the direct path costs count * length multiply-adds. The constant 18
+  // approximates the per-element weight of a complex butterfly pass
+  // relative to one fused multiply-add.
+  const std::size_t fft_size =
+      fft::NextPowerOfTwo(series_size + length - 1);
+  const double fft_cost = 18.0 * static_cast<double>(fft_size) *
+                          std::log2(static_cast<double>(fft_size));
+  const double direct_cost =
+      static_cast<double>(count) * static_cast<double>(length);
+  return direct_cost > fft_cost;
+}
+
+void DistancesFromDots(const series::DataSeries& series,
+                       std::size_t query_offset, std::size_t length,
+                       std::span<const double> dots,
+                       std::vector<double>* distances) {
+  const stats::MovingStats& stats = series.stats();
+  const double mean_q = stats.CenteredMean(query_offset, length);
+  const double std_q = stats.StdDev(query_offset, length);
+  const double const_threshold = stats.constant_std_threshold();
+  const bool const_q = std_q <= const_threshold;
+
+  distances->resize(dots.size());
+  for (std::size_t j = 0; j < dots.size(); ++j) {
+    const double mean_j = stats.CenteredMean(j, length);
+    const double std_j = stats.StdDev(j, length);
+    (*distances)[j] = series::PairDistanceFromDot(
+        dots[j], mean_q, mean_j, std_q, std_j, length, const_q,
+        std_j <= const_threshold);
+  }
+}
 
 Result<RowProfile> ComputeRowProfile(const series::DataSeries& series,
                                      std::size_t query_offset,
@@ -53,40 +109,17 @@ Result<RowProfile> ComputeRowProfile(const series::DataSeries& series,
   VALMOD_RETURN_IF_ERROR(ValidateWindow(series, query_offset, length));
 
   const auto centered = series.centered();
-  const stats::MovingStats& stats = series.stats();
   const std::size_t count = series.NumSubsequences(length);
 
   RowProfile row;
-  // Cost-based path selection: the FFT path costs three transforms of the
-  // padded size; the direct path costs count * length multiply-adds. The
-  // constant 18 approximates the per-element weight of a complex butterfly
-  // pass relative to one fused multiply-add.
-  const std::size_t fft_size = fft::NextPowerOfTwo(series.size() + length);
-  const double fft_cost = 18.0 * static_cast<double>(fft_size) *
-                          std::log2(static_cast<double>(fft_size));
-  const double direct_cost =
-      static_cast<double>(count) * static_cast<double>(length);
-  if (direct_cost <= fft_cost) {
+  if (!PreferFftSlidingDots(series.size(), length, count)) {
     row.dots = DirectSlidingDots(centered, query_offset, length, count);
   } else {
     VALMOD_ASSIGN_OR_RETURN(
         row.dots, fft::SlidingDotProducts(
                       centered, centered.subspan(query_offset, length)));
   }
-
-  const double mean_q = stats.CenteredMean(query_offset, length);
-  const double std_q = stats.StdDev(query_offset, length);
-  const double const_threshold = stats.constant_std_threshold();
-  const bool const_q = std_q <= const_threshold;
-
-  row.distances.resize(count);
-  for (std::size_t j = 0; j < count; ++j) {
-    const double mean_j = stats.CenteredMean(j, length);
-    const double std_j = stats.StdDev(j, length);
-    row.distances[j] = series::PairDistanceFromDot(
-        row.dots[j], mean_q, mean_j, std_q, std_j, length, const_q,
-        std_j <= const_threshold);
-  }
+  DistancesFromDots(series, query_offset, length, row.dots, &row.distances);
   return row;
 }
 
@@ -100,32 +133,14 @@ Result<std::vector<double>> DistanceProfile(const series::DataSeries& series,
   }
   const std::size_t length = query.size();
 
-  // Center the query by its own mean; the covariance against each (globally
-  // centered) window then reduces to dot / l - 0 * mean_window, so the same
-  // correlation kernel applies with mean_q = 0.
-  VALMOD_ASSIGN_OR_RETURN(stats::MovingStats query_stats,
-                          stats::MovingStats::Create(query));
-  std::vector<double> centered_query(query.begin(), query.end());
-  const double query_mean = query_stats.Mean(0, length);
-  for (double& v : centered_query) v -= query_mean;
-  const double std_q = query_stats.StdDev(0, length);
-  const bool const_q = query_stats.IsConstant(0, length);
-
+  VALMOD_ASSIGN_OR_RETURN(CenteredQuery centered, CenterQuery(query));
   VALMOD_ASSIGN_OR_RETURN(
       std::vector<double> dots,
-      fft::SlidingDotProducts(series.centered(), centered_query));
+      fft::SlidingDotProducts(series.centered(), centered.values));
 
-  const stats::MovingStats& stats = series.stats();
-  const double const_threshold = stats.constant_std_threshold();
-  const std::size_t count = series.NumSubsequences(length);
-  std::vector<double> distances(count);
-  for (std::size_t j = 0; j < count; ++j) {
-    const double mean_j = stats.CenteredMean(j, length);
-    const double std_j = stats.StdDev(j, length);
-    distances[j] = series::PairDistanceFromDot(
-        dots[j], /*mean_a=*/0.0, mean_j, std_q, std_j, length, const_q,
-        std_j <= const_threshold);
-  }
+  std::vector<double> distances;
+  DistancesFromExternalQueryDots(series, centered.std_dev, centered.constant,
+                                 length, dots, &distances);
   return distances;
 }
 

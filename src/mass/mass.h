@@ -48,6 +48,56 @@ Result<std::vector<double>> BruteDistanceProfile(
 void ApplyExclusionZone(std::vector<double>* distances, std::size_t center,
                         std::size_t exclusion);
 
+/// -- Shared kernels (used by ComputeRowProfile and mass::MassEngine) -------
+
+/// Validates that `[offset, offset + length)` is a window of `series`.
+Status ValidateWindow(const series::DataSeries& series, std::size_t offset,
+                      std::size_t length);
+
+/// An external query centered by its own mean, plus the statistics the
+/// distance kernel needs (with the centering, the correlation kernel
+/// applies with mean_q = 0).
+struct CenteredQuery {
+  std::vector<double> values;
+  double std_dev = 0.0;
+  bool constant = false;
+};
+
+/// Centers `query` by its mean. Fails on an empty query.
+Result<CenteredQuery> CenterQuery(std::span<const double> query);
+
+/// Fills `distances` with the z-normalized distances of a centered external
+/// query (std `query_std`, constancy `query_constant`) against every window
+/// of `series`, given the query's sliding dot products.
+void DistancesFromExternalQueryDots(const series::DataSeries& series,
+                                    double query_std, bool query_constant,
+                                    std::size_t length,
+                                    std::span<const double> dots,
+                                    std::vector<double>* distances);
+
+/// Direct O(count * length) sliding dot products over the centered series;
+/// the short-window fallback of the row-profile paths (for short windows it
+/// beats the FFT path by a wide margin, and the VALMOD recompute loop calls
+/// it at high frequency).
+std::vector<double> DirectSlidingDots(std::span<const double> centered,
+                                      std::size_t query_offset,
+                                      std::size_t length, std::size_t count);
+
+/// True when the FFT path is estimated cheaper than `count * length` direct
+/// multiply-adds for this series size. Single source of the cost model so
+/// the cached and uncached row-profile paths always pick the same kernel
+/// (keeping their outputs bit-identical).
+bool PreferFftSlidingDots(std::size_t series_size, std::size_t length,
+                          std::size_t count);
+
+/// Fills `distances` (resized to `dots.size()`) with the z-normalized pair
+/// distances of the window at `query_offset` against every window, given
+/// the centered sliding dot products of that row.
+void DistancesFromDots(const series::DataSeries& series,
+                       std::size_t query_offset, std::size_t length,
+                       std::span<const double> dots,
+                       std::vector<double>* distances);
+
 }  // namespace valmod::mass
 
 #endif  // VALMOD_MASS_MASS_H_

@@ -13,9 +13,16 @@ namespace valmod::mass {
 Result<std::vector<QueryMatch>> FindQueryMatches(
     const series::DataSeries& series, std::span<const double> query,
     const QuerySearchOptions& options) {
+  MassEngine engine(series);
+  return FindQueryMatches(engine, query, options);
+}
+
+Result<std::vector<QueryMatch>> FindQueryMatches(
+    MassEngine& engine, std::span<const double> query,
+    const QuerySearchOptions& options) {
   if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
   VALMOD_ASSIGN_OR_RETURN(std::vector<double> distances,
-                          DistanceProfile(series, query));
+                          engine.DistanceProfile(query));
 
   const std::size_t exclusion =
       options.exclusion_fraction <= 0.0

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "mass/engine.h"
 #include "series/data_series.h"
 
 namespace valmod::mass {
@@ -33,6 +34,13 @@ struct QuerySearchOptions {
 /// the series runs out of separated windows. O(n log n + n log k).
 Result<std::vector<QueryMatch>> FindQueryMatches(
     const series::DataSeries& series, std::span<const double> query,
+    const QuerySearchOptions& options = {});
+
+/// Engine form: reuses `engine`'s cached series spectrum, so a stream of
+/// queries against one series pays the series transform once in total. The
+/// series-taking overload above is a convenience wrapper around this one.
+Result<std::vector<QueryMatch>> FindQueryMatches(
+    MassEngine& engine, std::span<const double> query,
     const QuerySearchOptions& options = {});
 
 }  // namespace valmod::mass

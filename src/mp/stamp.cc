@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "mass/engine.h"
 #include "mass/mass.h"
 
 namespace valmod::mp {
@@ -24,12 +25,16 @@ Result<MatrixProfile> ComputeStamp(const series::DataSeries& series,
   profile.distances.assign(count, kInfinity);
   profile.indices.assign(count, -1);
 
+  // One engine for the whole sweep: the series spectrum and FFT plan are
+  // computed once and shared by all `count` row profiles, so each row costs
+  // one query transform + one inverse instead of three full transforms.
+  mass::MassEngine engine(series);
   for (std::size_t i = 0; i < count; ++i) {
     if ((i & 31) == 0 && options.deadline.Expired()) {
       return Status::DeadlineExceeded("STAMP timed out");
     }
     VALMOD_ASSIGN_OR_RETURN(mass::RowProfile row,
-                            mass::ComputeRowProfile(series, i, length));
+                            engine.ComputeRowProfile(i, length));
     mass::ApplyExclusionZone(&row.distances, i, profile.exclusion_zone);
     for (std::size_t j = 0; j < count; ++j) {
       if (row.distances[j] < profile.distances[i]) {

@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "series/znorm.h"
 #include "stats/moving_stats.h"
@@ -97,32 +97,30 @@ Result<MatrixProfile> ComputeStomp(const series::DataSeries& series,
     return profile;
   }
 
-  // Parallel sweep: round-robin diagonal assignment balances work because
-  // diagonal lengths decrease linearly.
+  // Parallel sweep on the persistent pool: round-robin diagonal assignment
+  // balances work because diagonal lengths decrease linearly. Each chunk t
+  // fills its own LocalProfile, so chunks are independent regardless of
+  // which pool thread runs them.
   std::vector<LocalProfile> locals;
   locals.reserve(threads);
   for (int t = 0; t < threads; ++t) locals.emplace_back(count);
   std::atomic<bool> expired{false};
 
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t]() {
-      LocalProfile& local = locals[t];
-      std::size_t steps = 0;
-      for (std::size_t diag = first_diag + static_cast<std::size_t>(t);
-           diag < count; diag += static_cast<std::size_t>(threads)) {
-        if ((++steps & 255) == 0 &&
-            (expired.load(std::memory_order_relaxed) ||
-             options.deadline.Expired())) {
-          expired.store(true, std::memory_order_relaxed);
-          return;
-        }
-        WalkDiagonal(c, length, count, diag, means, stds, is_const, &local);
+  ParallelFor(0, static_cast<std::size_t>(threads), threads,
+              [&](std::size_t t) {
+    LocalProfile& local = locals[t];
+    std::size_t steps = 0;
+    for (std::size_t diag = first_diag + t; diag < count;
+         diag += static_cast<std::size_t>(threads)) {
+      if ((++steps & 255) == 0 &&
+          (expired.load(std::memory_order_relaxed) ||
+           options.deadline.Expired())) {
+        expired.store(true, std::memory_order_relaxed);
+        return;
       }
-    });
-  }
-  for (auto& w : workers) w.join();
+      WalkDiagonal(c, length, count, diag, means, stds, is_const, &local);
+    }
+  });
   if (expired.load()) {
     return Status::DeadlineExceeded("STOMP timed out");
   }

@@ -1,0 +1,129 @@
+// Tests for the plan-caching FFT layer: table-twiddle accuracy against a
+// direct DFT (the regression guard for the old error-accumulating
+// `w *= wlen` recurrence), the real-input pack-two-reals path, and the
+// per-size plan registry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "common/rng.h"
+#include "fft/fft.h"
+#include "fft/plan.h"
+
+namespace valmod::fft {
+namespace {
+
+/// Direct O(n^2) DFT with table-based twiddles (index j*k mod n), accurate
+/// to ~sqrt(n) rounding: the ground truth for transform accuracy.
+std::vector<std::complex<double>> DirectDft(
+    const std::vector<std::complex<double>>& input) {
+  const std::size_t n = input.size();
+  std::vector<std::complex<double>> roots(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double angle = -2.0 * std::numbers::pi * static_cast<double>(j) /
+                         static_cast<double>(n);
+    roots[j] = {std::cos(angle), std::sin(angle)};
+  }
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      acc += input[t] * roots[(k * t) % n];
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+class PlanDftAccuracyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PlanDftAccuracyTest, TransformMatchesDirectDft) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 5);
+  std::vector<std::complex<double>> data(n);
+  for (auto& x : data) x = {rng.Gaussian(), rng.Gaussian()};
+  const std::vector<std::complex<double>> expected = DirectDft(data);
+
+  ASSERT_TRUE(Transform(data, Direction::kForward).ok());
+  // Transform values are O(sqrt(n)); 1e-8 leaves two orders of margin over
+  // the direct DFT's own rounding at 2^14 while catching any twiddle drift
+  // (the old recurrence drifted well past this at large sizes).
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(data[k].real(), expected[k].real(), 1e-8) << "n=" << n
+                                                          << " k=" << k;
+    EXPECT_NEAR(data[k].imag(), expected[k].imag(), 1e-8) << "n=" << n
+                                                          << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesUpTo2p14, PlanDftAccuracyTest,
+                         ::testing::Values(2, 8, 64, 512, 4096, 16384));
+
+class RealPathTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RealPathTest, RealForwardMatchesComplexTransform) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 13);
+  std::vector<double> input(n);
+  for (auto& x : input) x = rng.Gaussian();
+
+  const auto plan = GetPlan(n);
+  std::vector<std::complex<double>> spectrum(plan->half_spectrum_size());
+  plan->RealForward(input, spectrum);
+
+  std::vector<std::complex<double>> reference(n);
+  for (std::size_t i = 0; i < n; ++i) reference[i] = input[i];
+  plan->Forward(reference);
+
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    EXPECT_NEAR(spectrum[k].real(), reference[k].real(), 1e-9)
+        << "n=" << n << " k=" << k;
+    EXPECT_NEAR(spectrum[k].imag(), reference[k].imag(), 1e-9)
+        << "n=" << n << " k=" << k;
+  }
+}
+
+TEST_P(RealPathTest, RealRoundTripReproducesInput) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 29);
+  // Input shorter than the plan exercises the implicit zero padding.
+  const std::size_t input_len = n - n / 4;
+  std::vector<double> input(input_len);
+  for (auto& x : input) x = rng.Gaussian();
+
+  const auto plan = GetPlan(n);
+  std::vector<std::complex<double>> spectrum(plan->half_spectrum_size());
+  plan->RealForward(input, spectrum);
+  std::vector<double> output(n);
+  plan->RealInverse(spectrum, output);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double expected = i < input_len ? input[i] : 0.0;
+    EXPECT_NEAR(output[i], expected, 1e-10) << "n=" << n << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RealPathTest,
+                         ::testing::Values(2, 4, 8, 32, 256, 1024, 8192));
+
+TEST(PlanRegistryTest, CachesOnePlanPerSize) {
+  const auto a = GetPlan(2048);
+  const auto b = GetPlan(2048);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a->size(), 2048u);
+  EXPECT_NE(a.get(), GetPlan(4096).get());
+}
+
+TEST(PlanRegistryTest, HandleOutlivesRegistryLookups) {
+  const auto plan = GetPlan(16);
+  std::vector<std::complex<double>> data(16, {1.0, 0.0});
+  plan->Forward(data);
+  EXPECT_NEAR(data[0].real(), 16.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace valmod::fft

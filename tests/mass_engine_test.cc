@@ -1,0 +1,154 @@
+// Parity tests for the cached MassEngine against the uncached
+// mass::ComputeRowProfile / mass::DistanceProfile path: same numbers (to
+// 1e-9) across lengths, offsets, constant-window rows, and the batched
+// entry point.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "mass/engine.h"
+#include "mass/mass.h"
+#include "series/data_series.h"
+#include "series/generators.h"
+
+namespace valmod::mass {
+namespace {
+
+using series::DataSeries;
+
+void ExpectRowParity(const RowProfile& cached, const RowProfile& uncached,
+                     std::size_t offset, std::size_t length) {
+  ASSERT_EQ(cached.dots.size(), uncached.dots.size());
+  ASSERT_EQ(cached.distances.size(), uncached.distances.size());
+  for (std::size_t j = 0; j < cached.dots.size(); ++j) {
+    EXPECT_NEAR(cached.dots[j], uncached.dots[j],
+                1e-9 * (1.0 + std::abs(uncached.dots[j])))
+        << "offset=" << offset << " length=" << length << " j=" << j;
+    EXPECT_NEAR(cached.distances[j], uncached.distances[j], 1e-9)
+        << "offset=" << offset << " length=" << length << " j=" << j;
+  }
+}
+
+class EngineParityTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EngineParityTest, MatchesUncachedAcrossOffsets) {
+  const std::size_t length = GetParam();
+  const std::size_t n = 2048;
+  auto series = synth::ByName("ecg", n, 7);
+  ASSERT_TRUE(series.ok());
+
+  MassEngine engine(*series);
+  const std::size_t count = series->NumSubsequences(length);
+  for (std::size_t offset :
+       {std::size_t{0}, count / 3, count / 2, count - 1}) {
+    auto cached = engine.ComputeRowProfile(offset, length);
+    ASSERT_TRUE(cached.ok());
+    auto uncached = ComputeRowProfile(*series, offset, length);
+    ASSERT_TRUE(uncached.ok());
+    ExpectRowParity(*cached, *uncached, offset, length);
+  }
+}
+
+// Lengths straddle the cost-model crossover so both the direct-dot fallback
+// and the cached-FFT path are exercised (at n = 2048 the FFT path wins
+// above a few hundred points).
+INSTANTIATE_TEST_SUITE_P(Lengths, EngineParityTest,
+                         ::testing::Values(4, 16, 64, 256, 512, 1024));
+
+TEST(MassEngineTest, ConstantWindowRowsMatchUncached) {
+  // Sine, then a flat shelf, then noise: rows inside the shelf are
+  // constant-window queries, rows straddling it mix both conventions.
+  Rng rng(31);
+  std::vector<double> values;
+  for (std::size_t i = 0; i < 200; ++i) {
+    values.push_back(std::sin(0.1 * static_cast<double>(i)));
+  }
+  values.insert(values.end(), 100, 2.5);
+  for (std::size_t i = 0; i < 200; ++i) values.push_back(rng.Gaussian());
+  auto series = series::DataSeries::Create(std::move(values));
+  ASSERT_TRUE(series.ok());
+
+  MassEngine engine(*series);
+  const std::size_t length = 32;
+  for (std::size_t offset : {std::size_t{100}, std::size_t{190},
+                             std::size_t{230}, std::size_t{290},
+                             std::size_t{350}}) {
+    auto cached = engine.ComputeRowProfile(offset, length);
+    ASSERT_TRUE(cached.ok());
+    auto uncached = ComputeRowProfile(*series, offset, length);
+    ASSERT_TRUE(uncached.ok());
+    ExpectRowParity(*cached, *uncached, offset, length);
+  }
+}
+
+TEST(MassEngineTest, BatchedMatchesSingleCalls) {
+  const std::size_t n = 1024;
+  const std::size_t length = 512;  // FFT path at this size
+  auto series = synth::ByName("random_walk", n, 3);
+  ASSERT_TRUE(series.ok());
+
+  MassEngine engine(*series);
+  const std::vector<std::size_t> rows = {0, 17, 100, 311, 500};
+  auto batched = engine.ComputeRowProfiles(rows, length, /*num_threads=*/3);
+  ASSERT_TRUE(batched.ok());
+  ASSERT_EQ(batched->size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    auto single = engine.ComputeRowProfile(rows[i], length);
+    ASSERT_TRUE(single.ok());
+    ExpectRowParity((*batched)[i], *single, rows[i], length);
+  }
+}
+
+TEST(MassEngineTest, DistanceProfileMatchesUncached) {
+  const std::size_t n = 1500;
+  auto series = synth::ByName("ecg", n, 19);
+  ASSERT_TRUE(series.ok());
+  Rng rng(23);
+  std::vector<double> query(200);
+  for (auto& x : query) x = rng.Gaussian();
+
+  MassEngine engine(*series);
+  auto cached = engine.DistanceProfile(query);
+  ASSERT_TRUE(cached.ok());
+  auto uncached = DistanceProfile(*series, query);
+  ASSERT_TRUE(uncached.ok());
+  ASSERT_EQ(cached->size(), uncached->size());
+  for (std::size_t j = 0; j < cached->size(); ++j) {
+    EXPECT_NEAR((*cached)[j], (*uncached)[j], 1e-9) << "j=" << j;
+  }
+}
+
+TEST(MassEngineTest, ReusedEngineStaysConsistentAcrossLengths) {
+  // The VALMOD pattern: one engine queried at many lengths; later lengths
+  // must not be perturbed by spectra cached for earlier ones.
+  const std::size_t n = 1024;
+  auto series = synth::ByName("ecg", n, 41);
+  ASSERT_TRUE(series.ok());
+  MassEngine engine(*series);
+  for (std::size_t length = 500; length <= 520; ++length) {
+    auto cached = engine.ComputeRowProfile(123, length);
+    ASSERT_TRUE(cached.ok());
+    auto uncached = ComputeRowProfile(*series, 123, length);
+    ASSERT_TRUE(uncached.ok());
+    ExpectRowParity(*cached, *uncached, 123, length);
+  }
+}
+
+TEST(MassEngineTest, RejectsInvalidWindows) {
+  auto series = synth::ByName("ecg", 256, 1);
+  ASSERT_TRUE(series.ok());
+  MassEngine engine(*series);
+  EXPECT_FALSE(engine.ComputeRowProfile(0, 0).ok());
+  EXPECT_FALSE(engine.ComputeRowProfile(200, 100).ok());
+  const std::vector<std::size_t> rows = {0, 250};
+  EXPECT_FALSE(engine.ComputeRowProfiles(rows, 100).ok());
+  std::vector<double> long_query(300, 1.0);
+  EXPECT_FALSE(engine.DistanceProfile(long_query).ok());
+}
+
+}  // namespace
+}  // namespace valmod::mass
