@@ -1,18 +1,25 @@
 // Micro-benchmark for the batched MASS engine (emits JSON for the perf
 // trajectory):
 //
-//   1. Repeated ComputeRowProfile at a fixed length on a 2^17-point series:
-//      the seed's uncached algorithm (three full-size complex transforms,
-//      trig recomputed per call) vs the current uncached free function
-//      (plan-cached real-input FFT) vs the cached MassEngine (series
-//      spectrum computed once; one query transform + one inverse per call).
+//   1. Repeated row profiles at a fixed length on a 2^17-point series:
+//      the seed's uncached algorithm (three full-size complex transforms)
+//      vs the current uncached free function vs the cached MassEngine
+//      single-query path vs the pair-packed batched path. A frozen copy of
+//      the PR 1 implementation (scalar std::complex radix-2 butterflies,
+//      single query per transform) is kept here as the previous-PR baseline
+//      — the same role SeedSlidingDots plays for the seed — so the JSON
+//      tracks real PR-over-PR gains even though the library paths share the
+//      current (restructured, fused radix-2^2) butterfly kernels.
 //   2. ParallelFor dispatch: spawn-per-call std::thread (the seed's
 //      implementation) vs the persistent pool, plus the pool's
 //      threads-created counter across the timed regions — the observable
 //      "no per-batch thread spawn" guarantee.
 
+#include <cmath>
 #include <complex>
 #include <cstdio>
+#include <memory>
+#include <numbers>
 #include <thread>
 #include <vector>
 
@@ -58,6 +65,172 @@ void SeedRowProfile(const DataSeries& series, std::size_t offset,
   valmod::mass::DistancesFromDots(series, offset, length, dots, distances);
 }
 
+/// Frozen copy of the PR 1 FftPlan: scalar radix-2 butterflies over
+/// std::complex with per-stage strided twiddle lookups, and the
+/// pack-two-reals real-input path. This is the transform the PR 1
+/// single-query engine ran on; the library has since moved to fused
+/// radix-2^2 passes with the complex arithmetic spelled out on doubles.
+class Pr1Plan {
+ public:
+  explicit Pr1Plan(std::size_t n) : n_(n) {
+    bit_reverse_.resize(n_);
+    std::size_t j = 0;
+    bit_reverse_[0] = 0;
+    for (std::size_t i = 1; i < n_; ++i) {
+      std::size_t bit = n_ >> 1;
+      for (; j & bit; bit >>= 1) j ^= bit;
+      j ^= bit;
+      bit_reverse_[i] = static_cast<std::uint32_t>(j);
+    }
+    twiddles_.resize(n_ / 2);
+    for (std::size_t k = 0; k < n_ / 2; ++k) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                           static_cast<double>(n_);
+      twiddles_[k] = {std::cos(angle), std::sin(angle)};
+    }
+    if (n_ >= 4) half_ = std::make_unique<Pr1Plan>(n_ / 2);
+  }
+
+  std::size_t half_spectrum_size() const { return n_ / 2 + 1; }
+
+  void Transform(std::span<std::complex<double>> data, bool forward) const {
+    if (n_ == 1) return;
+    for (std::size_t i = 1; i < n_; ++i) {
+      const std::size_t j = bit_reverse_[i];
+      if (i < j) std::swap(data[i], data[j]);
+    }
+    for (std::size_t len = 2; len <= n_; len <<= 1) {
+      const std::size_t half = len / 2;
+      const std::size_t stride = n_ / len;
+      for (std::size_t start = 0; start < n_; start += len) {
+        for (std::size_t k = 0; k < half; ++k) {
+          const std::complex<double> w =
+              forward ? twiddles_[k * stride]
+                      : std::conj(twiddles_[k * stride]);
+          const std::complex<double> u = data[start + k];
+          const std::complex<double> v = data[start + k + half] * w;
+          data[start + k] = u + v;
+          data[start + k + half] = u - v;
+        }
+      }
+    }
+    if (!forward) {
+      const double inv_n = 1.0 / static_cast<double>(n_);
+      for (auto& x : data) x *= inv_n;
+    }
+  }
+
+  void RealForward(std::span<const double> input,
+                   std::span<std::complex<double>> spectrum) const {
+    const std::size_t m = n_ / 2;
+    auto packed = spectrum.first(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      const double re = 2 * k < input.size() ? input[2 * k] : 0.0;
+      const double im = 2 * k + 1 < input.size() ? input[2 * k + 1] : 0.0;
+      packed[k] = {re, im};
+    }
+    half_->Transform(packed, /*forward=*/true);
+    const std::complex<double> z0 = spectrum[0];
+    spectrum[0] = {z0.real() + z0.imag(), 0.0};
+    spectrum[m] = {z0.real() - z0.imag(), 0.0};
+    for (std::size_t k = 1; k < m - k; ++k) {
+      const std::size_t j = m - k;
+      const std::complex<double> zk = spectrum[k];
+      const std::complex<double> zj = spectrum[j];
+      const std::complex<double> ek = 0.5 * (zk + std::conj(zj));
+      const std::complex<double> ok =
+          (zk - std::conj(zj)) * std::complex<double>(0.0, -0.5);
+      const std::complex<double> ej = 0.5 * (zj + std::conj(zk));
+      const std::complex<double> oj =
+          (zj - std::conj(zk)) * std::complex<double>(0.0, -0.5);
+      spectrum[k] = ek + twiddles_[k] * ok;
+      spectrum[j] = ej + twiddles_[j] * oj;
+    }
+    spectrum[m / 2] = std::conj(spectrum[m / 2]);
+  }
+
+  void RealInverse(std::span<std::complex<double>> spectrum,
+                   std::span<double> output) const {
+    const std::size_t m = n_ / 2;
+    const std::complex<double> x0 = spectrum[0];
+    const std::complex<double> xm = spectrum[m];
+    {
+      const std::complex<double> e0 = 0.5 * (x0 + std::conj(xm));
+      const std::complex<double> o0 = 0.5 * (x0 - std::conj(xm));
+      spectrum[0] = e0 + std::complex<double>(0.0, 1.0) * o0;
+    }
+    for (std::size_t k = 1; k < m - k; ++k) {
+      const std::size_t j = m - k;
+      const std::complex<double> xk = spectrum[k];
+      const std::complex<double> xj = spectrum[j];
+      const std::complex<double> ek = 0.5 * (xk + std::conj(xj));
+      const std::complex<double> ok =
+          0.5 * (xk - std::conj(xj)) * std::conj(twiddles_[k]);
+      const std::complex<double> ej = 0.5 * (xj + std::conj(xk));
+      const std::complex<double> oj =
+          0.5 * (xj - std::conj(xk)) * std::conj(twiddles_[j]);
+      spectrum[k] = ek + std::complex<double>(0.0, 1.0) * ok;
+      spectrum[j] = ej + std::complex<double>(0.0, 1.0) * oj;
+    }
+    spectrum[m / 2] = std::conj(spectrum[m / 2]);
+    auto packed = spectrum.first(m);
+    half_->Transform(packed, /*forward=*/false);
+    for (std::size_t k = 0; k < m; ++k) {
+      output[2 * k] = packed[k].real();
+      output[2 * k + 1] = packed[k].imag();
+    }
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint32_t> bit_reverse_;
+  std::vector<std::complex<double>> twiddles_;
+  std::unique_ptr<Pr1Plan> half_;
+};
+
+/// Frozen copy of the PR 1 cached single-query scheme: series spectrum
+/// computed once, then one real forward + pointwise product + one real
+/// inverse per row — on the PR 1 transform above.
+class Pr1SingleQueryEngine {
+ public:
+  Pr1SingleQueryEngine(const DataSeries& series, std::size_t length)
+      : series_(series),
+        fft_size_(valmod::fft::NextPowerOfTwo(series.size() + length - 1)),
+        plan_(fft_size_),
+        series_bins_(plan_.half_spectrum_size()) {
+    plan_.RealForward(series_.centered(), series_bins_);
+  }
+
+  void ComputeRow(std::size_t offset, std::size_t length,
+                  std::vector<double>* distances) {
+    const auto centered = series_.centered();
+    const auto query = centered.subspan(offset, length);
+    reversed_query_.assign(query.rbegin(), query.rend());
+    bins_.resize(plan_.half_spectrum_size());
+    plan_.RealForward(reversed_query_, bins_);
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+      bins_[i] = series_bins_[i] * bins_[i];
+    }
+    conv_.resize(fft_size_);
+    plan_.RealInverse(bins_, conv_);
+    const std::size_t count = series_.NumSubsequences(length);
+    dots_.resize(count);
+    for (std::size_t i = 0; i < count; ++i) dots_[i] = conv_[length - 1 + i];
+    valmod::mass::DistancesFromDots(series_, offset, length, dots_,
+                                    distances);
+  }
+
+ private:
+  const DataSeries& series_;
+  std::size_t fft_size_;
+  Pr1Plan plan_;
+  std::vector<std::complex<double>> series_bins_;
+  std::vector<double> reversed_query_;
+  std::vector<std::complex<double>> bins_;
+  std::vector<double> conv_;
+  std::vector<double> dots_;
+};
+
 /// The seed's ParallelFor: spawn and join std::threads on every call.
 void SpawnParallelFor(std::size_t begin, std::size_t end, int threads,
                       const std::function<void(std::size_t)>& fn) {
@@ -93,7 +266,7 @@ double Checksum(const std::vector<double>& values) {
 int main() {
   const std::size_t n = std::size_t{1} << 17;
   const std::size_t length = 1024;  // past the cost-model crossover: FFT path
-  const std::size_t repetitions = 20;
+  const std::size_t repetitions = 20;  // even: the pair path packs 2 per FFT
 
   auto series_result = valmod::synth::ByName("ecg", n, 11);
   if (!series_result.ok()) {
@@ -104,39 +277,58 @@ int main() {
   const DataSeries& series = *series_result;
   const std::size_t count = series.NumSubsequences(length);
   const std::size_t stride = count / repetitions;
+  std::vector<std::size_t> rows(repetitions);
+  for (std::size_t r = 0; r < repetitions; ++r) rows[r] = r * stride;
 
   valmod::mass::MassEngine engine(series);
+  Pr1SingleQueryEngine pr1_engine(series, length);
   std::vector<double> scratch;
   double checksum = 0.0;
 
-  // Untimed warmup: builds FFT plans for every variant and the engine's
-  // cached series spectrum (the engine's one-time cost is deliberately
-  // excluded — it is amortized over thousands of calls in real runs, and
-  // the uncached paths get the same plan-warm treatment).
+  // Untimed warmup: builds FFT plans for every variant and the engines'
+  // cached series spectra (the one-time cost is deliberately excluded — it
+  // is amortized over thousands of calls in real runs, and every path gets
+  // the same plan-warm treatment).
   SeedRowProfile(series, 0, length, &scratch);
   (void)valmod::mass::ComputeRowProfile(series, 0, length);
   (void)engine.ComputeRowProfile(0, length);
+  pr1_engine.ComputeRow(0, length, &scratch);
 
   WallTimer timer;
   for (std::size_t r = 0; r < repetitions; ++r) {
-    SeedRowProfile(series, r * stride, length, &scratch);
+    SeedRowProfile(series, rows[r], length, &scratch);
     checksum += Checksum(scratch);
   }
   const double seed_seconds = timer.ElapsedSeconds();
 
   timer.Restart();
   for (std::size_t r = 0; r < repetitions; ++r) {
-    auto row = valmod::mass::ComputeRowProfile(series, r * stride, length);
+    auto row = valmod::mass::ComputeRowProfile(series, rows[r], length);
     checksum += Checksum(row->distances);
   }
   const double uncached_seconds = timer.ElapsedSeconds();
 
   timer.Restart();
   for (std::size_t r = 0; r < repetitions; ++r) {
-    auto row = engine.ComputeRowProfile(r * stride, length);
+    pr1_engine.ComputeRow(rows[r], length, &scratch);
+    checksum += Checksum(scratch);
+  }
+  const double pr1_single_seconds = timer.ElapsedSeconds();
+
+  timer.Restart();
+  for (std::size_t r = 0; r < repetitions; ++r) {
+    auto row = engine.ComputeRowProfile(rows[r], length);
     checksum += Checksum(row->distances);
   }
   const double cached_seconds = timer.ElapsedSeconds();
+
+  // The batched pair-packed path, single-threaded so the speedup isolates
+  // the algorithmic change (pair packing + the restructured butterflies)
+  // rather than core count.
+  timer.Restart();
+  auto batched = engine.ComputeRowProfiles(rows, length, /*num_threads=*/1);
+  const double pair_batched_seconds = timer.ElapsedSeconds();
+  for (const auto& row : *batched) checksum += Checksum(row.distances);
 
   // --- ParallelFor dispatch: spawn-per-call vs persistent pool ----------
   const int threads = 4;
@@ -167,15 +359,21 @@ int main() {
       "{\"bench\":\"mass_engine\",\"series_n\":%zu,\"length\":%zu,"
       "\"repetitions\":%zu,"
       "\"seed_uncached_seconds\":%.6f,\"uncached_seconds\":%.6f,"
-      "\"cached_seconds\":%.6f,"
+      "\"pr1_single_seconds\":%.6f,\"cached_seconds\":%.6f,"
+      "\"pair_batched_seconds\":%.6f,"
       "\"speedup_cached_vs_seed_uncached\":%.3f,"
       "\"speedup_cached_vs_uncached\":%.3f,"
+      "\"speedup_pair_batched_vs_pr1_single\":%.3f,"
+      "\"speedup_pair_batched_vs_cached_single\":%.3f,"
       "\"parallel_for\":{\"rounds\":%zu,\"range\":%zu,\"threads\":%d,"
       "\"spawn_seconds\":%.6f,\"pool_seconds\":%.6f,"
       "\"pool_threads_created_during_timed_rounds\":%llu},"
       "\"checksum\":%.6e}\n",
-      n, length, repetitions, seed_seconds, uncached_seconds, cached_seconds,
+      n, length, repetitions, seed_seconds, uncached_seconds,
+      pr1_single_seconds, cached_seconds, pair_batched_seconds,
       seed_seconds / cached_seconds, uncached_seconds / cached_seconds,
+      pr1_single_seconds / pair_batched_seconds,
+      cached_seconds / pair_batched_seconds,
       rounds, range, threads, spawn_seconds, pool_seconds,
       static_cast<unsigned long long>(created_during), checksum);
   return 0;

@@ -555,9 +555,14 @@ Result<ValmodResult> ValmodRunner::Run() {
     const std::size_t exclusion =
         mp::ExclusionZoneFor(length, options_.exclusion_fraction);
     if (count <= exclusion) {
-      // No non-trivial pair can exist at this or any longer length.
+      // No non-trivial pair can exist at this or any longer length. Each
+      // skipped length still gets a (zeroed) stats entry so result_.stats
+      // stays aligned with result_.per_length for consumers that zip them.
       for (std::size_t l = length; l <= options_.max_length; ++l) {
         EmitLength(l, {});
+        LengthStats skipped;
+        skipped.length = l;
+        result_.stats.push_back(skipped);
         if (options_.build_valmap) result_.valmap.Checkpoint(l);
       }
       break;

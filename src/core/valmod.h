@@ -75,7 +75,9 @@ struct ValmodResult {
   /// The full matrix profile computed at min_length during initialization
   /// (paper Fig. 1b-c); free to expose since phase 1 materializes it.
   mp::MatrixProfile min_length_profile;
-  /// Pruning statistics per length > min_length.
+  /// Pruning statistics per length > min_length, aligned one-to-one with
+  /// per_length[1..] (lengths whose window count cannot fit a non-trivial
+  /// pair are skipped by the sweep and carry all-zero counters).
   std::vector<LengthStats> stats;
   /// Wall-clock split: initial scan vs the variable-length phase.
   double init_seconds = 0.0;

@@ -61,9 +61,64 @@ class FftPlan {
   void RealInverse(std::span<std::complex<double>> spectrum,
                    std::span<double> output) const;
 
+  /// Forward transform in decimation-in-frequency order: natural-order
+  /// input, *bit-reversed* output (`data[i]` holds bin `rev(i)`). Skips the
+  /// permutation pass entirely, so a convolution pipeline that only ever
+  /// multiplies spectra pointwise — a permutation-invariant operation — and
+  /// comes back through InverseBitrev never pays for reordering.
+  /// `data.size()` must equal `size()`.
+  void ForwardBitrev(std::span<std::complex<double>> data) const;
+
+  /// Inverse (with 1/n scaling) consuming a bit-reversed spectrum as
+  /// produced by ForwardBitrev, returning natural-order samples:
+  /// decimation-in-time butterflies with the permutation pass elided.
+  void InverseBitrev(std::span<std::complex<double>> data) const;
+
+  /// Pair-packed forward transform: two real signals per complex FFT.
+  /// Packs `a + i*b` (each zero-padded to `size()` on the right; requires
+  /// `a.size() <= size()` and `b.size() <= size()`) and runs one full-size
+  /// ForwardBitrev, so `spectrum` holds `A + i B` mixed by conjugate
+  /// symmetry, in bit-reversed bin order. `spectrum.size()` must equal
+  /// `size()`. The packed spectrum never needs to be split (and its bin
+  /// order never needs to be undone): any linear pointwise operation — in
+  /// particular multiplying by the spectrum of a shared real signal, see
+  /// MultiplyPairByRealSpectrum — commutes with the packing and is
+  /// permutation-invariant, and RealInversePair separates the two real
+  /// results for free.
+  void RealForwardPair(std::span<const double> a, std::span<const double> b,
+                       std::span<std::complex<double>> spectrum) const;
+
+  /// Multiplies a pair-packed spectrum pointwise by the spectrum of a real
+  /// signal in the same (bit-reversed, full `size()` bins) layout —
+  /// obtained from RealForwardPair with an empty second signal. Because the
+  /// multiplier is the spectrum of a *real* signal, the product is still
+  /// the packed spectrum of `(conv_a) + i*(conv_b)`; because both operands
+  /// share one permutation, the product is a straight elementwise sweep
+  /// with no conjugate-mirror index arithmetic.
+  void MultiplyPairByRealSpectrum(
+      std::span<const std::complex<double>> real_spectrum,
+      std::span<std::complex<double>> pair_spectrum) const;
+
+  /// Inverse of RealForwardPair, including the 1/n scaling: one
+  /// InverseBitrev recovers both real sequences (`a[i]` from the real
+  /// parts, `b[i]` from the imaginary parts). Requires
+  /// `spectrum.size() == size()` and `a.size() == b.size() == size()`.
+  /// `spectrum` is consumed as scratch, so the transform allocates nothing.
+  void RealInversePair(std::span<std::complex<double>> spectrum,
+                       std::span<double> a, std::span<double> b) const;
+
  private:
   void TransformImpl(std::span<std::complex<double>> data,
                      bool forward) const;
+  /// Decimation-in-time butterfly schedule over bit-reversed data (the body
+  /// of TransformImpl after the permutation), without the 1/n scaling.
+  void DitPasses(double* d, bool forward) const;
+  /// One twiddle-free radix-2 pass (span 2).
+  void Radix2Pass(double* d) const;
+  /// Two fused radix-2 DIT passes (spans `len` and `2 * len`) in one sweep.
+  void FusedRadix4Pass(double* d, std::size_t len, bool forward) const;
+  /// Two fused radix-2 DIF passes (spans `2 * len` and `len`) in one sweep.
+  void FusedRadix4PassDif(double* d, std::size_t len, bool forward) const;
 
   std::size_t n_;
   /// Input permutation: element i swaps into bit_reverse_[i].
@@ -80,7 +135,27 @@ class FftPlan {
 /// Process-wide plan registry: returns the cached plan for `n` (a power of
 /// two), building it on first use. Thread-safe; the handle keeps the plan
 /// alive independently of the registry.
+///
+/// The registry is a small LRU bounded at `PlanRegistryCapacity()` entries:
+/// pan-profile workloads that sweep many FFT sizes no longer grow it without
+/// bound. Eviction only drops the registry's reference — live handles (and
+/// parent plans, which hold their half-size child via shared_ptr) keep
+/// evicted plans fully usable.
 std::shared_ptr<const FftPlan> GetPlan(std::size_t n);
+
+/// Maximum number of plans the registry retains. Comfortably above the
+/// deepest half-plan chain a single large plan creates (one entry per
+/// power of two), so building one plan cannot evict another's chain.
+std::size_t PlanRegistryCapacity();
+
+/// Current number of plans held by the registry (for tests).
+std::size_t PlanRegistrySizeForTesting();
+
+/// Overrides the registry capacity (trimming immediately) and returns the
+/// previous value. Exists because exercising eviction at the production
+/// capacity would require plans of ~2^33 points; tests shrink the cap,
+/// observe eviction, and restore.
+std::size_t SetPlanRegistryCapacityForTesting(std::size_t capacity);
 
 }  // namespace valmod::fft
 

@@ -26,6 +26,22 @@ const MassEngine::SeriesSpectrum& MassEngine::SpectrumFor(
   return *it->second;
 }
 
+const MassEngine::SeriesSpectrum& MassEngine::PairSpectrumFor(
+    std::size_t fft_size) {
+  SpectrumFor(fft_size);
+  std::lock_guard<std::mutex> lock(mutex_);
+  SeriesSpectrum& spectrum = *spectra_.find(fft_size)->second;
+  if (spectrum.pair_bins.empty()) {
+    spectrum.pair_bins.resize(fft_size);
+    // The full-size bit-reversed spectrum: RealForwardPair with an empty
+    // second lane is exactly "spectrum of one real signal" in the pair
+    // pipeline's layout.
+    spectrum.plan->RealForwardPair(series_.centered(), {},
+                                   spectrum.pair_bins);
+  }
+  return spectrum;
+}
+
 std::unique_ptr<MassEngine::Scratch> MassEngine::AcquireScratch() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -83,6 +99,73 @@ void MassEngine::CachedSlidingDots(std::span<const double> query,
   ReleaseScratch(std::move(scratch));
 }
 
+void MassEngine::CachedSlidingDotsPair(std::span<const double> query_a,
+                                       std::span<const double> query_b,
+                                       std::size_t length,
+                                       std::vector<double>* dots_a,
+                                       std::vector<double>* dots_b) {
+  const auto centered = series_.centered();
+  const std::size_t n = centered.size();
+  const std::size_t m = length;
+  const std::size_t out_size = n + m - 1;
+  const std::size_t fft_size = fft::NextPowerOfTwo(out_size);
+  const std::size_t count = n - m + 1;
+
+  if (fft_size < 2) {  // single-point series and queries
+    dots_a->assign(1, query_a[0] * centered[0]);
+    dots_b->assign(1, query_b[0] * centered[0]);
+    return;
+  }
+
+  const SeriesSpectrum& spectrum = PairSpectrumFor(fft_size);
+  std::unique_ptr<Scratch> scratch = AcquireScratch();
+
+  // Both reversed queries ride one full-size complex transform (real and
+  // imaginary lanes), the packed spectrum is multiplied elementwise by the
+  // cached bit-reversed series spectrum — legal because multiplying by a
+  // shared real spectrum commutes with the packing, and order-agnostic
+  // because a pointwise product doesn't care how bins are permuted — and
+  // one inverse separates both convolutions. Two rows therefore cost one
+  // forward + one inverse + one product, with none of the single-query
+  // path's even/odd recombination sweeps and (running DIF -> DIT) no
+  // bit-reversal permutation passes at all.
+  scratch->reversed_query.assign(query_a.rbegin(), query_a.rend());
+  scratch->reversed_query_b.assign(query_b.rbegin(), query_b.rend());
+  scratch->pair_bins.resize(fft_size);
+  spectrum.plan->RealForwardPair(scratch->reversed_query,
+                                 scratch->reversed_query_b,
+                                 scratch->pair_bins);
+  spectrum.plan->MultiplyPairByRealSpectrum(spectrum.pair_bins,
+                                            scratch->pair_bins);
+  // Instead of RealInversePair (which would materialize two full-size real
+  // arrays only for `count` entries of each to survive), run the inverse in
+  // place and read the two convolutions straight out of the packed buffer's
+  // real/imaginary lanes — at large sizes the two skipped full-size unpack
+  // sweeps are a measurable share of the pair cost.
+  spectrum.plan->InverseBitrev(scratch->pair_bins);
+
+  dots_a->resize(count);
+  dots_b->resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    (*dots_a)[i] = scratch->pair_bins[m - 1 + i].real();
+    (*dots_b)[i] = scratch->pair_bins[m - 1 + i].imag();
+  }
+  ReleaseScratch(std::move(scratch));
+}
+
+void MassEngine::ComputeRowPairFft(std::size_t offset_a, std::size_t offset_b,
+                                   std::size_t length, RowProfile* row_a,
+                                   RowProfile* row_b) {
+  const auto centered = series_.centered();
+  CachedSlidingDotsPair(centered.subspan(offset_a, length),
+                        centered.subspan(offset_b, length), length,
+                        &row_a->dots, &row_b->dots);
+  DistancesFromDots(series_, offset_a, length, row_a->dots,
+                    &row_a->distances);
+  DistancesFromDots(series_, offset_b, length, row_b->dots,
+                    &row_b->distances);
+}
+
 Result<RowProfile> MassEngine::ComputeRowProfile(std::size_t query_offset,
                                                  std::size_t length) {
   VALMOD_RETURN_IF_ERROR(ValidateWindow(series_, query_offset, length));
@@ -106,17 +189,48 @@ Result<std::vector<RowProfile>> MassEngine::ComputeRowProfiles(
     VALMOD_RETURN_IF_ERROR(ValidateWindow(series_, row, length));
   }
   const std::size_t count = series_.NumSubsequences(length);
-  if (!rows.empty() && PreferFftSlidingDots(series_.size(), length, count)) {
-    // Warm the spectrum serially so pool workers never contend on its
-    // one-time construction.
-    SpectrumFor(fft::NextPowerOfTwo(series_.size() + length - 1));
+  std::vector<RowProfile> profiles(rows.size());
+  if (rows.empty()) return profiles;
+
+  if (!PreferFftSlidingDots(series_.size(), length, count)) {
+    // Short windows: the direct product beats any transform; rows stay
+    // independent, so just fan them out.
+    VALMOD_RETURN_IF_ERROR(ParallelForWithStatus(
+        0, rows.size(), num_threads, [&](std::size_t i) -> Status {
+          VALMOD_ASSIGN_OR_RETURN(profiles[i],
+                                  ComputeRowProfile(rows[i], length));
+          return Status::Ok();
+        }));
+    return profiles;
   }
 
-  std::vector<RowProfile> profiles(rows.size());
+  // Adjacent rows share one pair-packed transform; an odd tail row falls
+  // back to the single-query path. The pairing depends only on the order of
+  // `rows`, so results are independent of num_threads.
+  const std::size_t pairs = rows.size() / 2;
+  const std::size_t tasks = pairs + rows.size() % 2;
+
+  // Warm the spectra serially so pool workers never contend on their
+  // one-time construction — only the ones this batch will touch (the
+  // full-size pair spectrum costs a full-size transform and ~fft_size * 16
+  // bytes, so a single-row batch sticks to the half spectrum).
+  const std::size_t fft_size =
+      fft::NextPowerOfTwo(series_.size() + length - 1);
+  if (pairs > 0) {
+    PairSpectrumFor(fft_size);
+  }
+  if (rows.size() % 2 != 0) {
+    SpectrumFor(fft_size);
+  }
   VALMOD_RETURN_IF_ERROR(ParallelForWithStatus(
-      0, rows.size(), num_threads, [&](std::size_t i) -> Status {
-        VALMOD_ASSIGN_OR_RETURN(profiles[i],
-                                ComputeRowProfile(rows[i], length));
+      0, tasks, num_threads, [&](std::size_t t) -> Status {
+        if (t < pairs) {
+          ComputeRowPairFft(rows[2 * t], rows[2 * t + 1], length,
+                            &profiles[2 * t], &profiles[2 * t + 1]);
+          return Status::Ok();
+        }
+        VALMOD_ASSIGN_OR_RETURN(profiles.back(),
+                                ComputeRowProfile(rows.back(), length));
         return Status::Ok();
       }));
   return profiles;
@@ -131,10 +245,20 @@ Result<std::vector<double>> MassEngine::DistanceProfile(
     return Status::InvalidArgument("query longer than series");
   }
   const std::size_t length = query.size();
+  const std::size_t count = series_.NumSubsequences(length);
 
   VALMOD_ASSIGN_OR_RETURN(CenteredQuery centered, CenterQuery(query));
+  // Same cost-based path selection as ComputeRowProfile: for short queries
+  // (or short series) the direct products beat the transforms by a wide
+  // margin, and unconditionally taking the FFT path would also pay the
+  // engine's one-time series-spectrum build for a single cheap call.
   std::vector<double> dots;
-  CachedSlidingDots(centered.values, length, &dots);
+  if (!PreferFftSlidingDots(series_.size(), length, count)) {
+    dots = DirectExternalSlidingDots(series_.centered(), centered.values,
+                                     count);
+  } else {
+    CachedSlidingDots(centered.values, length, &dots);
+  }
 
   std::vector<double> distances;
   DistancesFromExternalQueryDots(series_, centered.std_dev,

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "fft/fft.h"
+#include "mass/engine.h"
 #include "series/znorm.h"
 #include "stats/moving_stats.h"
 
@@ -59,10 +60,19 @@ void DistancesFromExternalQueryDots(const series::DataSeries& series,
 std::vector<double> DirectSlidingDots(std::span<const double> centered,
                                       std::size_t query_offset,
                                       std::size_t length, std::size_t count) {
+  return DirectExternalSlidingDots(centered,
+                                   centered.subspan(query_offset, length),
+                                   count);
+}
+
+std::vector<double> DirectExternalSlidingDots(
+    std::span<const double> centered_series,
+    std::span<const double> centered_query, std::size_t count) {
   std::vector<double> dots(count);
-  const double* query = centered.data() + query_offset;
   for (std::size_t j = 0; j < count; ++j) {
-    dots[j] = series::DotProduct(query, centered.data() + j, length);
+    dots[j] = series::DotProduct(centered_query.data(),
+                                 centered_series.data() + j,
+                                 centered_query.size());
   }
   return dots;
 }
@@ -106,42 +116,17 @@ void DistancesFromDots(const series::DataSeries& series,
 Result<RowProfile> ComputeRowProfile(const series::DataSeries& series,
                                      std::size_t query_offset,
                                      std::size_t length) {
-  VALMOD_RETURN_IF_ERROR(ValidateWindow(series, query_offset, length));
-
-  const auto centered = series.centered();
-  const std::size_t count = series.NumSubsequences(length);
-
-  RowProfile row;
-  if (!PreferFftSlidingDots(series.size(), length, count)) {
-    row.dots = DirectSlidingDots(centered, query_offset, length, count);
-  } else {
-    VALMOD_ASSIGN_OR_RETURN(
-        row.dots, fft::SlidingDotProducts(
-                      centered, centered.subspan(query_offset, length)));
-  }
-  DistancesFromDots(series, query_offset, length, row.dots, &row.distances);
-  return row;
+  // A throwaway engine re-derives nothing the uncached path didn't already
+  // pay for (the series spectrum is built once either way); routing through
+  // it keeps the kernels and the cost model in exactly one place.
+  MassEngine engine(series);
+  return engine.ComputeRowProfile(query_offset, length);
 }
 
 Result<std::vector<double>> DistanceProfile(const series::DataSeries& series,
                                             std::span<const double> query) {
-  if (query.empty()) {
-    return Status::InvalidArgument("query must be non-empty");
-  }
-  if (query.size() > series.size()) {
-    return Status::InvalidArgument("query longer than series");
-  }
-  const std::size_t length = query.size();
-
-  VALMOD_ASSIGN_OR_RETURN(CenteredQuery centered, CenterQuery(query));
-  VALMOD_ASSIGN_OR_RETURN(
-      std::vector<double> dots,
-      fft::SlidingDotProducts(series.centered(), centered.values));
-
-  std::vector<double> distances;
-  DistancesFromExternalQueryDots(series, centered.std_dev, centered.constant,
-                                 length, dots, &distances);
-  return distances;
+  MassEngine engine(series);
+  return engine.DistanceProfile(query);
 }
 
 Result<std::vector<double>> BruteDistanceProfile(

@@ -29,12 +29,18 @@ struct RowProfile {
 /// MASS (Mueen's Algorithm for Similarity Search), self-join form: distance
 /// profile of the subsequence of `series` at `query_offset` with `length`
 /// points against every subsequence of the same series. O(n log n).
+///
+/// Thin wrapper over a throwaway `MassEngine` (see mass/engine.h), so the
+/// kernels exist exactly once; callers issuing more than one query against
+/// the same series should hold an engine instead to reuse its cached series
+/// spectrum.
 Result<RowProfile> ComputeRowProfile(const series::DataSeries& series,
                                      std::size_t query_offset,
                                      std::size_t length);
 
 /// MASS against an external query: z-normalized distances between `query`
 /// and every subsequence of `series` of `query.size()` points. O(n log n).
+/// Thin wrapper over a throwaway `MassEngine`, like ComputeRowProfile.
 Result<std::vector<double>> DistanceProfile(const series::DataSeries& series,
                                             std::span<const double> query);
 
@@ -82,6 +88,12 @@ void DistancesFromExternalQueryDots(const series::DataSeries& series,
 std::vector<double> DirectSlidingDots(std::span<const double> centered,
                                       std::size_t query_offset,
                                       std::size_t length, std::size_t count);
+
+/// Direct sliding dot products of an external centered query against the
+/// centered series; the short-query fallback of the distance-profile paths.
+std::vector<double> DirectExternalSlidingDots(
+    std::span<const double> centered_series,
+    std::span<const double> centered_query, std::size_t count);
 
 /// True when the FFT path is estimated cheaper than `count * length` direct
 /// multiply-adds for this series size. Single source of the cost model so

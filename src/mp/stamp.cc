@@ -1,5 +1,7 @@
 #include "mp/stamp.h"
 
+#include <algorithm>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -26,20 +28,37 @@ Result<MatrixProfile> ComputeStamp(const series::DataSeries& series,
   profile.indices.assign(count, -1);
 
   // One engine for the whole sweep: the series spectrum and FFT plan are
-  // computed once and shared by all `count` row profiles, so each row costs
-  // one query transform + one inverse instead of three full transforms.
+  // computed once and shared by all `count` row profiles. Rows are pulled
+  // through the engine's batched entry point in fixed-size chunks, which
+  // (a) fans each chunk across options.num_threads pool workers, (b) lets
+  // adjacent rows share one pair-packed transform, and (c) bounds how much
+  // work runs between deadline checks. The chunk size is even so the row
+  // pairing — and therefore the numerics — never depends on the thread
+  // count, only on the (fixed) row order.
   mass::MassEngine engine(series);
-  for (std::size_t i = 0; i < count; ++i) {
-    if ((i & 31) == 0 && options.deadline.Expired()) {
+  const int num_threads = std::max(1, options.num_threads);
+  const std::size_t chunk =
+      std::max<std::size_t>(64, 16 * static_cast<std::size_t>(num_threads));
+  std::vector<std::size_t> rows;
+  for (std::size_t begin = 0; begin < count; begin += chunk) {
+    if (options.deadline.Expired()) {
       return Status::DeadlineExceeded("STAMP timed out");
     }
-    VALMOD_ASSIGN_OR_RETURN(mass::RowProfile row,
-                            engine.ComputeRowProfile(i, length));
-    mass::ApplyExclusionZone(&row.distances, i, profile.exclusion_zone);
-    for (std::size_t j = 0; j < count; ++j) {
-      if (row.distances[j] < profile.distances[i]) {
-        profile.distances[i] = row.distances[j];
-        profile.indices[i] = static_cast<int64_t>(j);
+    const std::size_t end = std::min(count, begin + chunk);
+    rows.resize(end - begin);
+    std::iota(rows.begin(), rows.end(), begin);
+    VALMOD_ASSIGN_OR_RETURN(
+        std::vector<mass::RowProfile> batch,
+        engine.ComputeRowProfiles(rows, length, num_threads));
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      const std::size_t i = begin + b;
+      mass::RowProfile& row = batch[b];
+      mass::ApplyExclusionZone(&row.distances, i, profile.exclusion_zone);
+      for (std::size_t j = 0; j < count; ++j) {
+        if (row.distances[j] < profile.distances[i]) {
+          profile.distances[i] = row.distances[j];
+          profile.indices[i] = static_cast<int64_t>(j);
+        }
       }
     }
   }

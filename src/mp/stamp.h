@@ -12,7 +12,9 @@ namespace valmod::mp {
 /// STAMP (Matrix Profile I): exact matrix profile at one length in
 /// O(n^2 log n) — one MASS distance profile per subsequence. Slower than
 /// STOMP but with an entirely independent inner loop, which makes it a
-/// useful cross-check and the natural anytime variant.
+/// useful cross-check and the natural anytime variant. Rows run through the
+/// batched MassEngine in chunks spread across `options.num_threads` pool
+/// workers; the result is independent of the thread count.
 Result<MatrixProfile> ComputeStamp(const series::DataSeries& series,
                                    std::size_t length,
                                    const ProfileOptions& options = {});

@@ -85,6 +85,12 @@ TEST(MassEngineTest, ConstantWindowRowsMatchUncached) {
   }
 }
 
+// Batched rows go through the pair-packed transform (two queries per
+// complex FFT, DIF bin order), while single calls transform each query
+// alone through the half-size real-input path. The mathematics agree but
+// the floating-point evaluation order differs, so parity here is the
+// 1e-9-relative kind checked by ExpectRowParity, not bit-identity — that is
+// inherent to packing, not a looseness in the implementation.
 TEST(MassEngineTest, BatchedMatchesSingleCalls) {
   const std::size_t n = 1024;
   const std::size_t length = 512;  // FFT path at this size
@@ -92,6 +98,7 @@ TEST(MassEngineTest, BatchedMatchesSingleCalls) {
   ASSERT_TRUE(series.ok());
 
   MassEngine engine(*series);
+  // Odd row count: the tail row exercises the single-query fallback.
   const std::vector<std::size_t> rows = {0, 17, 100, 311, 500};
   auto batched = engine.ComputeRowProfiles(rows, length, /*num_threads=*/3);
   ASSERT_TRUE(batched.ok());
@@ -100,6 +107,33 @@ TEST(MassEngineTest, BatchedMatchesSingleCalls) {
     auto single = engine.ComputeRowProfile(rows[i], length);
     ASSERT_TRUE(single.ok());
     ExpectRowParity((*batched)[i], *single, rows[i], length);
+  }
+}
+
+TEST(MassEngineTest, BatchedPairingIndependentOfThreadCount) {
+  const std::size_t n = 2048;
+  const std::size_t length = 1024;  // FFT path
+  auto series = synth::ByName("ecg", n, 13);
+  ASSERT_TRUE(series.ok());
+
+  MassEngine engine(*series);
+  std::vector<std::size_t> rows;
+  for (std::size_t r = 0; r + length <= n; r += 97) rows.push_back(r);
+  auto serial = engine.ComputeRowProfiles(rows, length, /*num_threads=*/1);
+  auto threaded = engine.ComputeRowProfiles(rows, length, /*num_threads=*/4);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(threaded.ok());
+  ASSERT_EQ(serial->size(), threaded->size());
+  // Pairing depends only on row order, so the results must be bit-equal
+  // across thread counts.
+  for (std::size_t i = 0; i < serial->size(); ++i) {
+    ASSERT_EQ((*serial)[i].distances.size(), (*threaded)[i].distances.size());
+    for (std::size_t j = 0; j < (*serial)[i].distances.size(); ++j) {
+      EXPECT_EQ((*serial)[i].dots[j], (*threaded)[i].dots[j])
+          << "row " << rows[i] << " j=" << j;
+      EXPECT_EQ((*serial)[i].distances[j], (*threaded)[i].distances[j])
+          << "row " << rows[i] << " j=" << j;
+    }
   }
 }
 
@@ -119,6 +153,54 @@ TEST(MassEngineTest, DistanceProfileMatchesUncached) {
   ASSERT_EQ(cached->size(), uncached->size());
   for (std::size_t j = 0; j < cached->size(); ++j) {
     EXPECT_NEAR((*cached)[j], (*uncached)[j], 1e-9) << "j=" << j;
+  }
+}
+
+// DistanceProfile routes through the same cost model as ComputeRowProfile;
+// both the direct-product branch (short query) and the FFT branch (long
+// query) must agree with the brute-force definition. The configurations
+// are asserted to actually land on opposite sides of the crossover so the
+// test fails loudly if the cost model shifts from under it.
+TEST(MassEngineTest, DistanceProfileDirectPathMatchesBruteForce) {
+  const std::size_t n = 600;
+  const std::size_t length = 16;
+  ASSERT_FALSE(
+      PreferFftSlidingDots(n, length, n - length + 1));  // direct branch
+  auto series = synth::ByName("ecg", n, 29);
+  ASSERT_TRUE(series.ok());
+  Rng rng(31);
+  std::vector<double> query(length);
+  for (auto& x : query) x = rng.Gaussian();
+
+  MassEngine engine(*series);
+  auto fast = engine.DistanceProfile(query);
+  ASSERT_TRUE(fast.ok());
+  auto brute = BruteDistanceProfile(*series, query);
+  ASSERT_TRUE(brute.ok());
+  ASSERT_EQ(fast->size(), brute->size());
+  for (std::size_t j = 0; j < fast->size(); ++j) {
+    EXPECT_NEAR((*fast)[j], (*brute)[j], 1e-5) << "j=" << j;
+  }
+}
+
+TEST(MassEngineTest, DistanceProfileFftPathMatchesBruteForce) {
+  const std::size_t n = 2048;
+  const std::size_t length = 1024;
+  ASSERT_TRUE(PreferFftSlidingDots(n, length, n - length + 1));  // FFT branch
+  auto series = synth::ByName("random_walk", n, 37);
+  ASSERT_TRUE(series.ok());
+  Rng rng(41);
+  std::vector<double> query(length);
+  for (auto& x : query) x = rng.Gaussian();
+
+  MassEngine engine(*series);
+  auto fast = engine.DistanceProfile(query);
+  ASSERT_TRUE(fast.ok());
+  auto brute = BruteDistanceProfile(*series, query);
+  ASSERT_TRUE(brute.ok());
+  ASSERT_EQ(fast->size(), brute->size());
+  for (std::size_t j = 0; j < fast->size(); ++j) {
+    EXPECT_NEAR((*fast)[j], (*brute)[j], 1e-5) << "j=" << j;
   }
 }
 

@@ -54,6 +54,56 @@ INSTANTIATE_TEST_SUITE_P(Workloads, StampTest,
                                            StampCase{"sine", 300, 30},
                                            StampCase{"ecg", 350, 40}));
 
+// STAMP fans row chunks across the thread pool; the chunking and the
+// engine's row pairing depend only on the (fixed) row order, so the profile
+// must be bit-identical across thread counts — on both sides of the MASS
+// cost-model crossover (direct products for short windows, pair-packed FFT
+// for long ones).
+TEST(StampThreadingTest, ThreadCountDoesNotChangeOutputDirectPath) {
+  auto series = synth::ByName("ecg", 700, 47);
+  ASSERT_TRUE(series.ok());
+  ProfileOptions serial;
+  serial.num_threads = 1;
+  ProfileOptions threaded;
+  threaded.num_threads = 4;
+  auto a = ComputeStamp(*series, 40, serial);
+  auto b = ComputeStamp(*series, 40, threaded);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->distances[i], b->distances[i]) << i;
+    EXPECT_EQ(a->indices[i], b->indices[i]) << i;
+  }
+}
+
+TEST(StampThreadingTest, ThreadCountDoesNotChangeOutputFftPath) {
+  // 2048 points at length 1024 sits past the cost-model crossover, so rows
+  // run through the pair-packed FFT path.
+  auto series = synth::ByName("random_walk", 2048, 49);
+  ASSERT_TRUE(series.ok());
+  ProfileOptions serial;
+  serial.num_threads = 1;
+  ProfileOptions threaded;
+  threaded.num_threads = 4;
+  auto a = ComputeStamp(*series, 1024, serial);
+  auto b = ComputeStamp(*series, 1024, threaded);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->distances[i], b->distances[i]) << i;
+    EXPECT_EQ(a->indices[i], b->indices[i]) << i;
+  }
+  // And the FFT-path profile must still agree with STOMP's independently
+  // derived profile.
+  auto stomp = ComputeStomp(*series, 1024, {});
+  ASSERT_TRUE(stomp.ok());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_NEAR(a->distances[i], stomp->distances[i], 2e-6) << i;
+  }
+}
+
 TEST(StampDeadlineTest, HonorsDeadline) {
   auto series = synth::ByName("random_walk", 2000, 5);
   ASSERT_TRUE(series.ok());

@@ -310,6 +310,40 @@ TEST(ValmodTest, SeriesWithConstantRegionStaysExact) {
   ExpectSamePerLengthDistances(result->per_length, *baseline, 2e-5);
 }
 
+TEST(ValmodTest, StatsStayAlignedWhenRangeShrinksToNoPairs) {
+  // Regression: the early-exit path for lengths whose window count cannot
+  // fit a non-trivial pair used to emit empty per_length entries with no
+  // matching LengthStats, silently desyncing the two vectors for consumers
+  // that zip them. Skipped lengths must now carry zeroed stats entries.
+  auto series = synth::ByName("random_walk", 30, 43);
+  ASSERT_TRUE(series.ok());
+  ValmodOptions options;
+  options.min_length = 5;
+  options.max_length = 29;
+  auto result = RunValmod(*series, options);
+  ASSERT_TRUE(result.ok());
+
+  // per_length covers [min_length, max_length]; stats covers the update
+  // lengths (min_length, max_length] — one entry per length, aligned.
+  ASSERT_EQ(result->per_length.size(), 25u);
+  ASSERT_EQ(result->stats.size(), result->per_length.size() - 1);
+  for (std::size_t i = 0; i < result->stats.size(); ++i) {
+    EXPECT_EQ(result->stats[i].length, result->per_length[i + 1].length)
+        << "stats desynced at index " << i;
+  }
+  // The tail lengths were skipped (no possible pair): empty motifs and
+  // all-zero counters.
+  const LengthStats& last = result->stats.back();
+  EXPECT_TRUE(result->per_length.back().motifs.empty());
+  EXPECT_EQ(last.valid_rows + last.invalid_rows + last.constant_rows, 0u);
+  EXPECT_EQ(last.recomputed_rows, 0u);
+  EXPECT_EQ(last.passes, 0u);
+  // Early lengths were processed normally and account for their rows.
+  const LengthStats& first = result->stats.front();
+  EXPECT_EQ(first.valid_rows + first.invalid_rows + first.constant_rows,
+            series->size() - first.length + 1);
+}
+
 TEST(ValmodTest, RangeShrinkingToNoPairs) {
   // With 30 points and max_length 29, long lengths leave too few windows
   // for any non-trivial pair; those lengths must report empty motif lists.
