@@ -1,16 +1,23 @@
 // Micro-benchmark for the batched MASS engine (emits JSON for the perf
-// trajectory):
+// trajectory; pass an output path as argv[1] to also write the JSON to a
+// file — the VALMOD_BENCH_JSON CMake target and CI use this for the
+// BENCH_engine.json artifact):
 //
 //   1. Repeated row profiles at a fixed length on a 2^17-point series:
 //      the seed's uncached algorithm (three full-size complex transforms)
 //      vs the current uncached free function vs the cached MassEngine
-//      single-query path vs the pair-packed batched path. A frozen copy of
-//      the PR 1 implementation (scalar std::complex radix-2 butterflies,
-//      single query per transform) is kept here as the previous-PR baseline
-//      — the same role SeedSlidingDots plays for the seed — so the JSON
-//      tracks real PR-over-PR gains even though the library paths share the
-//      current (restructured, fused radix-2^2) butterfly kernels.
-//   2. ParallelFor dispatch: spawn-per-call std::thread (the seed's
+//      single-query path vs the pair-packed batched path vs the
+//      overlap-save batched path. A frozen copy of the PR 1 implementation
+//      (scalar std::complex radix-2 butterflies, single query per
+//      transform) is kept here as the previous-PR baseline — the same role
+//      SeedSlidingDots plays for the seed — so the JSON tracks real
+//      PR-over-PR gains even though the library paths share the current
+//      (restructured, fused radix-2^2) butterfly kernels.
+//   2. A backend sweep at 2^15 / 2^17 / 2^19 points: cached single-query
+//      vs pair-packed vs overlap-save rows, single-threaded so the
+//      speedups isolate the algorithm, plus the backend the cost model
+//      actually picks at each size.
+//   3. ParallelFor dispatch: spawn-per-call std::thread (the seed's
 //      implementation) vs the persistent pool, plus the pool's
 //      threads-created counter across the timed regions — the observable
 //      "no per-batch thread spawn" guarantee.
@@ -18,6 +25,7 @@
 #include <cmath>
 #include <complex>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <numbers>
 #include <thread>
@@ -261,9 +269,79 @@ double Checksum(const std::vector<double>& values) {
   return acc;
 }
 
+/// One backend-sweep configuration: single-threaded row-profile timings for
+/// the cached single-query, pair-packed, and overlap-save paths at one
+/// series size.
+struct SweepResult {
+  std::size_t series_n = 0;
+  std::size_t repetitions = 0;
+  double single_seconds = 0.0;
+  double pair_seconds = 0.0;
+  double overlap_save_seconds = 0.0;
+  const char* auto_backend = "";
+};
+
+SweepResult RunBackendSweep(std::size_t n, std::size_t length,
+                            std::size_t repetitions, double* checksum) {
+  auto series_result = valmod::synth::ByName("ecg", n, 11);
+  if (!series_result.ok()) {
+    std::fprintf(stderr, "series generation failed: %s\n",
+                 series_result.status().ToString().c_str());
+    std::exit(1);
+  }
+  const DataSeries& series = *series_result;
+  const std::size_t count = series.NumSubsequences(length);
+  const std::size_t stride = count / repetitions;
+  std::vector<std::size_t> rows(repetitions);
+  for (std::size_t r = 0; r < repetitions; ++r) rows[r] = r * stride;
+
+  using valmod::mass::ConvolutionBackend;
+  valmod::mass::MassEngine engine(series);
+  WallTimer timer;
+  SweepResult result;
+  result.series_n = n;
+  result.repetitions = repetitions;
+  result.auto_backend = valmod::mass::ConvolutionBackendName(
+      valmod::mass::ChooseConvolutionBackend(n, length, count));
+
+  // Untimed warmup per backend: plans, the cached series spectra, and the
+  // overlap-save chunk spectra are one-time costs amortized over thousands
+  // of rows in real runs, so every path gets the same warm treatment.
+  const std::vector<std::size_t> warm_rows = {0, stride};
+  (void)engine.ComputeRowProfile(0, length, ConvolutionBackend::kFftSingle);
+  (void)engine.ComputeRowProfiles(warm_rows, length, 1,
+                                  ConvolutionBackend::kFftPair);
+  (void)engine.ComputeRowProfiles(warm_rows, length, 1,
+                                  ConvolutionBackend::kOverlapSave);
+
+  timer.Restart();
+  for (std::size_t r = 0; r < repetitions; ++r) {
+    auto row =
+        engine.ComputeRowProfile(rows[r], length, ConvolutionBackend::kFftSingle);
+    *checksum += Checksum(row->distances);
+  }
+  result.single_seconds = timer.ElapsedSeconds();
+
+  // Checksums run inside every timed region (the single-query loop
+  // checksums per iteration), so the reported ratios compare backend
+  // against backend, not backend against backend-plus-checksum.
+  timer.Restart();
+  auto pair = engine.ComputeRowProfiles(rows, length, /*num_threads=*/1,
+                                        ConvolutionBackend::kFftPair);
+  for (const auto& row : *pair) *checksum += Checksum(row.distances);
+  result.pair_seconds = timer.ElapsedSeconds();
+
+  timer.Restart();
+  auto ols = engine.ComputeRowProfiles(rows, length, /*num_threads=*/1,
+                                       ConvolutionBackend::kOverlapSave);
+  for (const auto& row : *ols) *checksum += Checksum(row.distances);
+  result.overlap_save_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::size_t n = std::size_t{1} << 17;
   const std::size_t length = 1024;  // past the cost-model crossover: FFT path
   const std::size_t repetitions = 20;  // even: the pair path packs 2 per FFT
@@ -322,13 +400,36 @@ int main() {
   }
   const double cached_seconds = timer.ElapsedSeconds();
 
-  // The batched pair-packed path, single-threaded so the speedup isolates
-  // the algorithmic change (pair packing + the restructured butterflies)
-  // rather than core count.
+  // The batched pair-packed and overlap-save paths, single-threaded so the
+  // speedups isolate the algorithmic change rather than core count. The
+  // backends are forced: at this size the cost model itself picks
+  // overlap-save, and the JSON should keep tracking both.
+  using valmod::mass::ConvolutionBackend;
+  (void)engine.ComputeRowProfiles({rows.data(), 2}, length, 1,
+                                  ConvolutionBackend::kOverlapSave);  // warm
   timer.Restart();
-  auto batched = engine.ComputeRowProfiles(rows, length, /*num_threads=*/1);
-  const double pair_batched_seconds = timer.ElapsedSeconds();
+  auto batched = engine.ComputeRowProfiles(rows, length, /*num_threads=*/1,
+                                           ConvolutionBackend::kFftPair);
   for (const auto& row : *batched) checksum += Checksum(row.distances);
+  const double pair_batched_seconds = timer.ElapsedSeconds();
+
+  timer.Restart();
+  auto overlap_batched = engine.ComputeRowProfiles(
+      rows, length, /*num_threads=*/1, ConvolutionBackend::kOverlapSave);
+  for (const auto& row : *overlap_batched) {
+    checksum += Checksum(row.distances);
+  }
+  const double overlap_save_batched_seconds = timer.ElapsedSeconds();
+
+  // Backend sweep across series sizes (fewer repetitions at 2^19 to keep
+  // the bench quick; still even so every row pairs up).
+  std::vector<SweepResult> sweep;
+  sweep.push_back(
+      RunBackendSweep(std::size_t{1} << 15, length, 20, &checksum));
+  sweep.push_back(
+      RunBackendSweep(std::size_t{1} << 17, length, 20, &checksum));
+  sweep.push_back(
+      RunBackendSweep(std::size_t{1} << 19, length, 8, &checksum));
 
   // --- ParallelFor dispatch: spawn-per-call vs persistent pool ----------
   const int threads = 4;
@@ -355,26 +456,61 @@ int main() {
       valmod::ThreadPool::Shared().threads_created() - created_before;
   checksum += Checksum(sink);
 
-  std::printf(
+  char sweep_json[1024];
+  std::size_t sweep_len = 0;
+  for (std::size_t s = 0; s < sweep.size(); ++s) {
+    const SweepResult& r = sweep[s];
+    sweep_len += static_cast<std::size_t>(std::snprintf(
+        sweep_json + sweep_len, sizeof(sweep_json) - sweep_len,
+        "%s{\"series_n\":%zu,\"repetitions\":%zu,"
+        "\"cached_single_seconds\":%.6f,\"pair_batched_seconds\":%.6f,"
+        "\"overlap_save_batched_seconds\":%.6f,"
+        "\"speedup_overlap_save_vs_pair\":%.3f,"
+        "\"speedup_overlap_save_vs_single\":%.3f,"
+        "\"auto_backend\":\"%s\"}",
+        s == 0 ? "" : ",", r.series_n, r.repetitions, r.single_seconds,
+        r.pair_seconds, r.overlap_save_seconds,
+        r.pair_seconds / r.overlap_save_seconds,
+        r.single_seconds / r.overlap_save_seconds, r.auto_backend));
+  }
+
+  char json[2560];
+  std::snprintf(
+      json, sizeof(json),
       "{\"bench\":\"mass_engine\",\"series_n\":%zu,\"length\":%zu,"
       "\"repetitions\":%zu,"
       "\"seed_uncached_seconds\":%.6f,\"uncached_seconds\":%.6f,"
       "\"pr1_single_seconds\":%.6f,\"cached_seconds\":%.6f,"
       "\"pair_batched_seconds\":%.6f,"
+      "\"overlap_save_batched_seconds\":%.6f,"
       "\"speedup_cached_vs_seed_uncached\":%.3f,"
       "\"speedup_cached_vs_uncached\":%.3f,"
       "\"speedup_pair_batched_vs_pr1_single\":%.3f,"
       "\"speedup_pair_batched_vs_cached_single\":%.3f,"
+      "\"speedup_overlap_save_vs_pair\":%.3f,"
+      "\"sweep\":[%s],"
       "\"parallel_for\":{\"rounds\":%zu,\"range\":%zu,\"threads\":%d,"
       "\"spawn_seconds\":%.6f,\"pool_seconds\":%.6f,"
       "\"pool_threads_created_during_timed_rounds\":%llu},"
       "\"checksum\":%.6e}\n",
       n, length, repetitions, seed_seconds, uncached_seconds,
       pr1_single_seconds, cached_seconds, pair_batched_seconds,
+      overlap_save_batched_seconds,
       seed_seconds / cached_seconds, uncached_seconds / cached_seconds,
       pr1_single_seconds / pair_batched_seconds,
       cached_seconds / pair_batched_seconds,
+      pair_batched_seconds / overlap_save_batched_seconds, sweep_json,
       rounds, range, threads, spawn_seconds, pool_seconds,
       static_cast<unsigned long long>(created_during), checksum);
+  std::fputs(json, stdout);
+  if (argc > 1) {
+    std::FILE* out = std::fopen(argv[1], "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", argv[1]);
+      return 1;
+    }
+    std::fputs(json, out);
+    std::fclose(out);
+  }
   return 0;
 }

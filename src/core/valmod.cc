@@ -57,8 +57,10 @@ class ValmodRunner {
   Status Validate() const;
   Status InitialScan();
   Status ProcessLength(std::size_t length);
-  Status RecomputeRow(std::size_t row, std::size_t length,
-                      std::size_t exclusion);
+  Status RecomputeRows(std::span<const std::size_t> rows, std::size_t length,
+                       std::size_t exclusion);
+  void ApplyRecomputedRow(std::size_t row, std::size_t length,
+                          std::size_t exclusion, mass::RowProfile* profile);
   Result<std::vector<mp::MotifPair>> SelectTopK(std::size_t length,
                                                 std::size_t exclusion) const;
   void RefreshWindowProfile(std::size_t length);
@@ -71,9 +73,9 @@ class ValmodRunner {
   const stats::MovingStats& stats_;
   std::span<const double> centered_;
   /// Shared MASS engine: the certification loop recomputes thousands of
-  /// rows per run, and the engine amortizes the series transform and FFT
-  /// plan across all of them (it is internally thread-safe, so the
-  /// recompute batches call it concurrently).
+  /// rows per run through the batched entry point, and the engine amortizes
+  /// the series/chunk spectra and FFT plans across all of them while
+  /// pairing batch rows to share transforms.
   mass::MassEngine engine_;
 
   // Phase-1 products.
@@ -297,10 +299,13 @@ Status ValmodRunner::InitialScan() {
     if (seeded_[i]) partial_->FinishSeeding(i);
   }
 
-  // Constant rows get their exact minima from the offset lists (the scan's
-  // convention distances already cover them, but rows whose whole exclusion
-  // neighborhood was skipped need the explicit pass).
+  // Constant rows the sweep already profiled are exact as-is: the scan's
+  // convention distances (0 to a constant partner, sqrt(l) to anything
+  // else) are the only values a constant row can take, so the offset-list
+  // minimum can never improve on an observed pair. Only rows the sweep
+  // never reached (no eligible partner recorded) need the explicit pass.
   for (std::size_t row : const_offsets_) {
+    if (profile.indices[row] >= 0) continue;
     RowState state;
     ConstantRowMinimum(row, length, exclusion, &state);
     if (state.min_dist < profile.distances[row]) {
@@ -321,11 +326,27 @@ Status ValmodRunner::InitialScan() {
   return Status::Ok();
 }
 
-Status ValmodRunner::RecomputeRow(std::size_t row, std::size_t length,
-                                  std::size_t exclusion) {
-  VALMOD_ASSIGN_OR_RETURN(mass::RowProfile profile,
-                          engine_.ComputeRowProfile(row, length));
-  mass::ApplyExclusionZone(&profile.distances, row, exclusion);
+Status ValmodRunner::RecomputeRows(std::span<const std::size_t> rows,
+                                   std::size_t length,
+                                   std::size_t exclusion) {
+  // One batched engine call: adjacent rows share a pair-packed (or
+  // overlap-save) transform, the pairing depending only on the row order —
+  // never on the thread count, which only controls how pairs fan out.
+  VALMOD_ASSIGN_OR_RETURN(
+      std::vector<mass::RowProfile> profiles,
+      engine_.ComputeRowProfiles(rows, length, options_.num_threads));
+  // Applying a profile touches only its own row's partial-profile slice and
+  // state, so the application sweep partitions cleanly too.
+  ParallelFor(0, rows.size(), options_.num_threads, [&](std::size_t b) {
+    ApplyRecomputedRow(rows[b], length, exclusion, &profiles[b]);
+  });
+  return Status::Ok();
+}
+
+void ValmodRunner::ApplyRecomputedRow(std::size_t row, std::size_t length,
+                                      std::size_t exclusion,
+                                      mass::RowProfile* profile) {
+  mass::ApplyExclusionZone(&profile->distances, row, exclusion);
 
   partial_->Reset(row, length);
   const std::size_t count = series_.NumSubsequences(length);
@@ -333,7 +354,7 @@ Status ValmodRunner::RecomputeRow(std::size_t row, std::size_t length,
   state.min_dist = kInfinity;
   state.best_match = -1;
   for (std::size_t j = 0; j < count; ++j) {
-    const double d = profile.distances[j];
+    const double d = profile->distances[j];
     if (d == kInfinity) continue;  // excluded
     if (d < state.min_dist) {
       state.min_dist = d;
@@ -343,14 +364,13 @@ Status ValmodRunner::RecomputeRow(std::size_t row, std::size_t length,
     if (!is_const_[row] && !is_const_[j]) {
       rho = CorrelationFromDistance(d, length);
     }
-    partial_->Offer(row, static_cast<int64_t>(j), profile.dots[j],
+    partial_->Offer(row, static_cast<int64_t>(j), profile->dots[j],
                     BaseLowerBound(rho, length));
   }
   partial_->FinishSeeding(row);
   seeded_[row] = is_const_[row] ? 0 : 1;
   state.valid = true;
   state.max_lb = kInfinity;  // exact now; nothing unexplored this length
-  return Status::Ok();
 }
 
 Result<std::vector<mp::MotifPair>> ValmodRunner::SelectTopK(
@@ -487,17 +507,25 @@ Status ValmodRunner::ProcessLength(std::size_t length) {
               [&](std::size_t a, std::size_t b) {
                 return states_[a].max_lb < states_[b].max_lb;
               });
-    // Recomputations are row-independent, so batches run in parallel; the
-    // k = 1 threshold tightens between batches (smaller batches would
-    // tighten faster but parallelize worse).
-    const std::size_t batch_size =
-        options_.num_threads > 1
-            ? static_cast<std::size_t>(4 * options_.num_threads)
-            : 1;
+    // Recomputations run through the engine's batched entry point: rows in
+    // a batch pair up to share transforms, and the k = 1 threshold tightens
+    // between batches (smaller batches would tighten faster but batch
+    // worse). The floor of 16 keeps the batch composition — and therefore
+    // the row pairing — identical across the typical 1..4 thread counts,
+    // so results don't depend on num_threads.
+    const std::size_t batch_size = std::max<std::size_t>(
+        16, 4 * static_cast<std::size_t>(std::max(1, options_.num_threads)));
+    std::vector<std::size_t> batch;
     std::size_t cursor = 0;
     while (cursor < to_recompute.size()) {
       if (states_[to_recompute[cursor]].max_lb >= threshold) {
         break;  // sorted by bound: every remaining row skips too
+      }
+      // A long recompute phase must not overshoot the deadline: STAMP
+      // checks between chunks, and this loop checks between batches.
+      if (options_.deadline.Expired()) {
+        return Status::DeadlineExceeded(
+            "VALMOD recompute timed out at length " + std::to_string(length));
       }
       std::size_t batch_end = cursor;
       while (batch_end < to_recompute.size() &&
@@ -505,10 +533,10 @@ Status ValmodRunner::ProcessLength(std::size_t length) {
              states_[to_recompute[batch_end]].max_lb < threshold) {
         ++batch_end;
       }
-      VALMOD_RETURN_IF_ERROR(ParallelForWithStatus(
-          cursor, batch_end, options_.num_threads, [&](std::size_t b) {
-            return RecomputeRow(to_recompute[b], length, exclusion);
-          }));
+      batch.assign(to_recompute.begin() + static_cast<std::ptrdiff_t>(cursor),
+                   to_recompute.begin() +
+                       static_cast<std::ptrdiff_t>(batch_end));
+      VALMOD_RETURN_IF_ERROR(RecomputeRows(batch, length, exclusion));
       stats.recomputed_rows += batch_end - cursor;
       if (options_.k == 1) {
         for (std::size_t b = cursor; b < batch_end; ++b) {

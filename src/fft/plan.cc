@@ -361,6 +361,19 @@ void FftPlan::MultiplyPairByRealSpectrum(
   }
 }
 
+void FftPlan::MultiplyPairByRealSpectrumInto(
+    std::span<const std::complex<double>> real_spectrum,
+    std::span<const std::complex<double>> pair_spectrum,
+    std::span<std::complex<double>> product) const {
+  assert(real_spectrum.size() == n_);
+  assert(pair_spectrum.size() == n_);
+  assert(product.size() == n_);
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    product[k] = pair_spectrum[k] * real_spectrum[k];
+  }
+}
+
 void FftPlan::RealInversePair(std::span<std::complex<double>> spectrum,
                               std::span<double> a, std::span<double> b) const {
   assert(spectrum.size() == n_);

@@ -99,6 +99,17 @@ class FftPlan {
       std::span<const std::complex<double>> real_spectrum,
       std::span<std::complex<double>> pair_spectrum) const;
 
+  /// Non-destructive form of MultiplyPairByRealSpectrum: writes the
+  /// elementwise product into `product`, leaving `pair_spectrum` untouched.
+  /// The overlap-save convolution path multiplies one filter spectrum
+  /// against many cached chunk spectra in turn, so the filter transform must
+  /// survive every product. All three spans must have `size()` bins in the
+  /// shared bit-reversed layout.
+  void MultiplyPairByRealSpectrumInto(
+      std::span<const std::complex<double>> real_spectrum,
+      std::span<const std::complex<double>> pair_spectrum,
+      std::span<std::complex<double>> product) const;
+
   /// Inverse of RealForwardPair, including the 1/n scaling: one
   /// InverseBitrev recovers both real sequences (`a[i]` from the real
   /// parts, `b[i]` from the imaginary parts). Requires

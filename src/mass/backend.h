@@ -1,0 +1,58 @@
+#ifndef VALMOD_MASS_BACKEND_H_
+#define VALMOD_MASS_BACKEND_H_
+
+#include <cstddef>
+
+namespace valmod::mass {
+
+/// How a MASS engine turns queries into sliding dot products. The backends
+/// are numerically equivalent (every one computes the same dot products to
+/// ~1e-9 relative) but differ in evaluation order, so results are not
+/// bit-identical across backends; within one backend, results depend only on
+/// the inputs and — for the batched entry point — the row order, never on
+/// the thread count.
+enum class ConvolutionBackend {
+  /// Cost-model selection (see ChooseConvolutionBackend). The default
+  /// everywhere; forcing a specific backend exists for tests and benches.
+  kAuto,
+  /// O(count * length) direct multiply-adds. Wins for short windows.
+  kDirect,
+  /// One full-size real FFT per query against the cached padded-series
+  /// spectrum (the half-spectrum path). Bit-identical to the historical
+  /// always-FFT engine path.
+  kFftSingle,
+  /// Full-size pair-packed FFT: two queries ride the real/imaginary lanes
+  /// of one complex transform, so a pair of rows costs one forward + one
+  /// inverse. Batched calls pack rows pairwise; a forced single-row call
+  /// runs the pair machinery with an empty second lane.
+  kFftPair,
+  /// Overlap-save: chunked FFTs of ~4x the query length against per-chunk
+  /// series spectra cached in the engine. Cuts the per-row flop count from
+  /// O(n log n) to O(n log m) and keeps the transform working set cache
+  /// resident; batched calls pair-pack the chunk pipeline too.
+  kOverlapSave,
+};
+
+/// Human-readable backend name for logs / bench JSON.
+const char* ConvolutionBackendName(ConvolutionBackend backend);
+
+/// Resolves kAuto for one row profile: the three-way crossover over
+/// (series length, query length) generalizing the old direct-vs-FFT test.
+/// Returns kDirect, kFftSingle, or kOverlapSave — never kAuto, and never
+/// kFftPair (pair packing is a batching concern: the batched entry point
+/// upgrades a full-FFT family choice to kFftPair on its own).
+///
+/// Model: the direct-vs-FFT boundary is PreferFftSlidingDots, unchanged,
+/// so historical direct-path configurations stay on (and bit-identical to)
+/// the direct path. Within the FFT family, overlap-save is chosen whenever
+/// OverlapSaveFftSize(length) is smaller than the full FFT size — measured
+/// to win at every such configuration (numbers in ROADMAP.md) — and the
+/// full-size transform is kept for queries long enough that chunking
+/// degenerates.
+ConvolutionBackend ChooseConvolutionBackend(std::size_t series_size,
+                                            std::size_t length,
+                                            std::size_t count);
+
+}  // namespace valmod::mass
+
+#endif  // VALMOD_MASS_BACKEND_H_

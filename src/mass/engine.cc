@@ -42,6 +42,59 @@ const MassEngine::SeriesSpectrum& MassEngine::PairSpectrumFor(
   return spectrum;
 }
 
+std::shared_ptr<const MassEngine::ChunkSpectra> MassEngine::ChunkSpectraFor(
+    std::size_t chunk_fft_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = chunk_spectra_.find(chunk_fft_size);
+  if (it == chunk_spectra_.end()) {
+    auto spectra = std::make_shared<ChunkSpectra>();
+    spectra->plan = fft::GetPlan(chunk_fft_size);
+    spectra->hop = chunk_fft_size / 2;
+    const auto centered = series_.centered();
+    const std::size_t n = centered.size();
+    // Chunks start every `hop` points and read `chunk_fft_size` points
+    // (zero-padded past the series end), so chunk c serves dot products at
+    // offsets [c * hop, (c + 1) * hop) for any query length with
+    // length - 1 <= hop — guaranteed by OverlapSaveFftSize >= 4 * length.
+    const std::size_t num_chunks = (n + spectra->hop - 1) / spectra->hop;
+    spectra->chunks.resize(num_chunks);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t begin = c * spectra->hop;
+      const std::size_t len = std::min(chunk_fft_size, n - begin);
+      std::vector<std::complex<double>>& bins = spectra->chunks[c];
+      bins.resize(chunk_fft_size);
+      spectra->plan->RealForwardPair(centered.subspan(begin, len), {}, bins);
+    }
+    // Stamped before eviction so the entry being inserted is never its own
+    // victim.
+    spectra->last_used = ++chunk_spectra_clock_;
+    std::shared_ptr<const ChunkSpectra> handle = spectra;
+    chunk_spectra_.emplace(chunk_fft_size, std::move(spectra));
+    // At ~32 bytes per series point per entry, stale sizes from a wide
+    // length sweep are too big to keep forever: evict least-recently-used
+    // beyond the cap. In-flight callers hold shared_ptrs, so eviction only
+    // drops the cache's reference.
+    while (chunk_spectra_.size() > kMaxChunkSpectraSizes) {
+      auto victim = chunk_spectra_.begin();
+      for (auto cand = chunk_spectra_.begin(); cand != chunk_spectra_.end();
+           ++cand) {
+        if (cand->second->last_used < victim->second->last_used) {
+          victim = cand;
+        }
+      }
+      chunk_spectra_.erase(victim);
+    }
+    return handle;
+  }
+  it->second->last_used = ++chunk_spectra_clock_;
+  return it->second;
+}
+
+std::size_t MassEngine::ChunkSpectraCacheSizeForTesting() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return chunk_spectra_.size();
+}
+
 std::unique_ptr<MassEngine::Scratch> MassEngine::AcquireScratch() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -113,7 +166,11 @@ void MassEngine::CachedSlidingDotsPair(std::span<const double> query_a,
 
   if (fft_size < 2) {  // single-point series and queries
     dots_a->assign(1, query_a[0] * centered[0]);
-    dots_b->assign(1, query_b[0] * centered[0]);
+    if (query_b.empty()) {
+      dots_b->clear();
+    } else {
+      dots_b->assign(1, query_b[0] * centered[0]);
+    }
     return;
   }
 
@@ -145,10 +202,68 @@ void MassEngine::CachedSlidingDotsPair(std::span<const double> query_a,
   spectrum.plan->InverseBitrev(scratch->pair_bins);
 
   dots_a->resize(count);
-  dots_b->resize(count);
   for (std::size_t i = 0; i < count; ++i) {
     (*dots_a)[i] = scratch->pair_bins[m - 1 + i].real();
-    (*dots_b)[i] = scratch->pair_bins[m - 1 + i].imag();
+  }
+  if (query_b.empty()) {
+    dots_b->clear();
+  } else {
+    dots_b->resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      (*dots_b)[i] = scratch->pair_bins[m - 1 + i].imag();
+    }
+  }
+  ReleaseScratch(std::move(scratch));
+}
+
+void MassEngine::OverlapSaveDotsPair(std::span<const double> query_a,
+                                     std::span<const double> query_b,
+                                     std::size_t length,
+                                     std::vector<double>* dots_a,
+                                     std::vector<double>* dots_b) {
+  const auto centered = series_.centered();
+  const std::size_t n = centered.size();
+  const std::size_t m = length;
+  const std::size_t count = n - m + 1;
+  const std::size_t chunk_size = fft::OverlapSaveFftSize(m);
+
+  const std::shared_ptr<const ChunkSpectra> spectra_handle =
+      ChunkSpectraFor(chunk_size);
+  const ChunkSpectra& spectra = *spectra_handle;
+  std::unique_ptr<Scratch> scratch = AcquireScratch();
+
+  // One small pair transform of the reversed queries serves every chunk:
+  // the packed filter spectrum is multiplied (non-destructively) against
+  // each cached chunk spectrum, and one chunk-size inverse per chunk yields
+  // `hop` fresh dot products per lane. Everything after the filter
+  // transform touches only chunk_size-sized buffers, so the whole per-row
+  // pipeline stays cache resident no matter how long the series is.
+  scratch->reversed_query.assign(query_a.rbegin(), query_a.rend());
+  scratch->reversed_query_b.assign(query_b.rbegin(), query_b.rend());
+  scratch->ols_filter.resize(chunk_size);
+  spectra.plan->RealForwardPair(scratch->reversed_query,
+                                scratch->reversed_query_b,
+                                scratch->ols_filter);
+
+  dots_a->resize(count);
+  if (dots_b != nullptr) dots_b->resize(count);
+  scratch->ols_work.resize(chunk_size);
+  const std::size_t hop = spectra.hop;
+  for (std::size_t begin = 0; begin < count; begin += hop) {
+    const std::vector<std::complex<double>>& chunk =
+        spectra.chunks[begin / hop];
+    spectra.plan->MultiplyPairByRealSpectrumInto(chunk, scratch->ols_filter,
+                                                 scratch->ols_work);
+    spectra.plan->InverseBitrev(scratch->ols_work);
+    // Circular-convolution positions m-1 .. m-1+hop-1 of the chunk starting
+    // at series offset `begin` are alias-free (m - 1 <= hop) and equal the
+    // linear dot products at offsets begin .. begin+hop-1.
+    const std::size_t end = std::min(count, begin + hop);
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::complex<double>& v = scratch->ols_work[m - 1 + (i - begin)];
+      (*dots_a)[i] = v.real();
+      if (dots_b != nullptr) (*dots_b)[i] = v.imag();
+    }
   }
   ReleaseScratch(std::move(scratch));
 }
@@ -166,25 +281,61 @@ void MassEngine::ComputeRowPairFft(std::size_t offset_a, std::size_t offset_b,
                     &row_b->distances);
 }
 
+void MassEngine::ComputeRowPairOverlapSave(std::size_t offset_a,
+                                           std::size_t offset_b,
+                                           std::size_t length,
+                                           RowProfile* row_a,
+                                           RowProfile* row_b) {
+  const auto centered = series_.centered();
+  OverlapSaveDotsPair(centered.subspan(offset_a, length),
+                      centered.subspan(offset_b, length), length,
+                      &row_a->dots, &row_b->dots);
+  DistancesFromDots(series_, offset_a, length, row_a->dots,
+                    &row_a->distances);
+  DistancesFromDots(series_, offset_b, length, row_b->dots,
+                    &row_b->distances);
+}
+
 Result<RowProfile> MassEngine::ComputeRowProfile(std::size_t query_offset,
-                                                 std::size_t length) {
+                                                 std::size_t length,
+                                                 ConvolutionBackend backend) {
   VALMOD_RETURN_IF_ERROR(ValidateWindow(series_, query_offset, length));
   const std::size_t count = series_.NumSubsequences(length);
+  if (backend == ConvolutionBackend::kAuto) {
+    backend = ChooseConvolutionBackend(series_.size(), length, count);
+  }
 
   RowProfile row;
-  if (!PreferFftSlidingDots(series_.size(), length, count)) {
-    row.dots =
-        DirectSlidingDots(series_.centered(), query_offset, length, count);
-  } else {
-    CachedSlidingDots(series_.centered().subspan(query_offset, length),
-                      length, &row.dots);
+  const auto query = series_.centered().subspan(query_offset, length);
+  switch (backend) {
+    case ConvolutionBackend::kDirect:
+      row.dots =
+          DirectSlidingDots(series_.centered(), query_offset, length, count);
+      break;
+    case ConvolutionBackend::kFftSingle:
+      CachedSlidingDots(query, length, &row.dots);
+      break;
+    case ConvolutionBackend::kFftPair: {
+      // Forced single-row use of the pair machinery: the second lane stays
+      // empty, so the numerics match what this row would see inside a
+      // batched pair.
+      std::vector<double> unused;
+      CachedSlidingDotsPair(query, {}, length, &row.dots, &unused);
+      break;
+    }
+    case ConvolutionBackend::kOverlapSave:
+      OverlapSaveDotsPair(query, {}, length, &row.dots, nullptr);
+      break;
+    case ConvolutionBackend::kAuto:
+      return Status::Internal("unresolved convolution backend");
   }
   DistancesFromDots(series_, query_offset, length, row.dots, &row.distances);
   return row;
 }
 
 Result<std::vector<RowProfile>> MassEngine::ComputeRowProfiles(
-    std::span<const std::size_t> rows, std::size_t length, int num_threads) {
+    std::span<const std::size_t> rows, std::size_t length, int num_threads,
+    ConvolutionBackend backend) {
   for (std::size_t row : rows) {
     VALMOD_RETURN_IF_ERROR(ValidateWindow(series_, row, length));
   }
@@ -192,21 +343,37 @@ Result<std::vector<RowProfile>> MassEngine::ComputeRowProfiles(
   std::vector<RowProfile> profiles(rows.size());
   if (rows.empty()) return profiles;
 
-  if (!PreferFftSlidingDots(series_.size(), length, count)) {
-    // Short windows: the direct product beats any transform; rows stay
-    // independent, so just fan them out.
+  const bool auto_resolved = backend == ConvolutionBackend::kAuto;
+  if (auto_resolved) {
+    backend = ChooseConvolutionBackend(series_.size(), length, count);
+    if (backend == ConvolutionBackend::kFftSingle) {
+      // Batches upgrade the full-FFT family to pair packing: adjacent rows
+      // share one transform. (A forced kFftSingle stays single-query so
+      // callers can demand bit-identity with ComputeRowProfile.)
+      backend = ConvolutionBackend::kFftPair;
+    }
+  }
+
+  if (backend == ConvolutionBackend::kDirect ||
+      backend == ConvolutionBackend::kFftSingle) {
+    // Row-independent single-query kernels: just fan the rows out. Results
+    // are bit-identical to per-row ComputeRowProfile calls.
+    if (backend == ConvolutionBackend::kFftSingle) {
+      SpectrumFor(fft::NextPowerOfTwo(series_.size() + length - 1));
+    }
     VALMOD_RETURN_IF_ERROR(ParallelForWithStatus(
         0, rows.size(), num_threads, [&](std::size_t i) -> Status {
-          VALMOD_ASSIGN_OR_RETURN(profiles[i],
-                                  ComputeRowProfile(rows[i], length));
+          VALMOD_ASSIGN_OR_RETURN(
+              profiles[i], ComputeRowProfile(rows[i], length, backend));
           return Status::Ok();
         }));
     return profiles;
   }
 
-  // Adjacent rows share one pair-packed transform; an odd tail row falls
-  // back to the single-query path. The pairing depends only on the order of
-  // `rows`, so results are independent of num_threads.
+  // Pair families: adjacent rows share one packed transform; an odd tail
+  // row falls back to the family's single-lane path. The pairing depends
+  // only on the order of `rows`, so results are independent of num_threads.
+  const bool overlap_save = backend == ConvolutionBackend::kOverlapSave;
   const std::size_t pairs = rows.size() / 2;
   const std::size_t tasks = pairs + rows.size() % 2;
 
@@ -214,30 +381,51 @@ Result<std::vector<RowProfile>> MassEngine::ComputeRowProfiles(
   // one-time construction — only the ones this batch will touch (the
   // full-size pair spectrum costs a full-size transform and ~fft_size * 16
   // bytes, so a single-row batch sticks to the half spectrum).
-  const std::size_t fft_size =
-      fft::NextPowerOfTwo(series_.size() + length - 1);
-  if (pairs > 0) {
-    PairSpectrumFor(fft_size);
-  }
-  if (rows.size() % 2 != 0) {
-    SpectrumFor(fft_size);
+  const bool odd_tail = rows.size() % 2 != 0;
+  if (overlap_save) {
+    ChunkSpectraFor(fft::OverlapSaveFftSize(length));
+  } else {
+    const std::size_t fft_size =
+        fft::NextPowerOfTwo(series_.size() + length - 1);
+    if (pairs > 0 || (odd_tail && !auto_resolved)) {
+      PairSpectrumFor(fft_size);  // forced-kFftPair tails pair-pack too
+    }
+    if (odd_tail && auto_resolved) {
+      SpectrumFor(fft_size);
+    }
   }
   VALMOD_RETURN_IF_ERROR(ParallelForWithStatus(
       0, tasks, num_threads, [&](std::size_t t) -> Status {
         if (t < pairs) {
-          ComputeRowPairFft(rows[2 * t], rows[2 * t + 1], length,
-                            &profiles[2 * t], &profiles[2 * t + 1]);
+          if (overlap_save) {
+            ComputeRowPairOverlapSave(rows[2 * t], rows[2 * t + 1], length,
+                                      &profiles[2 * t], &profiles[2 * t + 1]);
+          } else {
+            ComputeRowPairFft(rows[2 * t], rows[2 * t + 1], length,
+                              &profiles[2 * t], &profiles[2 * t + 1]);
+          }
           return Status::Ok();
         }
+        // Tail backend: overlap-save stays in its family; an auto-upgraded
+        // pair batch keeps the historical single-query tail (bit-identical
+        // to per-row calls); a caller who *forced* kFftPair gets the pair
+        // machinery (empty second lane) for the tail too, matching the
+        // single-row forced semantics.
+        ConvolutionBackend tail = ConvolutionBackend::kFftPair;
+        if (overlap_save) {
+          tail = ConvolutionBackend::kOverlapSave;
+        } else if (auto_resolved) {
+          tail = ConvolutionBackend::kFftSingle;
+        }
         VALMOD_ASSIGN_OR_RETURN(profiles.back(),
-                                ComputeRowProfile(rows.back(), length));
+                                ComputeRowProfile(rows.back(), length, tail));
         return Status::Ok();
       }));
   return profiles;
 }
 
 Result<std::vector<double>> MassEngine::DistanceProfile(
-    std::span<const double> query) {
+    std::span<const double> query, ConvolutionBackend backend) {
   if (query.empty()) {
     return Status::InvalidArgument("query must be non-empty");
   }
@@ -246,18 +434,34 @@ Result<std::vector<double>> MassEngine::DistanceProfile(
   }
   const std::size_t length = query.size();
   const std::size_t count = series_.NumSubsequences(length);
+  if (backend == ConvolutionBackend::kAuto) {
+    // Same cost-based selection as ComputeRowProfile: for short queries
+    // (or short series) the direct products beat any transform by a wide
+    // margin, and unconditionally taking an FFT path would also pay the
+    // engine's one-time spectrum build for a single cheap call.
+    backend = ChooseConvolutionBackend(series_.size(), length, count);
+  }
 
   VALMOD_ASSIGN_OR_RETURN(CenteredQuery centered, CenterQuery(query));
-  // Same cost-based path selection as ComputeRowProfile: for short queries
-  // (or short series) the direct products beat the transforms by a wide
-  // margin, and unconditionally taking the FFT path would also pay the
-  // engine's one-time series-spectrum build for a single cheap call.
   std::vector<double> dots;
-  if (!PreferFftSlidingDots(series_.size(), length, count)) {
-    dots = DirectExternalSlidingDots(series_.centered(), centered.values,
-                                     count);
-  } else {
-    CachedSlidingDots(centered.values, length, &dots);
+  switch (backend) {
+    case ConvolutionBackend::kDirect:
+      dots = DirectExternalSlidingDots(series_.centered(), centered.values,
+                                       count);
+      break;
+    case ConvolutionBackend::kFftSingle:
+      CachedSlidingDots(centered.values, length, &dots);
+      break;
+    case ConvolutionBackend::kFftPair: {
+      std::vector<double> unused;
+      CachedSlidingDotsPair(centered.values, {}, length, &dots, &unused);
+      break;
+    }
+    case ConvolutionBackend::kOverlapSave:
+      OverlapSaveDotsPair(centered.values, {}, length, &dots, nullptr);
+      break;
+    case ConvolutionBackend::kAuto:
+      return Status::Internal("unresolved convolution backend");
   }
 
   std::vector<double> distances;

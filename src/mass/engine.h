@@ -3,6 +3,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -12,6 +13,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "fft/plan.h"
+#include "mass/backend.h"
 #include "mass/mass.h"
 #include "series/data_series.h"
 
@@ -20,24 +22,32 @@ namespace valmod::mass {
 /// A MASS engine bound to one series: amortizes everything that does not
 /// depend on the query across calls.
 ///
-/// The uncached `ComputeRowProfile` pays three FFT-sized transforms per
-/// call, one of which — the forward transform of the zero-padded series —
-/// is identical every time. The engine computes that series spectrum once
-/// per FFT size (VALMOD's sweep over lengths touches at most two sizes),
-/// reuses the cached `FftPlan` tables, and keeps per-call scratch buffers in
-/// a free list, so a cached row profile costs one query transform plus one
-/// inverse with zero steady-state allocation of transform buffers.
+/// The engine is the single place the library computes sliding dot
+/// products, behind a `ConvolutionBackend` selection (see mass/backend.h):
 ///
-/// The batched `ComputeRowProfiles` additionally packs rows two at a time
-/// through `fft::FftPlan`'s pair transforms (two real queries per complex
-/// FFT), so a pair of rows costs one forward and one inverse transform plus
-/// one pointwise product instead of two of each — and skips all four of the
-/// single-query path's even/odd recombination sweeps. Pair packing changes
-/// the floating-point evaluation order, so batched results agree with the
-/// single-query path to ~1e-9 relative rather than bit-for-bit (the
-/// single-query path itself remains bit-identical to the
-/// `mass::ComputeRowProfile` free function, which is a thin wrapper over an
-/// engine).
+///  - kDirect: O(count * length) multiply-adds; short windows.
+///  - kFftSingle: one query transform + pointwise product + inverse against
+///    the cached full-size series spectrum (the spectrum, the `FftPlan`
+///    tables, and the scratch buffers are all reused across calls).
+///  - kFftPair: the batched form packs rows two at a time through
+///    `fft::FftPlan`'s pair transforms (two real queries per complex FFT),
+///    so a pair of rows costs one forward and one inverse transform plus one
+///    pointwise product instead of two of each.
+///  - kOverlapSave: the series is pre-transformed in overlapping chunks of
+///    ~4x the query length (cached per chunk size, ~32 bytes per series
+///    point), and each row runs one small filter transform plus one cached
+///    chunk product + small inverse per chunk. This replaces the full-size
+///    transform's n*log(n) per-row work with n*log(m), with every transform
+///    cache resident; pairs of rows share the chunk pipeline the same way
+///    the full-size pair path does.
+///
+/// `ConvolutionBackend::kAuto` (the default everywhere) applies the cost
+/// model in `ChooseConvolutionBackend`; forcing a backend exists for tests
+/// and benches. Backends agree to ~1e-9 relative, not bit-for-bit (the
+/// evaluation order differs); within one backend, batched results depend
+/// only on the row order, never on `num_threads`. The auto single-query
+/// path remains bit-identical to the `mass::ComputeRowProfile` free
+/// function, which is a thin wrapper over an engine.
 ///
 /// Thread-safety: all public methods are safe to call concurrently (the
 /// VALMOD certification loop recomputes batches of rows in parallel). The
@@ -51,25 +61,33 @@ class MassEngine {
 
   const series::DataSeries& series() const { return series_; }
 
-  /// Same contract (and numerics) as mass::ComputeRowProfile.
-  Result<RowProfile> ComputeRowProfile(std::size_t query_offset,
-                                       std::size_t length);
+  /// Same contract (and, under kAuto, numerics) as mass::ComputeRowProfile.
+  /// A forced backend must still satisfy the window validation; kFftPair
+  /// runs the pair machinery with an empty second lane.
+  Result<RowProfile> ComputeRowProfile(
+      std::size_t query_offset, std::size_t length,
+      ConvolutionBackend backend = ConvolutionBackend::kAuto);
 
   /// Batched form: row profiles for every offset in `rows` at one length,
-  /// in input order. Builds the series spectrum once up front, packs rows
-  /// pairwise through the dual-query FFT path (see class comment), and fans
-  /// the per-pair work across `num_threads` pool workers. The row pairing —
-  /// and therefore the numeric result — depends only on the order of `rows`,
-  /// never on `num_threads`.
+  /// in input order. Under kAuto this resolves the backend once for the
+  /// whole batch and upgrades a full-FFT choice to the pair-packed path;
+  /// adjacent rows share one transform, and an odd tail row runs the
+  /// historical single-query path under kAuto but stays on the forced
+  /// backend (empty second lane) when one was given, matching the
+  /// single-row forced semantics. The row pairing — and therefore the
+  /// numeric result — depends only on the order of `rows`, never on
+  /// `num_threads`, which only controls how pairs fan out over the pool.
   Result<std::vector<RowProfile>> ComputeRowProfiles(
       std::span<const std::size_t> rows, std::size_t length,
-      int num_threads = 1);
+      int num_threads = 1,
+      ConvolutionBackend backend = ConvolutionBackend::kAuto);
 
   /// Same contract (and numerics) as mass::DistanceProfile: z-normalized
-  /// distances of an external query against every window of the series.
-  /// Uses the same cost model as ComputeRowProfile, so short queries on
-  /// short series take the direct-product path instead of the FFT.
-  Result<std::vector<double>> DistanceProfile(std::span<const double> query);
+  /// distances of an external query against every window of the series,
+  /// through the same backend selection as ComputeRowProfile.
+  Result<std::vector<double>> DistanceProfile(
+      std::span<const double> query,
+      ConvolutionBackend backend = ConvolutionBackend::kAuto);
 
  private:
   /// The forward spectra of the series zero-padded to one FFT size: the
@@ -82,6 +100,21 @@ class MassEngine {
     std::vector<std::complex<double>> pair_bins;  // plan->size(), bit-rev
   };
 
+  /// Overlap-save state for one chunk FFT size: the bit-reversed spectra of
+  /// the centered series cut into chunks of `plan->size()` points starting
+  /// every `hop = size / 2` points. Chunk starts depend only on the chunk
+  /// size — never on the query length — so one cache entry serves every
+  /// length that maps to this size. Memory: 2 * 16 bytes per series point,
+  /// which is why the cache is bounded (kMaxChunkSpectraSizes entries, LRU)
+  /// unlike the two-entry-in-practice full-size spectra: a wide length
+  /// sweep crosses one chunk size per power-of-two band of lengths.
+  struct ChunkSpectra {
+    std::shared_ptr<const fft::FftPlan> plan;
+    std::size_t hop = 0;
+    std::vector<std::vector<std::complex<double>>> chunks;
+    std::uint64_t last_used = 0;  // LRU stamp; guarded by mutex_
+  };
+
   /// Reusable per-call transform buffers, recycled through a free list.
   struct Scratch {
     std::vector<double> reversed_query;
@@ -92,6 +125,10 @@ class MassEngine {
     // from its real/imaginary lanes) and the second reversed query.
     std::vector<std::complex<double>> pair_bins;
     std::vector<double> reversed_query_b;
+    // Overlap-save path: the (persistent across chunks) packed filter
+    // spectrum and the per-chunk product/inverse buffer.
+    std::vector<std::complex<double>> ols_filter;
+    std::vector<std::complex<double>> ols_work;
   };
 
   /// Spectrum for `fft_size`, built on first use. The returned reference is
@@ -99,9 +136,17 @@ class MassEngine {
   const SeriesSpectrum& SpectrumFor(std::size_t fft_size);
 
   /// Like SpectrumFor, but additionally guarantees `pair_bins` is built.
-  /// Kept separate so single-query workloads (the VALMOD recompute loop)
-  /// never pay for the full-size spectrum.
+  /// Kept separate so single-query workloads never pay for the full-size
+  /// spectrum.
   const SeriesSpectrum& PairSpectrumFor(std::size_t fft_size);
+
+  /// Overlap-save chunk spectra for `chunk_fft_size`, built on first use
+  /// (one small transform per chunk — amortized across every row computed
+  /// at this size). Returned as a shared handle: the cache evicts the
+  /// least-recently-used size beyond kMaxChunkSpectraSizes, and the handle
+  /// keeps an evicted entry alive for callers mid-computation.
+  std::shared_ptr<const ChunkSpectra> ChunkSpectraFor(
+      std::size_t chunk_fft_size);
 
   std::unique_ptr<Scratch> AcquireScratch();
   void ReleaseScratch(std::unique_ptr<Scratch> scratch);
@@ -115,22 +160,49 @@ class MassEngine {
   /// Pair-packed variant: sliding dot products of two centered queries of
   /// the same length in one forward + one inverse transform (the two
   /// queries ride the real and imaginary lanes of a single complex FFT).
+  /// `query_b` may be empty (single-lane use); `dots_b` is then cleared.
   void CachedSlidingDotsPair(std::span<const double> query_a,
                              std::span<const double> query_b,
                              std::size_t length, std::vector<double>* dots_a,
                              std::vector<double>* dots_b);
 
+  /// Overlap-save sliding dot products: both queries (the second optional,
+  /// as in CachedSlidingDotsPair — pass an empty span and null `dots_b`)
+  /// ride one chunk-size pair transform, multiplied against every cached
+  /// chunk spectrum in turn.
+  void OverlapSaveDotsPair(std::span<const double> query_a,
+                           std::span<const double> query_b,
+                           std::size_t length, std::vector<double>* dots_a,
+                           std::vector<double>* dots_b);
+
   /// FFT-path row pair: profiles for the windows at `offset_a` / `offset_b`
-  /// through the pair-packed transform.
+  /// through the full-size pair-packed transform.
   void ComputeRowPairFft(std::size_t offset_a, std::size_t offset_b,
                          std::size_t length, RowProfile* row_a,
                          RowProfile* row_b);
 
+  /// Overlap-save row pair: same contract through the chunked pipeline.
+  void ComputeRowPairOverlapSave(std::size_t offset_a, std::size_t offset_b,
+                                 std::size_t length, RowProfile* row_a,
+                                 RowProfile* row_b);
+
   const series::DataSeries& series_;
+
+  /// Most chunk-spectra sizes a single engine retains (a VALMOD length
+  /// sweep touches one per power-of-two band of lengths, so two is
+  /// typical; four gives headroom before the ~32 bytes/point entries of a
+  /// wide pan-profile sweep start piling up).
+  static constexpr std::size_t kMaxChunkSpectraSizes = 4;
 
   std::mutex mutex_;
   std::map<std::size_t, std::unique_ptr<SeriesSpectrum>> spectra_;
+  std::map<std::size_t, std::shared_ptr<ChunkSpectra>> chunk_spectra_;
+  std::uint64_t chunk_spectra_clock_ = 0;
   std::vector<std::unique_ptr<Scratch>> free_scratch_;
+
+ public:
+  /// Number of chunk-spectra sizes currently cached (for eviction tests).
+  std::size_t ChunkSpectraCacheSizeForTesting();
 };
 
 }  // namespace valmod::mass

@@ -95,10 +95,12 @@ std::vector<double> DirectExternalSlidingDots(
     std::span<const double> centered_series,
     std::span<const double> centered_query, std::size_t count);
 
-/// True when the FFT path is estimated cheaper than `count * length` direct
-/// multiply-adds for this series size. Single source of the cost model so
-/// the cached and uncached row-profile paths always pick the same kernel
-/// (keeping their outputs bit-identical).
+/// True when an FFT path is estimated cheaper than `count * length` direct
+/// multiply-adds for this series size. This is the direct-vs-FFT boundary
+/// of the backend cost model (`ChooseConvolutionBackend` in mass/backend.h
+/// resolves the FFT family further into full-size vs overlap-save); it is a
+/// single source so the cached and uncached row-profile paths always pick
+/// the same kernel (keeping their outputs bit-identical).
 bool PreferFftSlidingDots(std::size_t series_size, std::size_t length,
                           std::size_t count);
 

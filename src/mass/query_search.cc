@@ -22,7 +22,7 @@ Result<std::vector<QueryMatch>> FindQueryMatches(
     const QuerySearchOptions& options) {
   if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
   VALMOD_ASSIGN_OR_RETURN(std::vector<double> distances,
-                          engine.DistanceProfile(query));
+                          engine.DistanceProfile(query, options.backend));
 
   const std::size_t exclusion =
       options.exclusion_fraction <= 0.0

@@ -25,6 +25,9 @@ struct QuerySearchOptions {
   /// Matches must be mutually separated by this fraction of the query
   /// length (0 disables separation entirely).
   double exclusion_fraction = 0.5;
+  /// Convolution backend for the distance profile; kAuto applies the
+  /// engine's cost-model crossover.
+  ConvolutionBackend backend = ConvolutionBackend::kAuto;
 };
 
 /// Finds the k best z-normalized matches of `query` inside `series`

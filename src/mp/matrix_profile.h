@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "mass/backend.h"
 
 namespace valmod::mp {
 
@@ -38,6 +39,11 @@ struct ProfileOptions {
   /// Cooperative deadline; algorithms return kDeadlineExceeded when it
   /// fires (checked at coarse granularity).
   Deadline deadline;
+  /// Convolution backend for the MASS-based algorithms (STAMP routes it
+  /// into MassEngine; STOMP and the brute-force path compute no
+  /// convolutions and ignore it). kAuto applies the engine's cost-model
+  /// crossover; forcing a backend exists for tests and benches.
+  mass::ConvolutionBackend backend = mass::ConvolutionBackend::kAuto;
 };
 
 /// Exclusion-zone radius for a length under the given fraction (min 1, so

@@ -49,7 +49,8 @@ Result<MatrixProfile> ComputeStamp(const series::DataSeries& series,
     std::iota(rows.begin(), rows.end(), begin);
     VALMOD_ASSIGN_OR_RETURN(
         std::vector<mass::RowProfile> batch,
-        engine.ComputeRowProfiles(rows, length, num_threads));
+        engine.ComputeRowProfiles(rows, length, num_threads,
+                                  options.backend));
     for (std::size_t b = 0; b < batch.size(); ++b) {
       const std::size_t i = begin + b;
       mass::RowProfile& row = batch[b];

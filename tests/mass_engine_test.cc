@@ -33,6 +33,31 @@ void ExpectRowParity(const RowProfile& cached, const RowProfile& uncached,
   }
 }
 
+// Cross-backend parity: dots to relative 1e-9, distances to 1e-9 on the
+// squared-distance scale (the scale the dot products live on). Comparing
+// raw distances would be wrong near zero: d = sqrt(2l(1 - rho)) maps a
+// rounding-level dot difference at a self-match (true distance 0) to an
+// ~1e-7 absolute distance difference — sqrt amplification, not backend
+// disagreement.
+void ExpectCrossBackendParity(const RowProfile& got, const RowProfile& want,
+                              std::size_t offset, std::size_t length) {
+  ASSERT_EQ(got.dots.size(), want.dots.size());
+  ASSERT_EQ(got.distances.size(), want.distances.size());
+  for (std::size_t j = 0; j < got.dots.size(); ++j) {
+    EXPECT_NEAR(got.dots[j], want.dots[j],
+                1e-9 * (1.0 + std::abs(want.dots[j])))
+        << "offset=" << offset << " length=" << length << " j=" << j;
+    if (want.distances[j] == std::numeric_limits<double>::infinity()) {
+      EXPECT_EQ(got.distances[j], want.distances[j]);
+      continue;
+    }
+    EXPECT_NEAR(got.distances[j] * got.distances[j],
+                want.distances[j] * want.distances[j],
+                1e-8 * (1.0 + static_cast<double>(length)))
+        << "offset=" << offset << " length=" << length << " j=" << j;
+  }
+}
+
 class EngineParityTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(EngineParityTest, MatchesUncachedAcrossOffsets) {
@@ -135,6 +160,160 @@ TEST(MassEngineTest, BatchedPairingIndependentOfThreadCount) {
           << "row " << rows[i] << " j=" << j;
     }
   }
+}
+
+// Every backend computes the same dot products in a different evaluation
+// order, so forcing each of the four against the direct-product reference
+// must agree to relative 1e-9 — on plain rows, on constant-window rows,
+// and for batched and single-row entry points alike.
+TEST(MassEngineTest, ForcedBackendsAgreeOnBatches) {
+  const std::size_t n = 2048;
+  const std::size_t length = 128;
+  auto series = synth::ByName("ecg", n, 17);
+  ASSERT_TRUE(series.ok());
+
+  MassEngine engine(*series);
+  // Odd row count: every family exercises its single-lane tail too.
+  const std::vector<std::size_t> rows = {0, 3, 500, 501, 1000, 1500, 1900};
+  auto reference =
+      engine.ComputeRowProfiles(rows, length, /*num_threads=*/1,
+                                ConvolutionBackend::kDirect);
+  ASSERT_TRUE(reference.ok());
+  for (ConvolutionBackend backend :
+       {ConvolutionBackend::kDirect, ConvolutionBackend::kFftSingle,
+        ConvolutionBackend::kFftPair, ConvolutionBackend::kOverlapSave}) {
+    auto forced = engine.ComputeRowProfiles(rows, length, /*num_threads=*/3,
+                                            backend);
+    ASSERT_TRUE(forced.ok()) << ConvolutionBackendName(backend);
+    ASSERT_EQ(forced->size(), rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      SCOPED_TRACE(ConvolutionBackendName(backend));
+      ExpectCrossBackendParity((*forced)[i], (*reference)[i], rows[i],
+                               length);
+    }
+  }
+}
+
+TEST(MassEngineTest, ForcedBackendsAgreeOnSingleRows) {
+  const std::size_t n = 1024;
+  auto series = synth::ByName("random_walk", n, 23);
+  ASSERT_TRUE(series.ok());
+
+  MassEngine engine(*series);
+  // Lengths straddle the chunk-size steps of the overlap-save path (the
+  // 4*m power-of-two jump at 16 -> 17 and 128 -> 129) so queries land both
+  // well inside a chunk and right at its alias boundary.
+  for (std::size_t length : {std::size_t{16}, std::size_t{17},
+                             std::size_t{128}, std::size_t{129},
+                             std::size_t{200}}) {
+    auto reference =
+        engine.ComputeRowProfile(40, length, ConvolutionBackend::kDirect);
+    ASSERT_TRUE(reference.ok());
+    for (ConvolutionBackend backend :
+         {ConvolutionBackend::kFftSingle, ConvolutionBackend::kFftPair,
+          ConvolutionBackend::kOverlapSave}) {
+      auto forced = engine.ComputeRowProfile(40, length, backend);
+      ASSERT_TRUE(forced.ok()) << ConvolutionBackendName(backend);
+      SCOPED_TRACE(ConvolutionBackendName(backend));
+      ExpectCrossBackendParity(*forced, *reference, 40, length);
+    }
+  }
+}
+
+TEST(MassEngineTest, OverlapSaveHandlesConstantWindows) {
+  // Sine, flat shelf, noise — rows inside and straddling the shelf hit the
+  // constant-window distance conventions on top of the chunked dots.
+  Rng rng(37);
+  std::vector<double> values;
+  for (std::size_t i = 0; i < 300; ++i) {
+    values.push_back(std::sin(0.07 * static_cast<double>(i)));
+  }
+  values.insert(values.end(), 120, 1.25);
+  for (std::size_t i = 0; i < 300; ++i) values.push_back(rng.Gaussian());
+  auto series = series::DataSeries::Create(std::move(values));
+  ASSERT_TRUE(series.ok());
+
+  MassEngine engine(*series);
+  const std::size_t length = 48;
+  for (std::size_t offset : {std::size_t{250}, std::size_t{310},
+                             std::size_t{390}, std::size_t{500}}) {
+    auto ols = engine.ComputeRowProfile(offset, length,
+                                        ConvolutionBackend::kOverlapSave);
+    ASSERT_TRUE(ols.ok());
+    auto direct =
+        engine.ComputeRowProfile(offset, length, ConvolutionBackend::kDirect);
+    ASSERT_TRUE(direct.ok());
+    ExpectCrossBackendParity(*ols, *direct, offset, length);
+  }
+}
+
+TEST(MassEngineTest, OverlapSaveBatchesIndependentOfThreadCount) {
+  const std::size_t n = 4096;
+  const std::size_t length = 256;
+  auto series = synth::ByName("ecg", n, 43);
+  ASSERT_TRUE(series.ok());
+
+  MassEngine engine(*series);
+  std::vector<std::size_t> rows;
+  for (std::size_t r = 0; r + length <= n; r += 131) rows.push_back(r);
+  auto serial = engine.ComputeRowProfiles(rows, length, /*num_threads=*/1,
+                                          ConvolutionBackend::kOverlapSave);
+  auto threaded = engine.ComputeRowProfiles(rows, length, /*num_threads=*/4,
+                                            ConvolutionBackend::kOverlapSave);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(threaded.ok());
+  ASSERT_EQ(serial->size(), threaded->size());
+  for (std::size_t i = 0; i < serial->size(); ++i) {
+    for (std::size_t j = 0; j < (*serial)[i].distances.size(); ++j) {
+      EXPECT_EQ((*serial)[i].dots[j], (*threaded)[i].dots[j])
+          << "row " << rows[i] << " j=" << j;
+      EXPECT_EQ((*serial)[i].distances[j], (*threaded)[i].distances[j])
+          << "row " << rows[i] << " j=" << j;
+    }
+  }
+}
+
+TEST(MassEngineTest, ChunkSpectraCacheIsBounded) {
+  // At ~32 bytes per series point per chunk size, a wide length sweep must
+  // not pin one spectra set per power-of-two band forever. Each length
+  // below maps to a distinct chunk size (4x, next power of two), and the
+  // results must stay correct across evictions.
+  const std::size_t n = 1024;
+  auto series = synth::ByName("ecg", n, 47);
+  ASSERT_TRUE(series.ok());
+  MassEngine engine(*series);
+  std::size_t max_cached = 0;
+  for (std::size_t length : {std::size_t{16}, std::size_t{32},
+                             std::size_t{64}, std::size_t{128},
+                             std::size_t{256}, std::size_t{64},
+                             std::size_t{16}}) {
+    auto ols = engine.ComputeRowProfile(5, length,
+                                        ConvolutionBackend::kOverlapSave);
+    ASSERT_TRUE(ols.ok());
+    auto direct =
+        engine.ComputeRowProfile(5, length, ConvolutionBackend::kDirect);
+    ASSERT_TRUE(direct.ok());
+    ExpectCrossBackendParity(*ols, *direct, 5, length);
+    max_cached = std::max(max_cached, engine.ChunkSpectraCacheSizeForTesting());
+  }
+  EXPECT_LE(max_cached, 4u);
+}
+
+// Pins the shape of the three-way crossover: short windows go direct, a
+// query that is a sizable fraction of the series keeps the full-size
+// transform, and a long series with a comparatively short query switches
+// to overlap-save.
+TEST(BackendCostModelTest, CrossoverShape) {
+  EXPECT_EQ(ChooseConvolutionBackend(600, 16, 585),
+            ConvolutionBackend::kDirect);
+  EXPECT_EQ(ChooseConvolutionBackend(2048, 1024, 1025),
+            ConvolutionBackend::kFftSingle);
+  EXPECT_EQ(ChooseConvolutionBackend(std::size_t{1} << 15, 1024,
+                                     (std::size_t{1} << 15) - 1023),
+            ConvolutionBackend::kOverlapSave);
+  EXPECT_EQ(ChooseConvolutionBackend(std::size_t{1} << 17, 1024,
+                                     (std::size_t{1} << 17) - 1023),
+            ConvolutionBackend::kOverlapSave);
 }
 
 TEST(MassEngineTest, DistanceProfileMatchesUncached) {

@@ -268,6 +268,51 @@ TEST(ValmodTest, ThreadedInitialScanMatchesSerial) {
   }
 }
 
+// The certification loop routes recompute batches through the engine's
+// batched entry point. The batch composition (floor of 16 rows) and the
+// row pairing inside a batch depend only on the row order — never on the
+// thread count — so the entire result must be bit-identical, not just
+// close, across thread counts.
+TEST(ValmodTest, BatchedRecomputeBitIdenticalAcrossThreadCounts) {
+  auto series = synth::ByName("ecg", 2000, 53);
+  ASSERT_TRUE(series.ok());
+  ValmodOptions base;
+  base.min_length = 32;
+  base.max_length = 72;
+  base.k = 3;
+
+  auto reference = RunValmod(*series, base);
+  ASSERT_TRUE(reference.ok());
+  for (int threads : {2, 4}) {
+    ValmodOptions options = base;
+    options.num_threads = threads;
+    auto result = RunValmod(*series, options);
+    ASSERT_TRUE(result.ok());
+
+    ASSERT_EQ(result->per_length.size(), reference->per_length.size());
+    for (std::size_t i = 0; i < reference->per_length.size(); ++i) {
+      const auto& want = reference->per_length[i].motifs;
+      const auto& got = result->per_length[i].motifs;
+      ASSERT_EQ(got.size(), want.size()) << "threads=" << threads;
+      for (std::size_t m = 0; m < want.size(); ++m) {
+        EXPECT_EQ(got[m].offset_a, want[m].offset_a);
+        EXPECT_EQ(got[m].offset_b, want[m].offset_b);
+        EXPECT_EQ(got[m].distance, want[m].distance)
+            << "threads=" << threads << " length "
+            << reference->per_length[i].length << " rank " << m;
+      }
+    }
+    ASSERT_EQ(result->min_length_profile.distances.size(),
+              reference->min_length_profile.distances.size());
+    for (std::size_t j = 0;
+         j < reference->min_length_profile.distances.size(); ++j) {
+      EXPECT_EQ(result->min_length_profile.distances[j],
+                reference->min_length_profile.distances[j])
+          << "threads=" << threads << " j=" << j;
+    }
+  }
+}
+
 TEST(ValmodTest, ConstantSeriesHandled) {
   auto series = series::DataSeries::Create(std::vector<double>(200, 1.0));
   ASSERT_TRUE(series.ok());
