@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_join_test.dir/tests/ab_join_test.cc.o"
+  "CMakeFiles/ab_join_test.dir/tests/ab_join_test.cc.o.d"
+  "ab_join_test"
+  "ab_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_series_test.dir/tests/data_series_test.cc.o"
+  "CMakeFiles/data_series_test.dir/tests/data_series_test.cc.o.d"
+  "data_series_test"
+  "data_series_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

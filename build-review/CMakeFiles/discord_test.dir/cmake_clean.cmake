@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discord_test.dir/tests/discord_test.cc.o"
+  "CMakeFiles/discord_test.dir/tests/discord_test.cc.o.d"
+  "discord_test"
+  "discord_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discord_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ab_join_compare.dir/examples/ab_join_compare.cpp.o"
+  "CMakeFiles/example_ab_join_compare.dir/examples/ab_join_compare.cpp.o.d"
+  "example_ab_join_compare"
+  "example_ab_join_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ab_join_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

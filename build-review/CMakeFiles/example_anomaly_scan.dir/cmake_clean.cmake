@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_anomaly_scan.dir/examples/anomaly_scan.cpp.o"
+  "CMakeFiles/example_anomaly_scan.dir/examples/anomaly_scan.cpp.o.d"
+  "example_anomaly_scan"
+  "example_anomaly_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_anomaly_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

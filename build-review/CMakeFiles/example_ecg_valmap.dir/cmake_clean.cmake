@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ecg_valmap.dir/examples/ecg_valmap.cpp.o"
+  "CMakeFiles/example_ecg_valmap.dir/examples/ecg_valmap.cpp.o.d"
+  "example_ecg_valmap"
+  "example_ecg_valmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ecg_valmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

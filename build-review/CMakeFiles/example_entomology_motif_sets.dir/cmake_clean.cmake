@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_entomology_motif_sets.dir/examples/entomology_motif_sets.cpp.o"
+  "CMakeFiles/example_entomology_motif_sets.dir/examples/entomology_motif_sets.cpp.o.d"
+  "example_entomology_motif_sets"
+  "example_entomology_motif_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_entomology_motif_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

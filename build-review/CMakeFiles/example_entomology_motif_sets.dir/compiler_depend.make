@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_entomology_motif_sets.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_entomology_motif_sets.
+# This may be replaced when dependencies are built.

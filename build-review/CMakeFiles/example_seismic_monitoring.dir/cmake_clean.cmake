@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_seismic_monitoring.dir/examples/seismic_monitoring.cpp.o"
+  "CMakeFiles/example_seismic_monitoring.dir/examples/seismic_monitoring.cpp.o.d"
+  "example_seismic_monitoring"
+  "example_seismic_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_seismic_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

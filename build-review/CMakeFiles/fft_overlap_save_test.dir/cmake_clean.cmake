@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_overlap_save_test.dir/tests/fft_overlap_save_test.cc.o"
+  "CMakeFiles/fft_overlap_save_test.dir/tests/fft_overlap_save_test.cc.o.d"
+  "fft_overlap_save_test"
+  "fft_overlap_save_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_overlap_save_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

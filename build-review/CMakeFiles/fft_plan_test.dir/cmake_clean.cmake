@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_plan_test.dir/tests/fft_plan_test.cc.o"
+  "CMakeFiles/fft_plan_test.dir/tests/fft_plan_test.cc.o.d"
+  "fft_plan_test"
+  "fft_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

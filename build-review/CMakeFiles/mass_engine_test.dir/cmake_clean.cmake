@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_engine_test.dir/tests/mass_engine_test.cc.o"
+  "CMakeFiles/mass_engine_test.dir/tests/mass_engine_test.cc.o.d"
+  "mass_engine_test"
+  "mass_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_test.dir/tests/mass_test.cc.o"
+  "CMakeFiles/mass_test.dir/tests/mass_test.cc.o.d"
+  "mass_test"
+  "mass_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

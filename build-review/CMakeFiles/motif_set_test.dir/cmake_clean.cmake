@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motif_set_test.dir/tests/motif_set_test.cc.o"
+  "CMakeFiles/motif_set_test.dir/tests/motif_set_test.cc.o.d"
+  "motif_set_test"
+  "motif_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motif_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moving_stats_test.dir/tests/moving_stats_test.cc.o"
+  "CMakeFiles/moving_stats_test.dir/tests/moving_stats_test.cc.o.d"
+  "moving_stats_test"
+  "moving_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moving_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

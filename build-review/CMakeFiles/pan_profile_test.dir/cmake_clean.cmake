@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pan_profile_test.dir/tests/pan_profile_test.cc.o"
+  "CMakeFiles/pan_profile_test.dir/tests/pan_profile_test.cc.o.d"
+  "pan_profile_test"
+  "pan_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pan_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_profile_test.dir/tests/partial_profile_test.cc.o"
+  "CMakeFiles/partial_profile_test.dir/tests/partial_profile_test.cc.o.d"
+  "partial_profile_test"
+  "partial_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_consistency_fuzz_test.dir/tests/profile_consistency_fuzz_test.cc.o"
+  "CMakeFiles/profile_consistency_fuzz_test.dir/tests/profile_consistency_fuzz_test.cc.o.d"
+  "profile_consistency_fuzz_test"
+  "profile_consistency_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_consistency_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_search_test.dir/tests/query_search_test.cc.o"
+  "CMakeFiles/query_search_test.dir/tests/query_search_test.cc.o.d"
+  "query_search_test"
+  "query_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

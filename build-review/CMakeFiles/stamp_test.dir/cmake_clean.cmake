@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stamp_test.dir/tests/stamp_test.cc.o"
+  "CMakeFiles/stamp_test.dir/tests/stamp_test.cc.o.d"
+  "stamp_test"
+  "stamp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stamp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

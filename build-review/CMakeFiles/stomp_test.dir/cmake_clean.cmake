@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stomp_test.dir/tests/stomp_test.cc.o"
+  "CMakeFiles/stomp_test.dir/tests/stomp_test.cc.o.d"
+  "stomp_test"
+  "stomp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stomp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

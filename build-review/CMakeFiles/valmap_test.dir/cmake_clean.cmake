@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valmap_test.dir/tests/valmap_test.cc.o"
+  "CMakeFiles/valmap_test.dir/tests/valmap_test.cc.o.d"
+  "valmap_test"
+  "valmap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/moen.cc" "CMakeFiles/valmod.dir/src/baselines/moen.cc.o" "gcc" "CMakeFiles/valmod.dir/src/baselines/moen.cc.o.d"
+  "/root/repo/src/baselines/quick_motif.cc" "CMakeFiles/valmod.dir/src/baselines/quick_motif.cc.o" "gcc" "CMakeFiles/valmod.dir/src/baselines/quick_motif.cc.o.d"
+  "/root/repo/src/baselines/stomp_range.cc" "CMakeFiles/valmod.dir/src/baselines/stomp_range.cc.o" "gcc" "CMakeFiles/valmod.dir/src/baselines/stomp_range.cc.o.d"
+  "/root/repo/src/common/flags.cc" "CMakeFiles/valmod.dir/src/common/flags.cc.o" "gcc" "CMakeFiles/valmod.dir/src/common/flags.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/valmod.dir/src/common/status.cc.o" "gcc" "CMakeFiles/valmod.dir/src/common/status.cc.o.d"
+  "/root/repo/src/core/lower_bound.cc" "CMakeFiles/valmod.dir/src/core/lower_bound.cc.o" "gcc" "CMakeFiles/valmod.dir/src/core/lower_bound.cc.o.d"
+  "/root/repo/src/core/motif_set.cc" "CMakeFiles/valmod.dir/src/core/motif_set.cc.o" "gcc" "CMakeFiles/valmod.dir/src/core/motif_set.cc.o.d"
+  "/root/repo/src/core/motif_set_enumeration.cc" "CMakeFiles/valmod.dir/src/core/motif_set_enumeration.cc.o" "gcc" "CMakeFiles/valmod.dir/src/core/motif_set_enumeration.cc.o.d"
+  "/root/repo/src/core/partial_profile.cc" "CMakeFiles/valmod.dir/src/core/partial_profile.cc.o" "gcc" "CMakeFiles/valmod.dir/src/core/partial_profile.cc.o.d"
+  "/root/repo/src/core/valmap.cc" "CMakeFiles/valmod.dir/src/core/valmap.cc.o" "gcc" "CMakeFiles/valmod.dir/src/core/valmap.cc.o.d"
+  "/root/repo/src/core/valmod.cc" "CMakeFiles/valmod.dir/src/core/valmod.cc.o" "gcc" "CMakeFiles/valmod.dir/src/core/valmod.cc.o.d"
+  "/root/repo/src/core/variable_discords.cc" "CMakeFiles/valmod.dir/src/core/variable_discords.cc.o" "gcc" "CMakeFiles/valmod.dir/src/core/variable_discords.cc.o.d"
+  "/root/repo/src/fft/fft.cc" "CMakeFiles/valmod.dir/src/fft/fft.cc.o" "gcc" "CMakeFiles/valmod.dir/src/fft/fft.cc.o.d"
+  "/root/repo/src/fft/plan.cc" "CMakeFiles/valmod.dir/src/fft/plan.cc.o" "gcc" "CMakeFiles/valmod.dir/src/fft/plan.cc.o.d"
+  "/root/repo/src/mass/backend.cc" "CMakeFiles/valmod.dir/src/mass/backend.cc.o" "gcc" "CMakeFiles/valmod.dir/src/mass/backend.cc.o.d"
+  "/root/repo/src/mass/engine.cc" "CMakeFiles/valmod.dir/src/mass/engine.cc.o" "gcc" "CMakeFiles/valmod.dir/src/mass/engine.cc.o.d"
+  "/root/repo/src/mass/mass.cc" "CMakeFiles/valmod.dir/src/mass/mass.cc.o" "gcc" "CMakeFiles/valmod.dir/src/mass/mass.cc.o.d"
+  "/root/repo/src/mass/query_search.cc" "CMakeFiles/valmod.dir/src/mass/query_search.cc.o" "gcc" "CMakeFiles/valmod.dir/src/mass/query_search.cc.o.d"
+  "/root/repo/src/mp/ab_join.cc" "CMakeFiles/valmod.dir/src/mp/ab_join.cc.o" "gcc" "CMakeFiles/valmod.dir/src/mp/ab_join.cc.o.d"
+  "/root/repo/src/mp/brute_force.cc" "CMakeFiles/valmod.dir/src/mp/brute_force.cc.o" "gcc" "CMakeFiles/valmod.dir/src/mp/brute_force.cc.o.d"
+  "/root/repo/src/mp/discord.cc" "CMakeFiles/valmod.dir/src/mp/discord.cc.o" "gcc" "CMakeFiles/valmod.dir/src/mp/discord.cc.o.d"
+  "/root/repo/src/mp/motif.cc" "CMakeFiles/valmod.dir/src/mp/motif.cc.o" "gcc" "CMakeFiles/valmod.dir/src/mp/motif.cc.o.d"
+  "/root/repo/src/mp/pan_profile.cc" "CMakeFiles/valmod.dir/src/mp/pan_profile.cc.o" "gcc" "CMakeFiles/valmod.dir/src/mp/pan_profile.cc.o.d"
+  "/root/repo/src/mp/profile_io.cc" "CMakeFiles/valmod.dir/src/mp/profile_io.cc.o" "gcc" "CMakeFiles/valmod.dir/src/mp/profile_io.cc.o.d"
+  "/root/repo/src/mp/stamp.cc" "CMakeFiles/valmod.dir/src/mp/stamp.cc.o" "gcc" "CMakeFiles/valmod.dir/src/mp/stamp.cc.o.d"
+  "/root/repo/src/mp/stomp.cc" "CMakeFiles/valmod.dir/src/mp/stomp.cc.o" "gcc" "CMakeFiles/valmod.dir/src/mp/stomp.cc.o.d"
+  "/root/repo/src/mp/streaming.cc" "CMakeFiles/valmod.dir/src/mp/streaming.cc.o" "gcc" "CMakeFiles/valmod.dir/src/mp/streaming.cc.o.d"
+  "/root/repo/src/series/data_series.cc" "CMakeFiles/valmod.dir/src/series/data_series.cc.o" "gcc" "CMakeFiles/valmod.dir/src/series/data_series.cc.o.d"
+  "/root/repo/src/series/generators.cc" "CMakeFiles/valmod.dir/src/series/generators.cc.o" "gcc" "CMakeFiles/valmod.dir/src/series/generators.cc.o.d"
+  "/root/repo/src/series/io.cc" "CMakeFiles/valmod.dir/src/series/io.cc.o" "gcc" "CMakeFiles/valmod.dir/src/series/io.cc.o.d"
+  "/root/repo/src/series/znorm.cc" "CMakeFiles/valmod.dir/src/series/znorm.cc.o" "gcc" "CMakeFiles/valmod.dir/src/series/znorm.cc.o.d"
+  "/root/repo/src/stats/moving_stats.cc" "CMakeFiles/valmod.dir/src/stats/moving_stats.cc.o" "gcc" "CMakeFiles/valmod.dir/src/stats/moving_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valmod_cli.dir/tools/valmod_cli.cc.o"
+  "CMakeFiles/valmod_cli.dir/tools/valmod_cli.cc.o.d"
+  "valmod_cli"
+  "valmod_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valmod_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valmod_fuzz_test.dir/tests/valmod_fuzz_test.cc.o"
+  "CMakeFiles/valmod_fuzz_test.dir/tests/valmod_fuzz_test.cc.o.d"
+  "valmod_fuzz_test"
+  "valmod_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valmod_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

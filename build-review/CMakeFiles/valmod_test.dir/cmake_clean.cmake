@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valmod_test.dir/tests/valmod_test.cc.o"
+  "CMakeFiles/valmod_test.dir/tests/valmod_test.cc.o.d"
+  "valmod_test"
+  "valmod_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valmod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

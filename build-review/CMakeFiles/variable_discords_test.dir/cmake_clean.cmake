@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variable_discords_test.dir/tests/variable_discords_test.cc.o"
+  "CMakeFiles/variable_discords_test.dir/tests/variable_discords_test.cc.o.d"
+  "variable_discords_test"
+  "variable_discords_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variable_discords_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

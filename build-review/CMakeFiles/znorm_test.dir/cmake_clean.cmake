@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/znorm_test.dir/tests/znorm_test.cc.o"
+  "CMakeFiles/znorm_test.dir/tests/znorm_test.cc.o.d"
+  "znorm_test"
+  "znorm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/znorm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
