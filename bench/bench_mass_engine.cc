@@ -17,23 +17,37 @@
 //      vs pair-packed vs overlap-save rows, single-threaded so the
 //      speedups isolate the algorithm, plus the backend the cost model
 //      actually picks at each size.
+//
+//   2b. A boundary sweep over the (series_n, length) grid where the retired
+//      v1 weight-18 boundary and the calibrated v2 cost model disagree:
+//      per-row measured seconds for direct / pair-packed / overlap-save,
+//      the model's predicted costs (so the static weights in
+//      mass::BackendCostModel stay auditable against real timings), the
+//      backend each policy picks, and the realized v2-over-v1 speedup.
+//      These are the `boundary_sweep` rows of BENCH_engine.json that
+//      mass/backend.h and the cost-model tests refer to.
 //   3. ParallelFor dispatch: spawn-per-call std::thread (the seed's
 //      implementation) vs the persistent pool, plus the pool's
 //      threads-created counter across the timed regions — the observable
 //      "no per-batch thread spawn" guarantee.
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <numbers>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "fft/fft.h"
+#include "mass/backend.h"
 #include "mass/engine.h"
 #include "mass/mass.h"
 #include "series/data_series.h"
@@ -339,6 +353,102 @@ SweepResult RunBackendSweep(std::size_t n, std::size_t length,
   return result;
 }
 
+/// One boundary-sweep configuration: batched single-threaded per-row
+/// timings for each backend family, the per-policy choices, and the
+/// realized v2-over-v1 speedup.
+struct BoundaryResult {
+  std::size_t series_n = 0;
+  std::size_t length = 0;
+  std::size_t repetitions = 0;
+  double direct_seconds = 0.0;        // per row
+  double fft_pair_seconds = 0.0;      // per row
+  double overlap_save_seconds = 0.0;  // per row
+  valmod::mass::ConvolutionBackend v1 = valmod::mass::ConvolutionBackend::kAuto;
+  valmod::mass::ConvolutionBackend v2 = valmod::mass::ConvolutionBackend::kAuto;
+  double speedup_v2_vs_v1 = 1.0;
+};
+
+double TimePerRow(valmod::mass::MassEngine& engine,
+                  const std::vector<std::size_t>& rows, std::size_t length,
+                  valmod::mass::ConvolutionBackend backend,
+                  double* checksum) {
+  // Warm the plans and cached spectra, then keep the fastest of three
+  // batched single-threaded runs (the sweep compares kernels, not scheduler
+  // noise).
+  (void)engine.ComputeRowProfiles({rows.data(), 2}, length, 1, backend);
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    WallTimer timer;
+    auto batch = engine.ComputeRowProfiles(rows, length, 1, backend);
+    const double elapsed = timer.ElapsedSeconds();
+    for (const auto& row : *batch) *checksum += Checksum(row.distances);
+    best = std::min(best, elapsed / static_cast<double>(rows.size()));
+  }
+  return best;
+}
+
+BoundaryResult RunBoundaryPoint(std::size_t n, std::size_t length,
+                                double* checksum) {
+  using valmod::mass::ConvolutionBackend;
+  auto series_result = valmod::synth::ByName("ecg", n, 11);
+  if (!series_result.ok()) {
+    std::fprintf(stderr, "series generation failed: %s\n",
+                 series_result.status().ToString().c_str());
+    std::exit(1);
+  }
+  const DataSeries& series = *series_result;
+  const std::size_t count = series.NumSubsequences(length);
+  const std::size_t repetitions = 16;  // even: pair paths pack 2 per FFT
+  const std::size_t stride = count / repetitions;
+  std::vector<std::size_t> rows(repetitions);
+  for (std::size_t r = 0; r < repetitions; ++r) rows[r] = r * stride;
+
+  valmod::mass::MassEngine engine(series);
+  BoundaryResult result;
+  result.series_n = n;
+  result.length = length;
+  result.repetitions = repetitions;
+  result.direct_seconds =
+      TimePerRow(engine, rows, length, ConvolutionBackend::kDirect, checksum);
+  result.fft_pair_seconds =
+      TimePerRow(engine, rows, length, ConvolutionBackend::kFftPair, checksum);
+  result.overlap_save_seconds = TimePerRow(
+      engine, rows, length, ConvolutionBackend::kOverlapSave, checksum);
+
+  result.v1 = valmod::mass::ChooseConvolutionBackendV1(n, length, count);
+  result.v2 = valmod::mass::ChooseConvolutionBackend(n, length, count,
+                                                     /*batched=*/true);
+  const auto measured = [&](ConvolutionBackend b) {
+    switch (b) {
+      case ConvolutionBackend::kDirect:
+        return result.direct_seconds;
+      case ConvolutionBackend::kOverlapSave:
+        return result.overlap_save_seconds;
+      default:  // both full-FFT members run pair-packed in a batch
+        return result.fft_pair_seconds;
+    }
+  };
+  result.speedup_v2_vs_v1 = measured(result.v1) / measured(result.v2);
+  return result;
+}
+
+void AppendFormat(std::string* out, const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list measure;
+  va_copy(measure, args);
+  const int needed = std::vsnprintf(nullptr, 0, format, measure);
+  va_end(measure);
+  if (needed > 0) {
+    const std::size_t offset = out->size();
+    out->resize(offset + static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(out->data() + offset, static_cast<std::size_t>(needed) + 1,
+                   format, args);
+    out->resize(offset + static_cast<std::size_t>(needed));
+  }
+  va_end(args);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -431,6 +541,26 @@ int main(int argc, char** argv) {
   sweep.push_back(
       RunBackendSweep(std::size_t{1} << 19, length, 8, &checksum));
 
+  // Boundary sweep: the (series_n, length) grid where the v1 weight-18
+  // boundary kept rows on direct dots. Every row reports the measured
+  // per-backend timings next to the cost model's predictions so the static
+  // weights stay auditable.
+  std::vector<BoundaryResult> boundary;
+  for (std::size_t bn : {std::size_t{1} << 12, std::size_t{1} << 13,
+                         std::size_t{1} << 14}) {
+    for (std::size_t bl :
+         {std::size_t{64}, std::size_t{128}, std::size_t{256},
+          std::size_t{512}}) {
+      boundary.push_back(RunBoundaryPoint(bn, bl, &checksum));
+    }
+  }
+  double speedup_boundary_8192_128 = 0.0;
+  for (const BoundaryResult& b : boundary) {
+    if (b.series_n == 8192 && b.length == 128) {
+      speedup_boundary_8192_128 = b.speedup_v2_vs_v1;
+    }
+  }
+
   // --- ParallelFor dispatch: spawn-per-call vs persistent pool ----------
   const int threads = 4;
   const std::size_t rounds = 200;
@@ -456,12 +586,11 @@ int main(int argc, char** argv) {
       valmod::ThreadPool::Shared().threads_created() - created_before;
   checksum += Checksum(sink);
 
-  char sweep_json[1024];
-  std::size_t sweep_len = 0;
+  std::string sweep_json;
   for (std::size_t s = 0; s < sweep.size(); ++s) {
     const SweepResult& r = sweep[s];
-    sweep_len += static_cast<std::size_t>(std::snprintf(
-        sweep_json + sweep_len, sizeof(sweep_json) - sweep_len,
+    AppendFormat(
+        &sweep_json,
         "%s{\"series_n\":%zu,\"repetitions\":%zu,"
         "\"cached_single_seconds\":%.6f,\"pair_batched_seconds\":%.6f,"
         "\"overlap_save_batched_seconds\":%.6f,"
@@ -471,12 +600,39 @@ int main(int argc, char** argv) {
         s == 0 ? "" : ",", r.series_n, r.repetitions, r.single_seconds,
         r.pair_seconds, r.overlap_save_seconds,
         r.pair_seconds / r.overlap_save_seconds,
-        r.single_seconds / r.overlap_save_seconds, r.auto_backend));
+        r.single_seconds / r.overlap_save_seconds, r.auto_backend);
   }
 
-  char json[2560];
-  std::snprintf(
-      json, sizeof(json),
+  const valmod::mass::BackendCostModel model =
+      valmod::mass::ActiveBackendCostModel();
+  std::string boundary_json;
+  for (std::size_t b = 0; b < boundary.size(); ++b) {
+    const BoundaryResult& r = boundary[b];
+    const std::size_t count = r.series_n - r.length + 1;
+    AppendFormat(
+        &boundary_json,
+        "%s{\"series_n\":%zu,\"length\":%zu,\"repetitions\":%zu,"
+        "\"direct_seconds_per_row\":%.3e,"
+        "\"fft_pair_seconds_per_row\":%.3e,"
+        "\"overlap_save_seconds_per_row\":%.3e,"
+        "\"predicted_direct\":%.4g,\"predicted_fft_pair\":%.4g,"
+        "\"predicted_overlap_save\":%.4g,"
+        "\"v1_backend\":\"%s\",\"v2_backend\":\"%s\","
+        "\"speedup_v2_vs_v1\":%.3f}",
+        b == 0 ? "" : ",", r.series_n, r.length, r.repetitions,
+        r.direct_seconds, r.fft_pair_seconds, r.overlap_save_seconds,
+        valmod::mass::DirectSlidingDotsCost(model, r.length, count),
+        valmod::mass::FftSlidingDotsCost(model, r.series_n, r.length,
+                                         /*pair=*/true),
+        valmod::mass::OverlapSaveSlidingDotsCost(model, r.length, count,
+                                                 /*pair=*/true),
+        valmod::mass::ConvolutionBackendName(r.v1),
+        valmod::mass::ConvolutionBackendName(r.v2), r.speedup_v2_vs_v1);
+  }
+
+  std::string json;
+  AppendFormat(
+      &json,
       "{\"bench\":\"mass_engine\",\"series_n\":%zu,\"length\":%zu,"
       "\"repetitions\":%zu,"
       "\"seed_uncached_seconds\":%.6f,\"uncached_seconds\":%.6f,"
@@ -488,28 +644,42 @@ int main(int argc, char** argv) {
       "\"speedup_pair_batched_vs_pr1_single\":%.3f,"
       "\"speedup_pair_batched_vs_cached_single\":%.3f,"
       "\"speedup_overlap_save_vs_pair\":%.3f,"
-      "\"sweep\":[%s],"
-      "\"parallel_for\":{\"rounds\":%zu,\"range\":%zu,\"threads\":%d,"
-      "\"spawn_seconds\":%.6f,\"pool_seconds\":%.6f,"
-      "\"pool_threads_created_during_timed_rounds\":%llu},"
-      "\"checksum\":%.6e}\n",
+      "\"sweep\":[%s],",
       n, length, repetitions, seed_seconds, uncached_seconds,
       pr1_single_seconds, cached_seconds, pair_batched_seconds,
       overlap_save_batched_seconds,
       seed_seconds / cached_seconds, uncached_seconds / cached_seconds,
       pr1_single_seconds / pair_batched_seconds,
       cached_seconds / pair_batched_seconds,
-      pair_batched_seconds / overlap_save_batched_seconds, sweep_json,
+      pair_batched_seconds / overlap_save_batched_seconds,
+      sweep_json.c_str());
+  AppendFormat(
+      &json,
+      "\"results_version\":%d,"
+      "\"cost_model\":{\"source\":\"static\",\"direct\":%.3f,"
+      "\"fft_single\":%.3f,\"fft_pair\":%.3f,\"overlap_save\":%.3f,"
+      "\"overlap_save_chunk\":%.3f},"
+      "\"boundary_sweep\":[%s],"
+      "\"speedup_v2_vs_v1_boundary_8192_128\":%.3f,",
+      valmod::mass::kResultsVersion, model.direct, model.fft_single,
+      model.fft_pair, model.overlap_save, model.overlap_save_chunk,
+      boundary_json.c_str(), speedup_boundary_8192_128);
+  AppendFormat(
+      &json,
+      "\"parallel_for\":{\"rounds\":%zu,\"range\":%zu,\"threads\":%d,"
+      "\"spawn_seconds\":%.6f,\"pool_seconds\":%.6f,"
+      "\"pool_threads_created_during_timed_rounds\":%llu},"
+      "\"checksum\":%.6e}\n",
       rounds, range, threads, spawn_seconds, pool_seconds,
       static_cast<unsigned long long>(created_during), checksum);
-  std::fputs(json, stdout);
+  std::fputs(json.c_str(), stdout);
   if (argc > 1) {
     std::FILE* out = std::fopen(argv[1], "w");
     if (out == nullptr) {
       std::fprintf(stderr, "cannot open %s for writing\n", argv[1]);
       return 1;
     }
-    std::fputs(json, out);
+    std::fputs(json.c_str(), out);
     std::fclose(out);
   }
   return 0;

@@ -5,6 +5,34 @@
 
 namespace valmod::mass {
 
+/// Version of the numerical results the library produces under automatic
+/// backend selection. Backends are numerically equivalent to ~1e-9 relative
+/// but not bit-identical, so *which* backend the cost model picks determines
+/// the exact ulps of every downstream motif distance. Whenever the
+/// selection policy changes, this constant is bumped and the golden outputs
+/// under tests/goldens/ are regenerated for the new version; the previous
+/// policy stays reachable so old goldens remain reproducible bit-for-bit.
+///
+///  - v1 (kLegacyResultsVersion): the PR 3 policy — the direct-vs-FFT
+///    boundary is the fixed weight-18 `PreferFftSlidingDots` test, and the
+///    FFT family prefers overlap-save whenever its chunk is smaller than
+///    the full transform. Reachable via `ConvolutionBackend::kAutoV1` (or
+///    `results_version = 1` on the option structs that thread it through).
+///  - v2 (kResultsVersion, the default): the calibrated backend-aware cost
+///    model below — every backend is priced by the work its kernel actually
+///    does, so e.g. 2^13 points / length 128 now runs overlap-save (≥1.3x
+///    measured) where the v1 boundary kept it on direct dots.
+inline constexpr int kResultsVersion = 2;
+inline constexpr int kLegacyResultsVersion = 1;
+
+/// True for the versions a `results_version` option may carry. Every
+/// intake point (ValmodOptions, ProfileOptions, QuerySearchOptions, the
+/// CLI flag) validates with this so an unknown version fails loudly
+/// instead of silently running the current policy under a wrong label.
+inline constexpr bool IsValidResultsVersion(int version) {
+  return version == kResultsVersion || version == kLegacyResultsVersion;
+}
+
 /// How a MASS engine turns queries into sliding dot products. The backends
 /// are numerically equivalent (every one computes the same dot products to
 /// ~1e-9 relative) but differ in evaluation order, so results are not
@@ -15,6 +43,11 @@ enum class ConvolutionBackend {
   /// Cost-model selection (see ChooseConvolutionBackend). The default
   /// everywhere; forcing a specific backend exists for tests and benches.
   kAuto,
+  /// The v1 (PR 3) automatic selection, kept so `results_version = 1` runs
+  /// reproduce historical outputs bit-for-bit: the weight-18 direct-vs-FFT
+  /// boundary, then overlap-save whenever its chunk is below the full
+  /// transform size. See kLegacyResultsVersion.
+  kAutoV1,
   /// O(count * length) direct multiply-adds. Wins for short windows.
   kDirect,
   /// One full-size real FFT per query against the cached padded-series
@@ -36,22 +69,108 @@ enum class ConvolutionBackend {
 /// Human-readable backend name for logs / bench JSON.
 const char* ConvolutionBackendName(ConvolutionBackend backend);
 
-/// Resolves kAuto for one row profile: the three-way crossover over
-/// (series length, query length) generalizing the old direct-vs-FFT test.
-/// Returns kDirect, kFftSingle, or kOverlapSave — never kAuto, and never
-/// kFftPair (pair packing is a batching concern: the batched entry point
-/// upgrades a full-FFT family choice to kFftPair on its own).
-///
-/// Model: the direct-vs-FFT boundary is PreferFftSlidingDots, unchanged,
-/// so historical direct-path configurations stay on (and bit-identical to)
-/// the direct path. Within the FFT family, overlap-save is chosen whenever
-/// OverlapSaveFftSize(length) is smaller than the full FFT size — measured
-/// to win at every such configuration (numbers in ROADMAP.md) — and the
-/// full-size transform is kept for queries long enough that chunking
-/// degenerates.
+/// The backend to hand a MassEngine for (`backend`, `results_version`): a
+/// forced backend wins outright; otherwise kAuto under the default
+/// version, or kAutoV1 under the legacy one. Callers must have validated
+/// `results_version` (IsValidResultsVersion) first.
+inline ConvolutionBackend EffectiveBackend(ConvolutionBackend backend,
+                                           int results_version) {
+  if (backend == ConvolutionBackend::kAuto &&
+      results_version == kLegacyResultsVersion) {
+    return ConvolutionBackend::kAutoV1;
+  }
+  return backend;
+}
+
+/// Per-backend cost weights, in units of one direct multiply-add (so
+/// `direct` is 1.0 by construction). A backend's predicted per-row cost is
+/// its kernel's dominant operation count scaled by these weights — see the
+/// cost functions below for the exact formulas. The static defaults were
+/// fitted offline from the boundary sweep in bench_mass_engine (the
+/// `boundary_sweep` rows of BENCH_engine.json hold the measurements the fit
+/// is audited against); `CalibrateBackendCostModel()` refits them on the
+/// running machine.
+struct BackendCostModel {
+  /// Cost of one direct sliding-dot multiply-add. The unit of the model.
+  double direct = 1.0;
+  /// Cost per butterfly unit (`F * log2(F)`, F the padded full transform
+  /// size) of a single-query row: one real forward + product + real inverse.
+  /// Butterfly weights land well above 1 because the direct path is a dense
+  /// auto-vectorized FMA loop while a butterfly pass is strided and
+  /// latency-bound — the weight-18 v1 constant overpriced this gap, which
+  /// is exactly why it kept short-window configurations off the (faster)
+  /// overlap-save path.
+  double fft_single = 5.5;
+  /// Per-row cost per butterfly unit of the pair-packed full-size path (two
+  /// rows share one forward + product + inverse).
+  double fft_pair = 4.0;
+  /// Cost per butterfly unit (`C * log2(C)`, C the overlap-save chunk size)
+  /// per chunk-size transform of the overlap-save pipeline.
+  double overlap_save = 4.0;
+  /// Cost per chunk point of the per-chunk pointwise product + unload sweep
+  /// (the O(C) work between the cached chunk spectrum and the output dots).
+  double overlap_save_chunk = 2.0;
+};
+
+/// Predicted cost of one row of sliding dot products, per backend family.
+/// `count = series_size - length + 1` rows of `length`-point dots. The
+/// `pair` flavors price a row inside a pair-packed batch (two rows per
+/// transform); the overlap-save formula amortizes the filter transform and
+/// the per-chunk inverse over `hop = C/2` outputs per chunk and assumes the
+/// chunk spectra themselves are cached by the engine (they are built once
+/// per (series, chunk size) and reused by every row).
+double DirectSlidingDotsCost(const BackendCostModel& model, std::size_t length,
+                             std::size_t count);
+double FftSlidingDotsCost(const BackendCostModel& model,
+                          std::size_t series_size, std::size_t length,
+                          bool pair);
+double OverlapSaveSlidingDotsCost(const BackendCostModel& model,
+                                  std::size_t length, std::size_t count,
+                                  bool pair);
+
+/// The process-wide model used by `ChooseConvolutionBackend`. Defaults to
+/// the (deterministic) static fit above; `SetBackendCostModel` installs a
+/// replacement — typically the result of `CalibrateBackendCostModel()`.
+/// Thread-safe.
+BackendCostModel ActiveBackendCostModel();
+void SetBackendCostModel(const BackendCostModel& model);
+
+/// One-shot runtime calibration (~100 ms): microbenchmarks the direct,
+/// full-size FFT, and overlap-save kernels on this machine, fits the
+/// per-backend weights, installs the fitted model as the active one, and
+/// returns it. Calibration changes only which backend `kAuto` *chooses* —
+/// never the numerics a given backend produces — so it is safe for
+/// throughput but makes the choice machine-dependent; CI and the golden
+/// tests stay on the static fit for determinism.
+BackendCostModel CalibrateBackendCostModel();
+
+/// Resolves kAuto for one row profile: picks the backend with the smallest
+/// predicted cost under `model` (or the active model). With `batched` set
+/// the FFT family is priced pair-packed — two rows per transform, as the
+/// batched entry point executes it — and a full-FFT winner is reported as
+/// kFftPair; otherwise the single-row flavors compete and the full-FFT
+/// winner is kFftSingle. Overlap-save is excluded when its chunk would not
+/// be smaller than the full transform (chunking degenerates to one
+/// full-size block plus overhead). Never returns kAuto/kAutoV1.
 ConvolutionBackend ChooseConvolutionBackend(std::size_t series_size,
                                             std::size_t length,
-                                            std::size_t count);
+                                            std::size_t count,
+                                            bool batched,
+                                            const BackendCostModel& model);
+ConvolutionBackend ChooseConvolutionBackend(std::size_t series_size,
+                                            std::size_t length,
+                                            std::size_t count,
+                                            bool batched = false);
+
+/// The v1 (PR 3) selection, verbatim: direct iff the weight-18
+/// `PreferFftSlidingDots` boundary says so, else overlap-save when its
+/// chunk is below the full transform size, else the full-size single-query
+/// path. `ConvolutionBackend::kAutoV1` resolves through this, which is what
+/// keeps `results_version = 1` runs bit-identical to PR 3 output (see the
+/// v1 goldens under tests/goldens/).
+ConvolutionBackend ChooseConvolutionBackendV1(std::size_t series_size,
+                                              std::size_t length,
+                                              std::size_t count);
 
 }  // namespace valmod::mass
 

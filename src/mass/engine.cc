@@ -303,6 +303,8 @@ Result<RowProfile> MassEngine::ComputeRowProfile(std::size_t query_offset,
   const std::size_t count = series_.NumSubsequences(length);
   if (backend == ConvolutionBackend::kAuto) {
     backend = ChooseConvolutionBackend(series_.size(), length, count);
+  } else if (backend == ConvolutionBackend::kAutoV1) {
+    backend = ChooseConvolutionBackendV1(series_.size(), length, count);
   }
 
   RowProfile row;
@@ -327,6 +329,7 @@ Result<RowProfile> MassEngine::ComputeRowProfile(std::size_t query_offset,
       OverlapSaveDotsPair(query, {}, length, &row.dots, nullptr);
       break;
     case ConvolutionBackend::kAuto:
+    case ConvolutionBackend::kAutoV1:
       return Status::Internal("unresolved convolution backend");
   }
   DistancesFromDots(series_, query_offset, length, row.dots, &row.distances);
@@ -343,13 +346,21 @@ Result<std::vector<RowProfile>> MassEngine::ComputeRowProfiles(
   std::vector<RowProfile> profiles(rows.size());
   if (rows.empty()) return profiles;
 
-  const bool auto_resolved = backend == ConvolutionBackend::kAuto;
-  if (auto_resolved) {
-    backend = ChooseConvolutionBackend(series_.size(), length, count);
+  const bool auto_resolved = backend == ConvolutionBackend::kAuto ||
+                             backend == ConvolutionBackend::kAutoV1;
+  if (backend == ConvolutionBackend::kAuto) {
+    // The cost model prices the batch as the engine will execute it:
+    // adjacent rows share one pair-packed (or overlap-save) transform, so a
+    // multi-row batch competes the pair flavors against the direct dots. (A
+    // forced kFftSingle stays single-query so callers can demand
+    // bit-identity with ComputeRowProfile.)
+    backend = ChooseConvolutionBackend(series_.size(), length, count,
+                                       /*batched=*/rows.size() > 1);
+  } else if (backend == ConvolutionBackend::kAutoV1) {
+    // The v1 policy resolved once, then upgraded a full-FFT choice to pair
+    // packing — replicated verbatim for results_version = 1 bit-compat.
+    backend = ChooseConvolutionBackendV1(series_.size(), length, count);
     if (backend == ConvolutionBackend::kFftSingle) {
-      // Batches upgrade the full-FFT family to pair packing: adjacent rows
-      // share one transform. (A forced kFftSingle stays single-query so
-      // callers can demand bit-identity with ComputeRowProfile.)
       backend = ConvolutionBackend::kFftPair;
     }
   }
@@ -440,6 +451,8 @@ Result<std::vector<double>> MassEngine::DistanceProfile(
     // margin, and unconditionally taking an FFT path would also pay the
     // engine's one-time spectrum build for a single cheap call.
     backend = ChooseConvolutionBackend(series_.size(), length, count);
+  } else if (backend == ConvolutionBackend::kAutoV1) {
+    backend = ChooseConvolutionBackendV1(series_.size(), length, count);
   }
 
   VALMOD_ASSIGN_OR_RETURN(CenteredQuery centered, CenterQuery(query));
@@ -461,6 +474,7 @@ Result<std::vector<double>> MassEngine::DistanceProfile(
       OverlapSaveDotsPair(centered.values, {}, length, &dots, nullptr);
       break;
     case ConvolutionBackend::kAuto:
+    case ConvolutionBackend::kAutoV1:
       return Status::Internal("unresolved convolution backend");
   }
 

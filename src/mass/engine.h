@@ -41,9 +41,12 @@ namespace valmod::mass {
 ///    cache resident; pairs of rows share the chunk pipeline the same way
 ///    the full-size pair path does.
 ///
-/// `ConvolutionBackend::kAuto` (the default everywhere) applies the cost
-/// model in `ChooseConvolutionBackend`; forcing a backend exists for tests
-/// and benches. Backends agree to ~1e-9 relative, not bit-for-bit (the
+/// `ConvolutionBackend::kAuto` (the default everywhere) applies the
+/// calibrated cost model in `ChooseConvolutionBackend` — batched calls are
+/// priced pair-packed, exactly as they execute; `kAutoV1` applies the frozen
+/// v1 (PR 3) policy for results_version = 1 bit-compat; forcing a specific
+/// backend exists for tests and benches. Backends agree to ~1e-9 relative,
+/// not bit-for-bit (the
 /// evaluation order differs); within one backend, batched results depend
 /// only on the row order, never on `num_threads`. The auto single-query
 /// path remains bit-identical to the `mass::ComputeRowProfile` free
@@ -70,7 +73,8 @@ class MassEngine {
 
   /// Batched form: row profiles for every offset in `rows` at one length,
   /// in input order. Under kAuto this resolves the backend once for the
-  /// whole batch and upgrades a full-FFT choice to the pair-packed path;
+  /// whole batch with the FFT family priced pair-packed (kAutoV1 replays
+  /// the v1 resolve-then-upgrade sequence instead);
   /// adjacent rows share one transform, and an odd tail row runs the
   /// historical single-query path under kAuto but stays on the forced
   /// backend (empty second lane) when one was given, matching the

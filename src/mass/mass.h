@@ -96,11 +96,11 @@ std::vector<double> DirectExternalSlidingDots(
     std::span<const double> centered_query, std::size_t count);
 
 /// True when an FFT path is estimated cheaper than `count * length` direct
-/// multiply-adds for this series size. This is the direct-vs-FFT boundary
-/// of the backend cost model (`ChooseConvolutionBackend` in mass/backend.h
-/// resolves the FFT family further into full-size vs overlap-save); it is a
-/// single source so the cached and uncached row-profile paths always pick
-/// the same kernel (keeping their outputs bit-identical).
+/// multiply-adds under the fixed weight-18 butterfly constant. This is the
+/// *v1* direct-vs-FFT boundary, kept verbatim as the backbone of
+/// `ChooseConvolutionBackendV1` (mass/backend.h) so `results_version = 1`
+/// runs stay bit-identical to historical output; the default (v2) policy
+/// prices every backend with the calibrated `BackendCostModel` instead.
 bool PreferFftSlidingDots(std::size_t series_size, std::size_t length,
                           std::size_t count);
 

@@ -21,8 +21,16 @@ Result<std::vector<QueryMatch>> FindQueryMatches(
     MassEngine& engine, std::span<const double> query,
     const QuerySearchOptions& options) {
   if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
-  VALMOD_ASSIGN_OR_RETURN(std::vector<double> distances,
-                          engine.DistanceProfile(query, options.backend));
+  if (!IsValidResultsVersion(options.results_version)) {
+    return Status::InvalidArgument(
+        "unknown results_version " +
+        std::to_string(options.results_version));
+  }
+  VALMOD_ASSIGN_OR_RETURN(
+      std::vector<double> distances,
+      engine.DistanceProfile(
+          query,
+          EffectiveBackend(options.backend, options.results_version)));
 
   const std::size_t exclusion =
       options.exclusion_fraction <= 0.0

@@ -28,6 +28,9 @@ struct QuerySearchOptions {
   /// Convolution backend for the distance profile; kAuto applies the
   /// engine's cost-model crossover.
   ConvolutionBackend backend = ConvolutionBackend::kAuto;
+  /// Which automatic selection policy resolves kAuto (see kResultsVersion):
+  /// 2 (default) is the calibrated cost model, 1 the frozen v1 boundary.
+  int results_version = kResultsVersion;
 };
 
 /// Finds the k best z-normalized matches of `query` inside `series`

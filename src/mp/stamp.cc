@@ -20,6 +20,11 @@ Result<MatrixProfile> ComputeStamp(const series::DataSeries& series,
         "length " + std::to_string(length) + " yields no subsequences in a " +
         std::to_string(series.size()) + "-point series");
   }
+  if (!mass::IsValidResultsVersion(options.results_version)) {
+    return Status::InvalidArgument(
+        "unknown results_version " +
+        std::to_string(options.results_version));
+  }
 
   MatrixProfile profile;
   profile.subsequence_length = length;
@@ -49,8 +54,10 @@ Result<MatrixProfile> ComputeStamp(const series::DataSeries& series,
     std::iota(rows.begin(), rows.end(), begin);
     VALMOD_ASSIGN_OR_RETURN(
         std::vector<mass::RowProfile> batch,
-        engine.ComputeRowProfiles(rows, length, num_threads,
-                                  options.backend));
+        engine.ComputeRowProfiles(
+            rows, length, num_threads,
+            mass::EffectiveBackend(options.backend,
+                                   options.results_version)));
     for (std::size_t b = 0; b < batch.size(); ++b) {
       const std::size_t i = begin + b;
       mass::RowProfile& row = batch[b];

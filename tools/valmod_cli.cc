@@ -24,6 +24,7 @@
 #include "common/flags.h"
 #include "core/valmod.h"
 #include "core/variable_discords.h"
+#include "mass/backend.h"
 #include "mass/query_search.h"
 #include "mp/motif.h"
 #include "mp/profile_io.h"
@@ -50,12 +51,49 @@ int Usage() {
                "generate> [flags]\n"
                "  common: --input=<csv> [--column=0] | --generate=<name> "
                "--n=<points> [--seed=1]\n"
+               "  motifs/valmap/query: [--results-version=%d] (%d = "
+               "calibrated cost model,\n"
+               "          %d = legacy v1 bit-compat) [--calibrate] (fit "
+               "backend weights here)\n"
                "  motifs/valmap/discords: --lmin --lmax [--k=1] [--p=10] "
                "[--threads=1]\n"
                "  profile: --l [--output=profile.csv]\n"
                "  query: --query=<csv> [--k=1]\n"
-               "  generate: --output=<csv>\n");
+               "  generate: --output=<csv>\n",
+               valmod::mass::kResultsVersion, valmod::mass::kResultsVersion,
+               valmod::mass::kLegacyResultsVersion);
   return 2;
+}
+
+/// Reads --results-version, failing fast on versions that do not exist so
+/// output is never stamped with (or silently computed under) a bogus
+/// policy label. Returns < 0 after printing the error.
+int ResultsVersion(const Flags& flags) {
+  const int version = static_cast<int>(
+      flags.GetInt("results-version", valmod::mass::kResultsVersion));
+  if (!valmod::mass::IsValidResultsVersion(version)) {
+    std::fprintf(stderr,
+                 "error: unknown --results-version=%d (valid: %d, %d)\n",
+                 version, valmod::mass::kLegacyResultsVersion,
+                 valmod::mass::kResultsVersion);
+    return -1;
+  }
+  return version;
+}
+
+/// Applies the selection-policy flags shared by every engine-backed
+/// subcommand: --calibrate refits the backend cost model on this machine
+/// (choice-only: per-backend numerics are unaffected).
+void ApplyBackendFlags(const Flags& flags) {
+  if (flags.Has("calibrate")) {
+    const valmod::mass::BackendCostModel model =
+        valmod::mass::CalibrateBackendCostModel();
+    std::fprintf(stderr,
+                 "calibrated cost model: fft_single=%.2f fft_pair=%.2f "
+                 "overlap_save=%.2f overlap_save_chunk=%.2f (direct=1)\n",
+                 model.fft_single, model.fft_pair, model.overlap_save,
+                 model.overlap_save_chunk);
+  }
 }
 
 Result<DataSeries> LoadSeries(const Flags& flags) {
@@ -74,15 +112,19 @@ int RunMotifs(const Flags& flags) {
   auto series = LoadSeries(flags);
   if (!series.ok()) return Fail(series.status());
 
+  ApplyBackendFlags(flags);
   valmod::core::ValmodOptions options;
   options.min_length = static_cast<std::size_t>(flags.GetInt("lmin", 0));
   options.max_length = static_cast<std::size_t>(flags.GetInt("lmax", 0));
   options.k = static_cast<std::size_t>(flags.GetInt("k", 1));
   options.p = static_cast<std::size_t>(flags.GetInt("p", 10));
   options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  options.results_version = ResultsVersion(flags);
+  if (options.results_version < 0) return 2;
   auto result = valmod::core::RunValmod(*series, options);
   if (!result.ok()) return Fail(result.status());
 
+  std::printf("# results_version=%d\n", options.results_version);
   std::printf("length,rank,offset_a,offset_b,distance,normalized\n");
   for (const auto& lm : result->per_length) {
     for (std::size_t r = 0; r < lm.motifs.size(); ++r) {
@@ -131,11 +173,14 @@ int RunValmapCommand(const Flags& flags) {
   auto series = LoadSeries(flags);
   if (!series.ok()) return Fail(series.status());
 
+  ApplyBackendFlags(flags);
   valmod::core::ValmodOptions options;
   options.min_length = static_cast<std::size_t>(flags.GetInt("lmin", 0));
   options.max_length = static_cast<std::size_t>(flags.GetInt("lmax", 0));
   options.k = static_cast<std::size_t>(flags.GetInt("k", 4));
   options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  options.results_version = ResultsVersion(flags);
+  if (options.results_version < 0) return 2;
   auto result = valmod::core::RunValmod(*series, options);
   if (!result.ok()) return Fail(result.status());
 
@@ -151,8 +196,10 @@ int RunValmapCommand(const Flags& flags) {
        valmod::series::Column{"length_profile", lp}},
       output);
   if (!status.ok()) return Fail(status);
-  std::printf("wrote %s (%zu entries, %zu updates beyond lmin)\n",
-              output.c_str(), valmap.size(), valmap.updates().size());
+  std::printf("wrote %s (%zu entries, %zu updates beyond lmin, "
+              "results_version=%d)\n",
+              output.c_str(), valmap.size(), valmap.updates().size(),
+              options.results_version);
   return 0;
 }
 
@@ -160,6 +207,16 @@ int RunProfile(const Flags& flags) {
   auto series = LoadSeries(flags);
   if (!series.ok()) return Fail(series.status());
 
+  ApplyBackendFlags(flags);
+  // The profile subcommand runs STOMP, a pure diagonal sweep that computes
+  // no convolutions: there is no backend choice to version, so the flag
+  // would be a silent no-op — say so instead of accepting it.
+  if (flags.Has("results-version")) {
+    std::fprintf(stderr,
+                 "note: --results-version has no effect on `profile` "
+                 "(STOMP computes no convolutions); it applies to the "
+                 "engine-backed subcommands motifs/valmap/query\n");
+  }
   const std::size_t length =
       static_cast<std::size_t>(flags.GetInt("l", 0));
   valmod::mp::ProfileOptions options;
@@ -191,13 +248,17 @@ int RunQuery(const Flags& flags) {
       static_cast<std::size_t>(flags.GetInt("column", 0)));
   if (!query_series.ok()) return Fail(query_series.status());
 
+  ApplyBackendFlags(flags);
   valmod::mass::QuerySearchOptions options;
   options.k = static_cast<std::size_t>(flags.GetInt("k", 1));
+  options.results_version = ResultsVersion(flags);
+  if (options.results_version < 0) return 2;
   std::vector<double> query(query_series->values().begin(),
                             query_series->values().end());
   auto matches = valmod::mass::FindQueryMatches(*series, query, options);
   if (!matches.ok()) return Fail(matches.status());
 
+  std::printf("# results_version=%d\n", options.results_version);
   std::printf("rank,offset,distance\n");
   for (std::size_t r = 0; r < matches->size(); ++r) {
     std::printf("%zu,%lld,%.10g\n", r + 1,
