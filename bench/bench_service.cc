@@ -1,0 +1,264 @@
+// Serving-layer benchmark: throughput and latency percentiles for a mixed
+// request stream against the valmod service, comparing
+//
+//   cold  — the one-shot per-request path (what valmod_cli does): every
+//           request gets a fresh registry + engine and an empty result
+//           cache, so nothing amortizes;
+//   warm  — one long-lived Service: the registry holds the dataset and its
+//           shared MassEngine across requests, and the result cache
+//           memoizes repeated queries.
+//
+// The stream mixes motifs / valmap / profile / query requests over a small
+// set of parameter shapes (each shape repeats, as an analyst's interactive
+// session does), at 1..N concurrent clients. Emits JSON (stdout, plus
+// --json=<path>) -> BENCH_service.json in CI, next to BENCH_engine.json.
+//
+// The headline number is speedup_warm_vs_cold_1client: the serving stack's
+// acceptance bar is >= 3x (caches must actually amortize).
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/timer.h"
+#include "series/data_series.h"
+#include "series/generators.h"
+#include "service/server.h"
+
+namespace {
+
+using valmod::Flags;
+using valmod::WallTimer;
+using valmod::json::Value;
+using valmod::series::DataSeries;
+using valmod::service::Service;
+using valmod::service::ServiceOptions;
+
+/// The mixed request stream: `distinct` parameter shapes per verb family,
+/// cycled `requests` times. Deterministic, so cold and warm runs execute
+/// the byte-identical stream.
+std::vector<std::string> BuildRequestStream(const DataSeries& series,
+                                            std::size_t requests,
+                                            std::size_t length) {
+  std::vector<std::string> templates;
+  // Motifs at a few adjacent ranges (VALMOD proper, engine-backed).
+  for (std::size_t i = 0; i < 2; ++i) {
+    templates.push_back(
+        "{\"verb\":\"motifs\",\"dataset\":\"bench\",\"params\":{\"lmin\":" +
+        std::to_string(length + 8 * i) +
+        ",\"lmax\":" + std::to_string(length + 8 * i + 6) +
+        ",\"k\":2}}");
+  }
+  // Fixed-length profile (STOMP).
+  templates.push_back(
+      "{\"verb\":\"profile\",\"dataset\":\"bench\",\"params\":{\"l\":" +
+      std::to_string(length) + "}}");
+  // Query-by-content: two query windows cut from the series itself.
+  for (const std::size_t offset : {std::size_t{100}, series.size() / 2}) {
+    std::string values = "[";
+    const auto raw = series.values();
+    for (std::size_t i = 0; i < length; ++i) {
+      if (i > 0) values += ',';
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", raw[offset + i]);
+      values += buffer;
+    }
+    values += "]";
+    templates.push_back(
+        "{\"verb\":\"query\",\"dataset\":\"bench\",\"params\":{\"k\":3,"
+        "\"values\":" + values + "}}");
+  }
+  std::vector<std::string> stream;
+  stream.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    stream.push_back(templates[i % templates.size()]);
+  }
+  return stream;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  double throughput = 0.0;  // requests / second
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t errors = 0;
+};
+
+double Percentile(std::vector<double> sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const std::size_t index = std::min(
+      sorted_ms.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted_ms.size())));
+  return sorted_ms[index];
+}
+
+RunResult Finish(double seconds, std::vector<double> latencies_ms,
+                 std::size_t errors) {
+  RunResult result;
+  result.seconds = seconds;
+  result.throughput =
+      seconds > 0.0 ? static_cast<double>(latencies_ms.size()) / seconds : 0.0;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  result.p50_ms = Percentile(latencies_ms, 0.50);
+  result.p99_ms = Percentile(latencies_ms, 0.99);
+  result.errors = errors;
+  return result;
+}
+
+bool ResponseOk(const std::string& response) {
+  return response.find("\"ok\":true") != std::string::npos;
+}
+
+/// Cold: every request runs against a fresh Service (fresh registry, fresh
+/// engine, cache disabled) — the per-request cost of the one-shot path.
+RunResult RunCold(const DataSeries& series,
+                  const std::vector<std::string>& stream) {
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(stream.size());
+  std::size_t errors = 0;
+  WallTimer total;
+  for (const std::string& request : stream) {
+    WallTimer timer;
+    ServiceOptions options;
+    options.workers = 1;
+    options.cache_capacity = 0;
+    Service service(options);
+    auto loaded = service.registry().LoadSeries("bench", series.Clone());
+    if (!loaded.ok() || !ResponseOk(service.HandleRequestLine(request))) {
+      ++errors;
+    }
+    latencies_ms.push_back(timer.ElapsedMillis());
+  }
+  return Finish(total.ElapsedSeconds(), std::move(latencies_ms), errors);
+}
+
+/// Warm: one Service for the whole stream, `clients` threads issuing
+/// disjoint slices of it concurrently.
+RunResult RunWarm(Service& service, const std::vector<std::string>& stream,
+                  std::size_t clients) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::size_t> errors(clients, 0);
+  WallTimer total;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (std::size_t i = c; i < stream.size(); i += clients) {
+        WallTimer timer;
+        if (!ResponseOk(service.HandleRequestLine(stream[i]))) ++errors[c];
+        latencies[c].push_back(timer.ElapsedMillis());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds = total.ElapsedSeconds();
+  std::vector<double> all;
+  std::size_t total_errors = 0;
+  for (std::size_t c = 0; c < clients; ++c) {
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+    total_errors += errors[c];
+  }
+  return Finish(seconds, std::move(all), total_errors);
+}
+
+Value RunValue(const RunResult& run) {
+  Value::Object o;
+  o.emplace("seconds", Value(run.seconds));
+  o.emplace("requests_per_second", Value(run.throughput));
+  o.emplace("p50_ms", Value(run.p50_ms));
+  o.emplace("p99_ms", Value(run.p99_ms));
+  o.emplace("errors", Value(run.errors));
+  return Value(std::move(o));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(flags.GetInt("n", 8192));
+  const std::size_t requests =
+      static_cast<std::size_t>(flags.GetInt("requests", 30));
+  const std::size_t length =
+      static_cast<std::size_t>(flags.GetInt("length", 128));
+  const std::size_t max_clients =
+      static_cast<std::size_t>(flags.GetInt("clients", 4));
+
+  auto series = valmod::synth::ByName("ecg", n, 1);
+  if (!series.ok()) {
+    std::fprintf(stderr, "generator failed: %s\n",
+                 series.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<std::string> stream =
+      BuildRequestStream(*series, requests, length);
+
+  std::fprintf(stderr, "bench_service: n=%zu requests=%zu length=%zu\n", n,
+               requests, length);
+
+  const RunResult cold = RunCold(*series, stream);
+  std::fprintf(stderr, "cold  1 client : %6.2f req/s (p50 %7.2f ms, p99 %7.2f ms)\n",
+               cold.throughput, cold.p50_ms, cold.p99_ms);
+
+  Value::Object doc;
+  doc.emplace("bench", Value("service"));
+  doc.emplace("n", Value(n));
+  doc.emplace("requests", Value(requests));
+  doc.emplace("length", Value(length));
+  doc.emplace("cold_1client", RunValue(cold));
+
+  double warm_1client_throughput = 0.0;
+  Value::Object warm_runs;
+  {
+    // One service across every client count: later rounds see the caches
+    // the earlier rounds built, exactly as a long-lived server would. The
+    // first (1-client) round starts cold-engine but warms within the run.
+    ServiceOptions options;
+    options.workers = static_cast<int>(max_clients);
+    options.cache_capacity = 256;
+    Service service(options);
+    auto loaded = service.registry().LoadSeries("bench", series->Clone());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    for (std::size_t clients = 1; clients <= max_clients; clients *= 2) {
+      const RunResult warm = RunWarm(service, stream, clients);
+      std::fprintf(
+          stderr,
+          "warm %2zu client%s: %6.2f req/s (p50 %7.2f ms, p99 %7.2f ms)\n",
+          clients, clients == 1 ? " " : "s", warm.throughput, warm.p50_ms,
+          warm.p99_ms);
+      if (clients == 1) warm_1client_throughput = warm.throughput;
+      warm_runs.emplace(std::to_string(clients) + "_clients",
+                        RunValue(warm));
+    }
+  }
+  doc.emplace("warm", Value(std::move(warm_runs)));
+
+  const double speedup =
+      cold.throughput > 0.0 ? warm_1client_throughput / cold.throughput : 0.0;
+  doc.emplace("speedup_warm_vs_cold_1client", Value(speedup));
+  std::fprintf(stderr, "speedup warm/cold (1 client): %.2fx\n", speedup);
+
+  const std::string json = Value(std::move(doc)).Serialize();
+  std::fputs(json.c_str(), stdout);
+  std::fputc('\n', stdout);
+  const std::string path = flags.GetString("json", "");
+  if (!path.empty()) {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+  }
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "common/flags.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string_view>
 
@@ -58,6 +59,32 @@ std::string Flags::GetString(const std::string& name,
   auto it = values_.find(name);
   if (it == values_.end()) return default_value;
   return it->second;
+}
+
+std::vector<std::string> Flags::UnknownFlags(
+    std::span<const std::string_view> known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : values_) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      unknown.push_back(name);
+    }
+  }
+  return unknown;  // values_ is an ordered map, so this is sorted
+}
+
+Status Flags::RejectUnknown(std::span<const std::string_view> known) const {
+  const std::vector<std::string> unknown = UnknownFlags(known);
+  if (unknown.empty()) return Status::Ok();
+  std::string message = "unknown flag";
+  if (unknown.size() > 1) message += 's';
+  for (const std::string& name : unknown) message += " --" + name;
+  message += " (accepted:";
+  for (std::string_view name : known) {
+    message += " --";
+    message += name;
+  }
+  message += ")";
+  return Status::InvalidArgument(std::move(message));
 }
 
 bool Flags::Has(const std::string& name) const {

@@ -3,8 +3,12 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "common/status.h"
 
 namespace valmod {
 
@@ -30,6 +34,17 @@ class Flags {
 
   bool Has(const std::string& name) const;
   const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags present in argv but absent from `known`, in sorted order. The
+  /// tool front ends validate each subcommand's flag table with this so a
+  /// typo'd flag (`--thread=4` for `--threads=4`) fails loudly instead of
+  /// silently running with the default.
+  std::vector<std::string> UnknownFlags(
+      std::span<const std::string_view> known) const;
+
+  /// InvalidArgument naming every unknown flag (and the accepted set), or
+  /// OK when every parsed flag appears in `known`.
+  Status RejectUnknown(std::span<const std::string_view> known) const;
 
   /// "name=value name=value ..." for run-configuration logging.
   std::string ToString() const;

@@ -1,0 +1,92 @@
+#ifndef VALMOD_COMMON_JSON_H_
+#define VALMOD_COMMON_JSON_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace valmod::json {
+
+/// Minimal JSON value used by the serving protocol (valmod_server speaks
+/// newline-delimited JSON) and the bench JSON emitters. Self-contained on
+/// purpose: the build may not install a JSON library, and the protocol
+/// needs only the core data model — null, bool, double, string, array,
+/// object. Numbers are always doubles (the protocol's integral fields are
+/// small enough for exact double representation); object keys keep sorted
+/// (std::map) order, which makes serialized forms canonical — the result
+/// cache relies on that to use serialized params as cache-key material.
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+
+  Value() : state_(nullptr) {}
+  Value(std::nullptr_t) : state_(nullptr) {}           // NOLINT
+  Value(bool b) : state_(b) {}                         // NOLINT
+  Value(double d) : state_(d) {}                       // NOLINT
+  Value(int i) : state_(static_cast<double>(i)) {}     // NOLINT
+  Value(long long i) : state_(static_cast<double>(i)) {}        // NOLINT
+  Value(unsigned long long i) : state_(static_cast<double>(i)) {}  // NOLINT
+  Value(std::size_t i) : state_(static_cast<double>(i)) {}  // NOLINT
+  Value(const char* s) : state_(std::string(s)) {}     // NOLINT
+  Value(std::string s) : state_(std::move(s)) {}       // NOLINT
+  Value(Array a) : state_(std::move(a)) {}             // NOLINT
+  Value(Object o) : state_(std::move(o)) {}            // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(state_); }
+  bool is_bool() const { return std::holds_alternative<bool>(state_); }
+  bool is_number() const { return std::holds_alternative<double>(state_); }
+  bool is_string() const { return std::holds_alternative<std::string>(state_); }
+  bool is_array() const { return std::holds_alternative<Array>(state_); }
+  bool is_object() const { return std::holds_alternative<Object>(state_); }
+
+  /// Typed accessors; calling the wrong one aborts (programming error),
+  /// mirroring Result<T>. Use the is_*() predicates or the Get* helpers.
+  bool AsBool() const { return std::get<bool>(state_); }
+  double AsDouble() const { return std::get<double>(state_); }
+  const std::string& AsString() const { return std::get<std::string>(state_); }
+  const Array& AsArray() const { return std::get<Array>(state_); }
+  Array& AsArray() { return std::get<Array>(state_); }
+  const Object& AsObject() const { return std::get<Object>(state_); }
+  Object& AsObject() { return std::get<Object>(state_); }
+
+  /// Object field lookup: nullptr when this is not an object or the key is
+  /// absent.
+  const Value* Find(std::string_view key) const;
+
+  /// Typed object-field getters with defaults (missing key or wrong type
+  /// yields the default) — the shape the protocol's optional params take.
+  double GetNumber(std::string_view key, double default_value) const;
+  bool GetBool(std::string_view key, bool default_value) const;
+  std::string GetString(std::string_view key,
+                        const std::string& default_value) const;
+
+  /// Compact single-line serialization (no insignificant whitespace).
+  /// Doubles that hold integral values in the int64 range print without a
+  /// fractional part; others use %.17g so values round-trip.
+  std::string Serialize() const;
+  void SerializeTo(std::string* out) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      state_;
+};
+
+/// Parses one JSON document, requiring it to span the whole input (trailing
+/// whitespace allowed). Errors carry a byte offset.
+Result<Value> Parse(std::string_view text);
+
+/// Serializes `text` as a JSON string literal (quotes + escapes) into `out`.
+void AppendQuoted(std::string_view text, std::string* out);
+
+}  // namespace valmod::json
+
+#endif  // VALMOD_COMMON_JSON_H_

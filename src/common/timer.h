@@ -1,7 +1,9 @@
 #ifndef VALMOD_COMMON_TIMER_H_
 #define VALMOD_COMMON_TIMER_H_
 
+#include <atomic>
 #include <chrono>
+#include <memory>
 #include <optional>
 
 namespace valmod {
@@ -49,12 +51,27 @@ class Deadline {
   /// call sites).
   static Deadline Infinite() { return Deadline(); }
 
+  /// Returns a copy of this deadline that additionally expires as soon as
+  /// `*flag` becomes true. Because every long-running algorithm already
+  /// polls `Expired()` at coarse granularity, an attached flag turns those
+  /// same checkpoints into cooperative cancellation points: the service
+  /// scheduler cancels an in-flight request by setting the flag, and the
+  /// algorithm unwinds with kDeadlineExceeded at its next check.
+  Deadline WithCancelFlag(
+      std::shared_ptr<const std::atomic<bool>> flag) const {
+    Deadline d = *this;
+    d.cancel_ = std::move(flag);
+    return d;
+  }
+
   bool Expired() const {
+    if (cancel_ && cancel_->load(std::memory_order_relaxed)) return true;
     return at_.has_value() && std::chrono::steady_clock::now() >= *at_;
   }
 
  private:
   std::optional<std::chrono::steady_clock::time_point> at_;
+  std::shared_ptr<const std::atomic<bool>> cancel_;
 };
 
 }  // namespace valmod

@@ -44,12 +44,12 @@ double CorrelationFromDistance(double distance, std::size_t length) {
 
 class ValmodRunner {
  public:
-  ValmodRunner(const series::DataSeries& series, const ValmodOptions& options)
-      : series_(series),
+  ValmodRunner(mass::MassEngine& engine, const ValmodOptions& options)
+      : series_(engine.series()),
         options_(options),
-        stats_(series.stats()),
-        centered_(series.centered()),
-        engine_(series) {}
+        stats_(series_.stats()),
+        centered_(series_.centered()),
+        engine_(engine) {}
 
   Result<ValmodResult> Run();
 
@@ -75,8 +75,10 @@ class ValmodRunner {
   /// Shared MASS engine: the certification loop recomputes thousands of
   /// rows per run through the batched entry point, and the engine amortizes
   /// the series/chunk spectra and FFT plans across all of them while
-  /// pairing batch rows to share transforms.
-  mass::MassEngine engine_;
+  /// pairing batch rows to share transforms. Borrowed, not owned: the
+  /// serving layer passes a registry-held engine so the spectra also
+  /// amortize across *runs* (the one-shot overload constructs a local one).
+  mass::MassEngine& engine_;
 
   // Phase-1 products.
   std::unique_ptr<PartialProfileSet> partial_;
@@ -622,7 +624,13 @@ Result<ValmodResult> ValmodRunner::Run() {
 
 Result<ValmodResult> RunValmod(const series::DataSeries& series,
                                const ValmodOptions& options) {
-  ValmodRunner runner(series, options);
+  mass::MassEngine engine(series);
+  return RunValmod(engine, options);
+}
+
+Result<ValmodResult> RunValmod(mass::MassEngine& engine,
+                               const ValmodOptions& options) {
+  ValmodRunner runner(engine, options);
   return runner.Run();
 }
 

@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "common/timer.h"
 #include "core/valmap.h"
+#include "mass/engine.h"
 #include "mp/matrix_profile.h"
 #include "mp/motif.h"
 #include "series/data_series.h"
@@ -96,6 +97,14 @@ struct ValmodResult {
 /// O(n^2 + (lmax - lmin) * n * p) expected time (worst case degrades toward
 /// one MASS recompute per uncertified row).
 Result<ValmodResult> RunValmod(const series::DataSeries& series,
+                               const ValmodOptions& options);
+
+/// Engine form: runs against `engine.series()` reusing the engine's cached
+/// series/chunk spectra and FFT plans, so a stream of VALMOD runs against
+/// one loaded series (the serving workload) pays those builds once in
+/// total. The series-taking overload above constructs a throwaway engine
+/// and delegates here; results are identical between the two.
+Result<ValmodResult> RunValmod(mass::MassEngine& engine,
                                const ValmodOptions& options);
 
 /// Ranks motif pairs from multiple lengths by length-normalized distance

@@ -1,8 +1,10 @@
 #include "mass/backend.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <complex>
+#include <cstdint>
 #include <limits>
 #include <mutex>
 #include <vector>
@@ -90,9 +92,23 @@ BackendCostModel ActiveBackendCostModel() {
   return ModelStorage();
 }
 
+namespace {
+
+std::atomic<std::uint64_t>& ModelGenerationStorage() {
+  static std::atomic<std::uint64_t> generation{0};
+  return generation;
+}
+
+}  // namespace
+
 void SetBackendCostModel(const BackendCostModel& model) {
   std::lock_guard<std::mutex> lock(ModelMutex());
   ModelStorage() = model;
+  ModelGenerationStorage().fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t BackendCostModelGeneration() {
+  return ModelGenerationStorage().load(std::memory_order_relaxed);
 }
 
 ConvolutionBackend ChooseConvolutionBackend(std::size_t series_size,

@@ -2,6 +2,7 @@
 #define VALMOD_MASS_BACKEND_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace valmod::mass {
 
@@ -134,6 +135,15 @@ double OverlapSaveSlidingDotsCost(const BackendCostModel& model,
 /// Thread-safe.
 BackendCostModel ActiveBackendCostModel();
 void SetBackendCostModel(const BackendCostModel& model);
+
+/// Monotone generation counter of the active cost model: bumped by every
+/// SetBackendCostModel call — and therefore by CalibrateBackendCostModel,
+/// which installs its fit. Calibration changes which backend kAuto picks,
+/// which changes result ulps, so anything that memoizes kAuto results
+/// (the service result cache) folds this generation into its keys; a
+/// recalibration then invalidates the memoized responses instead of
+/// serving output computed under the retired model.
+std::uint64_t BackendCostModelGeneration();
 
 /// One-shot runtime calibration (~100 ms): microbenchmarks the direct,
 /// full-size FFT, and overlap-save kernels on this machine, fits the

@@ -21,6 +21,9 @@ Result<std::vector<QueryMatch>> FindQueryMatches(
     MassEngine& engine, std::span<const double> query,
     const QuerySearchOptions& options) {
   if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (options.deadline.Expired()) {
+    return Status::DeadlineExceeded("query search deadline expired");
+  }
   if (!IsValidResultsVersion(options.results_version)) {
     return Status::InvalidArgument(
         "unknown results_version " +

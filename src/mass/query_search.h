@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/timer.h"
 #include "mass/engine.h"
 #include "series/data_series.h"
 
@@ -31,6 +32,11 @@ struct QuerySearchOptions {
   /// Which automatic selection policy resolves kAuto (see kResultsVersion):
   /// 2 (default) is the calibrated cost model, 1 the frozen v1 boundary.
   int results_version = kResultsVersion;
+  /// Cooperative timeout / cancellation, checked before the distance
+  /// profile is computed (one profile is the whole cost of a query search,
+  /// so there is no finer-grained checkpoint to poll). The service
+  /// scheduler threads per-request deadlines through here.
+  Deadline deadline;
 };
 
 /// Finds the k best z-normalized matches of `query` inside `series`

@@ -1,0 +1,83 @@
+#ifndef VALMOD_SERVICE_RESULT_CACHE_H_
+#define VALMOD_SERVICE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace valmod::service {
+
+/// Bounded LRU cache of serialized response payloads, keyed by the full
+/// identity of a computation:
+///
+///   dataset name + dataset generation + verb + resolved request params
+///   + results_version + backend cost-model generation
+///
+/// (the server builds the key; see service/server.cc). Each component
+/// closes one staleness hole:
+///  - the dataset *generation* changes on every streaming append, so a
+///    cached answer is never served against newer data;
+///  - `results_version` pins the backend-selection policy, which the PR 4
+///    versioning made part of a result's identity (same inputs, different
+///    policy => different ulps);
+///  - the cost-model generation (mass::BackendCostModelGeneration) bumps
+///    whenever CalibrateBackendCostModel installs a refit, which can
+///    silently change which backend kAuto picks under the *same*
+///    results_version.
+///
+/// The request's `threads` param is deliberately NOT part of the key: the
+/// engine guarantees batched results depend only on row order, never on
+/// the thread count, so responses computed at different thread counts are
+/// byte-identical and may share an entry.
+///
+/// Values are shared_ptr<const string>: a hit hands back a reference to
+/// the stored bytes with no copy, and eviction cannot race a reader.
+class ResultCache {
+ public:
+  struct Stats {
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// `capacity` = max entries; 0 disables caching (Get always misses,
+  /// Put is a no-op) so the server's --cache=0 flag and the bench's cold
+  /// path share one code path.
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// nullptr on miss. A hit refreshes the entry's recency.
+  std::shared_ptr<const std::string> Get(const std::string& key);
+
+  /// Inserts (or refreshes) `key`, evicting the least recently used entry
+  /// beyond capacity.
+  void Put(const std::string& key, std::shared_ptr<const std::string> value);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const std::string> value;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  /// Most recent at the front.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats counters_;
+};
+
+}  // namespace valmod::service
+
+#endif  // VALMOD_SERVICE_RESULT_CACHE_H_

@@ -1,0 +1,136 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace valmod::service {
+
+Result<std::string> QueryScheduler::Ticket::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return result_.has_value(); });
+  return *result_;
+}
+
+bool QueryScheduler::Ticket::Done() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return result_.has_value();
+}
+
+void QueryScheduler::Ticket::Cancel() {
+  cancelled_->store(true, std::memory_order_relaxed);
+}
+
+QueryScheduler::QueryScheduler(const SchedulerOptions& options)
+    : options_(options) {
+  const int workers = std::max(1, options_.num_workers);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryScheduler::~QueryScheduler() {
+  std::vector<std::shared_ptr<Ticket>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    while (!queue_.empty()) {
+      orphans.push_back(queue_.top());
+      queue_.pop();
+      ++counters_.cancelled;
+    }
+  }
+  work_cv_.notify_all();
+  // Resolve outside the lock: waiters may wake immediately and re-enter
+  // scheduler accessors.
+  for (const auto& ticket : orphans) {
+    Resolve(ticket, Status::DeadlineExceeded("scheduler shut down"));
+  }
+  for (std::thread& worker : workers_) worker.join();
+}
+
+Result<std::shared_ptr<QueryScheduler::Ticket>> QueryScheduler::Submit(
+    Job job, int priority, Deadline deadline) {
+  auto ticket = std::make_shared<Ticket>();
+  ticket->job_ = std::move(job);
+  ticket->priority_ = priority;
+  // The job observes cancellation through its own deadline checks.
+  ticket->deadline_ = deadline.WithCancelFlag(ticket->cancelled_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      return Status::FailedPrecondition("scheduler is shut down");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      ++counters_.rejected;
+      return Status::FailedPrecondition(
+          "admission queue full (" + std::to_string(options_.queue_capacity) +
+          " requests waiting); retry later");
+    }
+    ticket->sequence_ = next_sequence_++;
+    queue_.push(ticket);
+    ++counters_.admitted;
+  }
+  work_cv_.notify_one();
+  return ticket;
+}
+
+SchedulerStats QueryScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SchedulerStats stats = counters_;
+  stats.queue_depth = queue_.size();
+  stats.active = active_;
+  return stats;
+}
+
+void QueryScheduler::Resolve(const std::shared_ptr<Ticket>& ticket,
+                             Result<std::string> result) {
+  {
+    std::lock_guard<std::mutex> lock(ticket->mutex_);
+    if (!ticket->result_.has_value()) {
+      ticket->result_.emplace(std::move(result));
+    }
+  }
+  ticket->cv_.notify_all();
+}
+
+void QueryScheduler::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Ticket> ticket;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      ticket = queue_.top();
+      queue_.pop();
+      // Pre-start gates, decided under the lock so counters are exact.
+      if (ticket->cancelled_->load(std::memory_order_relaxed)) {
+        ++counters_.cancelled;
+        lock.unlock();
+        Resolve(ticket, Status::DeadlineExceeded(
+                            "request cancelled before execution"));
+        continue;
+      }
+      if (ticket->deadline_.Expired()) {
+        ++counters_.expired;
+        lock.unlock();
+        Resolve(ticket, Status::DeadlineExceeded(
+                            "deadline expired before execution"));
+        continue;
+      }
+      ++active_;
+    }
+
+    Result<std::string> result = ticket->job_(ticket->deadline_);
+    // Counters first, then Resolve: a waiter woken by Resolve must already
+    // see this request as completed in stats().
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      ++counters_.completed;
+    }
+    Resolve(ticket, std::move(result));
+  }
+}
+
+}  // namespace valmod::service

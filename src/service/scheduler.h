@@ -1,0 +1,143 @@
+#ifndef VALMOD_SERVICE_SCHEDULER_H_
+#define VALMOD_SERVICE_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace valmod::service {
+
+struct SchedulerOptions {
+  /// Request-level concurrency: how many requests execute at once. Each
+  /// request may additionally fan out its *compute* over the shared
+  /// persistent ThreadPool (its `threads` param), so this bounds admitted
+  /// requests, not CPU threads — the pool serializes one fork-join region
+  /// at a time and runs overflow inline, which keeps the two layers from
+  /// deadlocking or oversubscribing.
+  int num_workers = 4;
+  /// Most requests waiting to start. Admission beyond this is rejected
+  /// immediately (bounded queue = bounded memory and bounded worst-case
+  /// queueing delay; the client sees a structured "queue full" error and
+  /// can back off).
+  std::size_t queue_capacity = 64;
+};
+
+/// Counters exposed through the server's `stats` verb.
+struct SchedulerStats {
+  std::size_t queue_depth = 0;   // submitted, not yet started
+  std::size_t active = 0;        // currently executing
+  std::uint64_t admitted = 0;    // accepted into the queue, ever
+  std::uint64_t completed = 0;   // job ran to completion (ok or error)
+  std::uint64_t rejected = 0;    // bounced at admission (queue full)
+  std::uint64_t cancelled = 0;   // cancelled before starting
+  std::uint64_t expired = 0;     // deadline passed before starting
+};
+
+/// Bounded, priority-ordered admission queue feeding a small set of
+/// request-executor threads — the concurrency layer between protocol
+/// front ends and the engine stack.
+///
+/// Semantics:
+///  - Priorities: higher runs first; FIFO within a priority (admission
+///    order breaks ties, so equal-priority clients are served fairly).
+///  - Deadlines: each request carries a `Deadline`; if it fires before the
+///    request starts, the request completes as kDeadlineExceeded without
+///    executing. While running, the same deadline is handed to the job,
+///    which threads it into the algorithms' cooperative checks.
+///  - Cancellation: `Ticket::Cancel()` marks the request. Unstarted
+///    requests never run; a running request's deadline starts reporting
+///    Expired() (the cancel flag is attached to it), so it unwinds at the
+///    algorithm's next cooperative checkpoint.
+class QueryScheduler {
+ public:
+  /// A job computes the response payload under the request's deadline.
+  using Job = std::function<Result<std::string>(const Deadline& deadline)>;
+
+  /// Handle to one admitted request.
+  class Ticket {
+   public:
+    /// Blocks until the request completes (or is cancelled / expired) and
+    /// returns its payload or error. May be called once or many times; the
+    /// result is latched.
+    Result<std::string> Wait();
+
+    /// True once a result is available (Wait would not block).
+    bool Done();
+
+    /// Requests cooperative cancellation (see class comment).
+    void Cancel();
+
+   private:
+    friend class QueryScheduler;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::optional<Result<std::string>> result_;
+    std::shared_ptr<std::atomic<bool>> cancelled_ =
+        std::make_shared<std::atomic<bool>>(false);
+
+    Job job_;
+    int priority_ = 0;
+    std::uint64_t sequence_ = 0;
+    Deadline deadline_;
+  };
+
+  explicit QueryScheduler(const SchedulerOptions& options = {});
+
+  /// Resolves every queued-but-unstarted ticket as cancelled, waits for
+  /// running jobs to finish, and joins the workers.
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  /// Admits a request. Fails fast with FailedPrecondition when the queue
+  /// is at capacity (the caller translates that into a structured
+  /// retryable error).
+  Result<std::shared_ptr<Ticket>> Submit(Job job, int priority = 0,
+                                         Deadline deadline = Deadline());
+
+  SchedulerStats stats() const;
+
+ private:
+  struct Compare {
+    bool operator()(const std::shared_ptr<Ticket>& a,
+                    const std::shared_ptr<Ticket>& b) const {
+      if (a->priority_ != b->priority_) return a->priority_ < b->priority_;
+      return a->sequence_ > b->sequence_;  // earlier admission first
+    }
+  };
+
+  void WorkerLoop();
+  static void Resolve(const std::shared_ptr<Ticket>& ticket,
+                      Result<std::string> result);
+
+  const SchedulerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::priority_queue<std::shared_ptr<Ticket>,
+                      std::vector<std::shared_ptr<Ticket>>, Compare>
+      queue_;
+  bool stop_ = false;
+  std::uint64_t next_sequence_ = 0;
+  std::size_t active_ = 0;
+  SchedulerStats counters_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace valmod::service
+
+#endif  // VALMOD_SERVICE_SCHEDULER_H_

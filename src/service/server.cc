@@ -1,0 +1,769 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/timer.h"
+#include "core/valmod.h"
+#include "core/variable_discords.h"
+#include "mass/backend.h"
+#include "mass/query_search.h"
+#include "mp/stomp.h"
+#include "series/generators.h"
+#include "series/io.h"
+#include "series/znorm.h"
+
+namespace valmod::service {
+
+namespace {
+
+using json::Value;
+
+// ---------------------------------------------------------------------------
+// Response envelopes
+// ---------------------------------------------------------------------------
+
+std::string OkResponse(const Value& id, const std::string& verb, bool cached,
+                       const std::string& payload) {
+  std::string out = "{\"id\":";
+  id.SerializeTo(&out);
+  out += ",\"ok\":true,\"verb\":";
+  json::AppendQuoted(verb, &out);
+  out += cached ? ",\"cached\":true,\"result\":" : ",\"cached\":false,\"result\":";
+  out += payload;
+  out += "}";
+  return out;
+}
+
+std::string ErrorResponse(const Value& id, const std::string& verb,
+                          const Status& status) {
+  std::string out = "{\"id\":";
+  id.SerializeTo(&out);
+  out += ",\"ok\":false";
+  if (!verb.empty()) {
+    out += ",\"verb\":";
+    json::AppendQuoted(verb, &out);
+  }
+  out += ",\"error\":{\"code\":";
+  json::AppendQuoted(StatusCodeName(status.code()), &out);
+  out += ",\"message\":";
+  json::AppendQuoted(status.message(), &out);
+  out += "}}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Typed param extraction
+// ---------------------------------------------------------------------------
+
+/// Rejects params objects carrying keys the verb does not know, mirroring
+/// Flags::RejectUnknown for the protocol: a typo'd "results_versoin" or
+/// "lmxa" must fail loudly, not silently run under defaults — the same
+/// silent-wrong-label hazard the CLI's closed flag tables eliminate.
+Status RejectUnknownParams(const Value& params,
+                           std::initializer_list<std::string_view> known) {
+  for (const auto& [key, value] : params.AsObject()) {
+    bool found = false;
+    for (const std::string_view k : known) {
+      if (key == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string message = "unknown param '" + key + "' (accepted:";
+      for (const std::string_view k : known) {
+        message += ' ';
+        message += k;
+      }
+      message += ")";
+      return Status::InvalidArgument(std::move(message));
+    }
+  }
+  return Status::Ok();
+}
+
+/// Upper bound on integer-valued params. Far above any meaningful series
+/// size / k / thread count, and small enough that the double -> integer
+/// casts below are always in range (casting a double above the target
+/// type's max is undefined behavior, and params are untrusted input — the
+/// server's contract is structured errors, never UB or process death).
+constexpr double kMaxIntegerParam = 1e12;
+
+Result<std::size_t> SizeParam(const Value& params, std::string_view key,
+                              std::size_t default_value) {
+  const Value* v = params.Find(key);
+  if (v == nullptr) return default_value;
+  if (!v->is_number() || v->AsDouble() < 0.0 ||
+      v->AsDouble() > kMaxIntegerParam ||
+      v->AsDouble() != std::floor(v->AsDouble())) {
+    return Status::InvalidArgument("param '" + std::string(key) +
+                                   "' must be an integer in [0, 1e12]");
+  }
+  return static_cast<std::size_t>(v->AsDouble());
+}
+
+Result<int> IntParam(const Value& params, std::string_view key,
+                     int default_value) {
+  const Value* v = params.Find(key);
+  if (v == nullptr) return default_value;
+  if (!v->is_number() || v->AsDouble() < 0.0 ||
+      v->AsDouble() > 1e6 || v->AsDouble() != std::floor(v->AsDouble())) {
+    return Status::InvalidArgument("param '" + std::string(key) +
+                                   "' must be an integer in [0, 1e6]");
+  }
+  return static_cast<int>(v->AsDouble());
+}
+
+Result<int> ResultsVersionParam(const Value& params) {
+  VALMOD_ASSIGN_OR_RETURN(
+      int version,
+      IntParam(params, "results_version", mass::kResultsVersion));
+  if (!mass::IsValidResultsVersion(version)) {
+    return Status::InvalidArgument(
+        "unknown results_version " + std::to_string(version) + " (valid: " +
+        std::to_string(mass::kLegacyResultsVersion) + ", " +
+        std::to_string(mass::kResultsVersion) + ")");
+  }
+  return version;
+}
+
+Result<std::vector<double>> DoublesParam(const Value& params,
+                                         std::string_view key) {
+  const Value* v = params.Find(key);
+  if (v == nullptr || !v->is_array()) {
+    return Status::InvalidArgument("param '" + std::string(key) +
+                                   "' must be an array of numbers");
+  }
+  std::vector<double> out;
+  out.reserve(v->AsArray().size());
+  for (const Value& e : v->AsArray()) {
+    if (!e.is_number()) {
+      return Status::InvalidArgument("param '" + std::string(key) +
+                                     "' must contain only numbers");
+    }
+    out.push_back(e.AsDouble());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Payload builders
+// ---------------------------------------------------------------------------
+
+Value MotifPairValue(const mp::MotifPair& m, std::size_t rank) {
+  Value::Object o;
+  o.emplace("rank", Value(rank + 1));
+  o.emplace("length", Value(m.length));
+  o.emplace("offset_a", Value(static_cast<long long>(m.offset_a)));
+  o.emplace("offset_b", Value(static_cast<long long>(m.offset_b)));
+  o.emplace("distance", Value(m.distance));
+  o.emplace("normalized", Value(m.normalized_distance));
+  return Value(std::move(o));
+}
+
+Value DoublesValue(std::span<const double> values) {
+  Value::Array array;
+  array.reserve(values.size());
+  for (const double v : values) array.push_back(Value(v));
+  return Value(std::move(array));
+}
+
+Value IntsValue(std::span<const int64_t> values) {
+  Value::Array array;
+  array.reserve(values.size());
+  for (const int64_t v : values) {
+    array.push_back(Value(static_cast<long long>(v)));
+  }
+  return Value(std::move(array));
+}
+
+Value ProfileValue(const mp::MatrixProfile& profile) {
+  Value::Object o;
+  o.emplace("length", Value(profile.subsequence_length));
+  o.emplace("exclusion_zone", Value(profile.exclusion_zone));
+  // +infinity (no eligible match yet) is not representable in JSON; the
+  // protocol uses null, and `indices` already carries -1 there.
+  Value::Array distances;
+  distances.reserve(profile.distances.size());
+  for (const double d : profile.distances) {
+    distances.push_back(std::isfinite(d) ? Value(d) : Value(nullptr));
+  }
+  o.emplace("distances", Value(std::move(distances)));
+  o.emplace("indices", IntsValue(profile.indices));
+  return Value(std::move(o));
+}
+
+// ---------------------------------------------------------------------------
+// Query-verb planning: each planner resolves params, derives the cache key
+// material, and builds the job that computes the serialized payload.
+// ---------------------------------------------------------------------------
+
+struct QueryPlan {
+  /// Canonical identity of the computation (see ResultCache); empty
+  /// disables caching for this request.
+  std::string cache_key;
+  QueryScheduler::Job job;
+};
+
+/// Key = dataset uid|generation|verb|params|versioning. The *uid* — not
+/// the name — identifies the data: names are reusable (unload "ecg", load
+/// a different series as "ecg"; static generations restart at 1), and a
+/// name-keyed cache would serve the old series' responses for the new
+/// one. `engine_backed` adds the results_version and cost-model
+/// generation components — profile (STOMP) and discords compute no
+/// convolutions, so their bytes are identical under every backend policy
+/// and the components would only fragment the cache.
+std::string CacheKey(const Dataset& dataset, std::uint64_t generation,
+                     std::string_view verb, const std::string& params_key,
+                     int results_version, bool engine_backed) {
+  std::string key = "ds";
+  key += std::to_string(dataset.uid());
+  key += "|g";
+  key += std::to_string(generation);
+  key += "|";
+  key += verb;
+  key += "|";
+  key += params_key;
+  if (engine_backed) {
+    key += "|rv";
+    key += std::to_string(results_version);
+    key += "|cm";
+    key += std::to_string(mass::BackendCostModelGeneration());
+  }
+  return key;
+}
+
+Result<QueryPlan> PlanValmod(const std::shared_ptr<Dataset>& dataset,
+                             const Value& params, bool build_valmap) {
+  VALMOD_RETURN_IF_ERROR(RejectUnknownParams(
+      params, {"lmin", "lmax", "k", "p", "threads", "results_version"}));
+  core::ValmodOptions options;
+  VALMOD_ASSIGN_OR_RETURN(options.min_length, SizeParam(params, "lmin", 0));
+  VALMOD_ASSIGN_OR_RETURN(options.max_length, SizeParam(params, "lmax", 0));
+  VALMOD_ASSIGN_OR_RETURN(options.k,
+                          SizeParam(params, "k", build_valmap ? 4 : 1));
+  VALMOD_ASSIGN_OR_RETURN(options.p, SizeParam(params, "p", 10));
+  VALMOD_ASSIGN_OR_RETURN(options.num_threads, IntParam(params, "threads", 1));
+  VALMOD_ASSIGN_OR_RETURN(options.results_version,
+                          ResultsVersionParam(params));
+  options.build_valmap = build_valmap;
+
+  VALMOD_ASSIGN_OR_RETURN(std::shared_ptr<const DatasetSnapshot> snapshot,
+                          dataset->Snapshot());
+  // `threads` is absent on purpose: results are thread-count independent.
+  std::string params_key = "lmin=" + std::to_string(options.min_length) +
+                           ",lmax=" + std::to_string(options.max_length) +
+                           ",k=" + std::to_string(options.k) +
+                           ",p=" + std::to_string(options.p);
+  QueryPlan plan;
+  plan.cache_key =
+      CacheKey(*dataset, snapshot->generation(),
+               build_valmap ? "valmap" : "motifs", params_key,
+               options.results_version, /*engine_backed=*/true);
+  plan.job = [snapshot, options,
+              build_valmap](const Deadline& deadline) -> Result<std::string> {
+    core::ValmodOptions run_options = options;
+    run_options.deadline = deadline;
+    VALMOD_ASSIGN_OR_RETURN(core::ValmodResult result,
+                            core::RunValmod(snapshot->engine(), run_options));
+    Value::Object payload;
+    payload.emplace("generation", Value(snapshot->generation()));
+    payload.emplace("results_version", Value(options.results_version));
+    if (build_valmap) {
+      const core::Valmap& valmap = result.valmap;
+      payload.emplace("size", Value(valmap.size()));
+      payload.emplace("mpn", DoublesValue(valmap.normalized_profile()));
+      payload.emplace("index_profile", IntsValue(valmap.index_profile()));
+      Value::Array lp;
+      lp.reserve(valmap.length_profile().size());
+      for (const std::size_t l : valmap.length_profile()) {
+        lp.push_back(Value(l));
+      }
+      payload.emplace("length_profile", Value(std::move(lp)));
+    } else {
+      Value::Array per_length;
+      per_length.reserve(result.per_length.size());
+      for (const core::LengthMotifs& lm : result.per_length) {
+        Value::Object entry;
+        entry.emplace("length", Value(lm.length));
+        Value::Array motifs;
+        motifs.reserve(lm.motifs.size());
+        for (std::size_t r = 0; r < lm.motifs.size(); ++r) {
+          motifs.push_back(MotifPairValue(lm.motifs[r], r));
+        }
+        entry.emplace("motifs", Value(std::move(motifs)));
+        per_length.push_back(Value(std::move(entry)));
+      }
+      payload.emplace("per_length", Value(std::move(per_length)));
+      Value::Array ranked;
+      ranked.reserve(result.ranked.size());
+      for (std::size_t r = 0; r < result.ranked.size(); ++r) {
+        ranked.push_back(MotifPairValue(result.ranked[r], r));
+      }
+      payload.emplace("ranked", Value(std::move(ranked)));
+    }
+    return Value(std::move(payload)).Serialize();
+  };
+  return plan;
+}
+
+Result<QueryPlan> PlanProfile(const std::shared_ptr<Dataset>& dataset,
+                              const Value& params) {
+  VALMOD_RETURN_IF_ERROR(RejectUnknownParams(params, {"l", "threads"}));
+  if (dataset->streaming()) {
+    // The incrementally maintained profile is the dataset's native one;
+    // a mismatched length request is an error rather than a silent batch
+    // recompute at a different length.
+    VALMOD_ASSIGN_OR_RETURN(
+        std::size_t length,
+        SizeParam(params, "l", dataset->streaming_length()));
+    if (length != dataset->streaming_length()) {
+      return Status::InvalidArgument(
+          "streaming dataset '" + dataset->name() + "' maintains length " +
+          std::to_string(dataset->streaming_length()) +
+          "; requested l=" + std::to_string(length));
+    }
+    // The key derives from a cheap locked generation read; the O(n)
+    // profile copy happens inside the job, i.e. only on a cache miss — a
+    // polling client on a warm cache stays O(1). If an append lands
+    // between the key read and the job's snapshot, the job serializes the
+    // *newer* state under the older key: benign (generations only
+    // advance, so a hit can only ever return data at least as fresh as
+    // its key; the payload carries its true generation), and the next
+    // plan keys at the new generation and recomputes.
+    QueryPlan plan;
+    plan.cache_key = CacheKey(*dataset, dataset->generation(), "profile",
+                              "l=" + std::to_string(length),
+                              mass::kResultsVersion, /*engine_backed=*/false);
+    plan.job = [dataset](const Deadline& deadline) -> Result<std::string> {
+      if (deadline.Expired()) {
+        return Status::DeadlineExceeded("profile deadline expired");
+      }
+      VALMOD_ASSIGN_OR_RETURN(Dataset::StreamingState state,
+                              dataset->StreamingProfileSnapshot());
+      Value payload = ProfileValue(state.profile);
+      payload.AsObject().emplace("generation", Value(state.generation));
+      payload.AsObject().emplace("streaming", Value(true));
+      payload.AsObject().emplace("points", Value(state.points));
+      return payload.Serialize();
+    };
+    return plan;
+  }
+
+  VALMOD_ASSIGN_OR_RETURN(std::size_t length, SizeParam(params, "l", 0));
+  VALMOD_ASSIGN_OR_RETURN(int threads, IntParam(params, "threads", 1));
+  VALMOD_ASSIGN_OR_RETURN(std::shared_ptr<const DatasetSnapshot> snapshot,
+                          dataset->Snapshot());
+  QueryPlan plan;
+  plan.cache_key = CacheKey(*dataset, snapshot->generation(), "profile",
+                            "l=" + std::to_string(length),
+                            mass::kResultsVersion, /*engine_backed=*/false);
+  plan.job = [snapshot, length,
+              threads](const Deadline& deadline) -> Result<std::string> {
+    mp::ProfileOptions options;
+    options.num_threads = threads;
+    options.deadline = deadline;
+    VALMOD_ASSIGN_OR_RETURN(
+        mp::MatrixProfile profile,
+        mp::ComputeStomp(snapshot->series(), length, options));
+    Value payload = ProfileValue(profile);
+    payload.AsObject().emplace("generation", Value(snapshot->generation()));
+    payload.AsObject().emplace("streaming", Value(false));
+    return payload.Serialize();
+  };
+  return plan;
+}
+
+Result<QueryPlan> PlanQuery(const std::shared_ptr<Dataset>& dataset,
+                            const Value& params) {
+  VALMOD_RETURN_IF_ERROR(
+      RejectUnknownParams(params, {"values", "k", "results_version"}));
+  mass::QuerySearchOptions options;
+  VALMOD_ASSIGN_OR_RETURN(options.k, SizeParam(params, "k", 1));
+  VALMOD_ASSIGN_OR_RETURN(options.results_version,
+                          ResultsVersionParam(params));
+  VALMOD_ASSIGN_OR_RETURN(std::vector<double> query,
+                          DoublesParam(params, "values"));
+  VALMOD_ASSIGN_OR_RETURN(std::shared_ptr<const DatasetSnapshot> snapshot,
+                          dataset->Snapshot());
+
+  // The query values are part of the computation's identity, so the key
+  // embeds their canonical serialization (queries are subsequence-sized —
+  // tens to hundreds of points — so the key stays small).
+  std::string params_key = "k=" + std::to_string(options.k) + ",values=";
+  DoublesValue(query).SerializeTo(&params_key);
+  QueryPlan plan;
+  plan.cache_key =
+      CacheKey(*dataset, snapshot->generation(), "query", params_key,
+               options.results_version, /*engine_backed=*/true);
+  auto shared_query = std::make_shared<std::vector<double>>(std::move(query));
+  plan.job = [snapshot, options,
+              shared_query](const Deadline& deadline) -> Result<std::string> {
+    mass::QuerySearchOptions run_options = options;
+    run_options.deadline = deadline;
+    VALMOD_ASSIGN_OR_RETURN(
+        std::vector<mass::QueryMatch> matches,
+        mass::FindQueryMatches(snapshot->engine(), *shared_query,
+                               run_options));
+    Value::Object payload;
+    payload.emplace("generation", Value(snapshot->generation()));
+    payload.emplace("results_version", Value(options.results_version));
+    Value::Array out;
+    out.reserve(matches.size());
+    for (std::size_t r = 0; r < matches.size(); ++r) {
+      Value::Object m;
+      m.emplace("rank", Value(r + 1));
+      m.emplace("offset", Value(static_cast<long long>(matches[r].offset)));
+      m.emplace("distance", Value(matches[r].distance));
+      out.push_back(Value(std::move(m)));
+    }
+    payload.emplace("matches", Value(std::move(out)));
+    return Value(std::move(payload)).Serialize();
+  };
+  return plan;
+}
+
+Result<QueryPlan> PlanDiscords(const std::shared_ptr<Dataset>& dataset,
+                               const Value& params) {
+  VALMOD_RETURN_IF_ERROR(
+      RejectUnknownParams(params, {"lmin", "lmax", "k", "threads"}));
+  core::VariableDiscordOptions options;
+  VALMOD_ASSIGN_OR_RETURN(options.min_length, SizeParam(params, "lmin", 0));
+  VALMOD_ASSIGN_OR_RETURN(options.max_length, SizeParam(params, "lmax", 0));
+  VALMOD_ASSIGN_OR_RETURN(options.k, SizeParam(params, "k", 1));
+  VALMOD_ASSIGN_OR_RETURN(options.num_threads, IntParam(params, "threads", 1));
+  VALMOD_ASSIGN_OR_RETURN(std::shared_ptr<const DatasetSnapshot> snapshot,
+                          dataset->Snapshot());
+  std::string params_key = "lmin=" + std::to_string(options.min_length) +
+                           ",lmax=" + std::to_string(options.max_length) +
+                           ",k=" + std::to_string(options.k);
+  QueryPlan plan;
+  plan.cache_key = CacheKey(*dataset, snapshot->generation(), "discords",
+                            params_key, mass::kResultsVersion,
+                            /*engine_backed=*/false);
+  plan.job = [snapshot,
+              options](const Deadline& deadline) -> Result<std::string> {
+    core::VariableDiscordOptions run_options = options;
+    run_options.deadline = deadline;
+    VALMOD_ASSIGN_OR_RETURN(
+        core::VariableDiscordResult result,
+        core::FindVariableLengthDiscords(snapshot->series(), run_options));
+    Value::Object payload;
+    payload.emplace("generation", Value(snapshot->generation()));
+    Value::Array per_length;
+    per_length.reserve(result.per_length.size());
+    for (const core::LengthDiscords& ld : result.per_length) {
+      Value::Object entry;
+      entry.emplace("length", Value(ld.length));
+      Value::Array discords;
+      discords.reserve(ld.discords.size());
+      for (std::size_t r = 0; r < ld.discords.size(); ++r) {
+        const mp::Discord& d = ld.discords[r];
+        Value::Object out;
+        out.emplace("rank", Value(r + 1));
+        out.emplace("offset", Value(static_cast<long long>(d.offset)));
+        out.emplace("neighbor",
+                    Value(static_cast<long long>(d.nearest_neighbor)));
+        out.emplace("distance", Value(d.distance));
+        out.emplace("normalized",
+                    Value(series::LengthNormalizedDistance(d.distance,
+                                                           d.length)));
+        discords.push_back(Value(std::move(out)));
+      }
+      entry.emplace("discords", Value(std::move(discords)));
+      per_length.push_back(Value(std::move(entry)));
+    }
+    payload.emplace("per_length", Value(std::move(per_length)));
+    return Value(std::move(payload)).Serialize();
+  };
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Admin verbs (executed inline: they are registry/metadata operations, not
+// compute, so they never queue behind heavy queries)
+// ---------------------------------------------------------------------------
+
+Value DatasetInfoValue(const DatasetRegistry::Info& info) {
+  Value::Object o;
+  o.emplace("name", Value(info.name));
+  o.emplace("points", Value(info.points));
+  o.emplace("generation", Value(info.generation));
+  o.emplace("streaming", Value(info.streaming));
+  if (info.streaming) {
+    o.emplace("streaming_length", Value(info.streaming_length));
+  }
+  return Value(std::move(o));
+}
+
+Result<std::string> DoLoad(DatasetRegistry& registry, const std::string& name,
+                           const Value& params) {
+  if (name.empty()) {
+    return Status::InvalidArgument("load requires a 'dataset' name");
+  }
+  VALMOD_RETURN_IF_ERROR(RejectUnknownParams(
+      params, {"streaming_length", "exclusion_fraction", "path", "column",
+               "generator", "n", "seed"}));
+  std::shared_ptr<Dataset> dataset;
+  if (params.Find("streaming_length") != nullptr) {
+    VALMOD_ASSIGN_OR_RETURN(std::size_t length,
+                            SizeParam(params, "streaming_length", 0));
+    const double exclusion = params.GetNumber("exclusion_fraction", 0.5);
+    VALMOD_ASSIGN_OR_RETURN(
+        dataset, registry.CreateStreaming(name, length, exclusion));
+  } else if (params.Find("path") != nullptr) {
+    VALMOD_ASSIGN_OR_RETURN(std::size_t column, SizeParam(params, "column", 0));
+    VALMOD_ASSIGN_OR_RETURN(
+        series::DataSeries series,
+        series::ReadDelimited(params.GetString("path", ""), column));
+    VALMOD_ASSIGN_OR_RETURN(dataset,
+                            registry.LoadSeries(name, std::move(series)));
+  } else if (params.Find("generator") != nullptr) {
+    VALMOD_ASSIGN_OR_RETURN(std::size_t n, SizeParam(params, "n", 20000));
+    // Generator size is bounded so a typo'd request exhausts neither time
+    // nor memory (1e8 points is ~800 MB of doubles before stats).
+    if (n > 100000000) {
+      return Status::InvalidArgument("generator 'n' must be <= 1e8");
+    }
+    VALMOD_ASSIGN_OR_RETURN(std::size_t seed, SizeParam(params, "seed", 1));
+    VALMOD_ASSIGN_OR_RETURN(
+        series::DataSeries series,
+        synth::ByName(params.GetString("generator", ""), n,
+                      static_cast<std::uint64_t>(seed)));
+    VALMOD_ASSIGN_OR_RETURN(dataset,
+                            registry.LoadSeries(name, std::move(series)));
+  } else {
+    return Status::InvalidArgument(
+        "load params must carry 'path', 'generator', or 'streaming_length'");
+  }
+  Value::Object payload;
+  payload.emplace("name", Value(dataset->name()));
+  payload.emplace("points", Value(dataset->size()));
+  payload.emplace("generation", Value(dataset->generation()));
+  payload.emplace("streaming", Value(dataset->streaming()));
+  return Value(std::move(payload)).Serialize();
+}
+
+Result<std::string> DoAppend(DatasetRegistry& registry,
+                             const std::string& name, const Value& params) {
+  if (name.empty()) {
+    return Status::InvalidArgument("append requires a 'dataset' name");
+  }
+  VALMOD_RETURN_IF_ERROR(RejectUnknownParams(params, {"values"}));
+  VALMOD_ASSIGN_OR_RETURN(std::shared_ptr<Dataset> dataset,
+                          registry.Get(name));
+  VALMOD_ASSIGN_OR_RETURN(std::vector<double> values,
+                          DoublesParam(params, "values"));
+  VALMOD_ASSIGN_OR_RETURN(Dataset::AppendResult appended,
+                          dataset->Append(values));
+  Value::Object payload;
+  payload.emplace("points", Value(appended.points));
+  payload.emplace("subsequences", Value(appended.subsequences));
+  payload.emplace("generation", Value(appended.generation));
+  return Value(std::move(payload)).Serialize();
+}
+
+Result<std::string> DoStats(Service& service) {
+  Value::Object payload;
+  Value::Array datasets;
+  for (const DatasetRegistry::Info& info : service.registry().List()) {
+    datasets.push_back(DatasetInfoValue(info));
+  }
+  payload.emplace("datasets", Value(std::move(datasets)));
+
+  const ResultCache::Stats cache = service.result_cache().stats();
+  Value::Object cache_obj;
+  cache_obj.emplace("entries", Value(cache.entries));
+  cache_obj.emplace("capacity", Value(cache.capacity));
+  cache_obj.emplace("hits", Value(cache.hits));
+  cache_obj.emplace("misses", Value(cache.misses));
+  cache_obj.emplace("insertions", Value(cache.insertions));
+  cache_obj.emplace("evictions", Value(cache.evictions));
+  payload.emplace("cache", Value(std::move(cache_obj)));
+
+  const SchedulerStats sched = service.scheduler().stats();
+  Value::Object sched_obj;
+  sched_obj.emplace("queue_depth", Value(sched.queue_depth));
+  sched_obj.emplace("active", Value(sched.active));
+  sched_obj.emplace("admitted", Value(sched.admitted));
+  sched_obj.emplace("completed", Value(sched.completed));
+  sched_obj.emplace("rejected", Value(sched.rejected));
+  sched_obj.emplace("cancelled", Value(sched.cancelled));
+  sched_obj.emplace("expired", Value(sched.expired));
+  payload.emplace("scheduler", Value(std::move(sched_obj)));
+
+  payload.emplace("cost_model_generation",
+                  Value(mass::BackendCostModelGeneration()));
+  payload.emplace("default_results_version", Value(mass::kResultsVersion));
+  return Value(std::move(payload)).Serialize();
+}
+
+Result<std::string> DoCalibrate() {
+  const mass::BackendCostModel model = mass::CalibrateBackendCostModel();
+  Value::Object weights;
+  weights.emplace("direct", Value(model.direct));
+  weights.emplace("fft_single", Value(model.fft_single));
+  weights.emplace("fft_pair", Value(model.fft_pair));
+  weights.emplace("overlap_save", Value(model.overlap_save));
+  weights.emplace("overlap_save_chunk", Value(model.overlap_save_chunk));
+  Value::Object payload;
+  payload.emplace("model", Value(std::move(weights)));
+  payload.emplace("cost_model_generation",
+                  Value(mass::BackendCostModelGeneration()));
+  return Value(std::move(payload)).Serialize();
+}
+
+}  // namespace
+
+Service::Service(const ServiceOptions& options)
+    : options_(options),
+      cache_(options.cache_capacity),
+      scheduler_(SchedulerOptions{options.workers, options.queue_capacity}) {}
+
+std::string Service::HandleRequestLine(const std::string& line) {
+  Value id;  // null until the request proves parseable
+  Result<Value> parsed = json::Parse(line);
+  if (!parsed.ok()) return ErrorResponse(id, "", parsed.status());
+  const Value& request = *parsed;
+  if (!request.is_object()) {
+    return ErrorResponse(
+        id, "", Status::InvalidArgument("request must be a JSON object"));
+  }
+  if (const Value* idv = request.Find("id")) id = *idv;
+  const std::string verb = request.GetString("verb", "");
+  if (verb.empty()) {
+    return ErrorResponse(
+        id, verb,
+        Status::InvalidArgument("request must carry a string 'verb'"));
+  }
+  Value params{Value::Object{}};
+  if (const Value* p = request.Find("params")) {
+    if (!p->is_object()) {
+      return ErrorResponse(
+          id, verb, Status::InvalidArgument("'params' must be an object"));
+    }
+    params = *p;
+  }
+  const std::string dataset_name = request.GetString("dataset", "");
+
+  // ---- admin verbs: inline ----
+  if (verb == "load") {
+    Result<std::string> payload = DoLoad(registry_, dataset_name, params);
+    if (!payload.ok()) return ErrorResponse(id, verb, payload.status());
+    return OkResponse(id, verb, /*cached=*/false, *payload);
+  }
+  if (verb == "unload") {
+    if (dataset_name.empty()) {
+      return ErrorResponse(
+          id, verb,
+          Status::InvalidArgument("unload requires a 'dataset' name"));
+    }
+    const Status status = registry_.Unload(dataset_name);
+    if (!status.ok()) return ErrorResponse(id, verb, status);
+    std::string payload = "{\"unloaded\":";
+    json::AppendQuoted(dataset_name, &payload);
+    payload += "}";
+    return OkResponse(id, verb, /*cached=*/false, payload);
+  }
+  if (verb == "append") {
+    Result<std::string> payload = DoAppend(registry_, dataset_name, params);
+    if (!payload.ok()) return ErrorResponse(id, verb, payload.status());
+    return OkResponse(id, verb, /*cached=*/false, *payload);
+  }
+  if (verb == "stats") {
+    Result<std::string> payload = DoStats(*this);
+    if (!payload.ok()) return ErrorResponse(id, verb, payload.status());
+    return OkResponse(id, verb, /*cached=*/false, *payload);
+  }
+  if (verb == "calibrate") {
+    Result<std::string> payload = DoCalibrate();
+    if (!payload.ok()) return ErrorResponse(id, verb, payload.status());
+    return OkResponse(id, verb, /*cached=*/false, *payload);
+  }
+  if (verb == "shutdown") {
+    shutdown_.store(true, std::memory_order_release);
+    return OkResponse(id, verb, /*cached=*/false,
+                      "{\"shutting_down\":true}");
+  }
+
+  // ---- query verbs: cache -> scheduler ----
+  const bool is_query_verb = verb == "motifs" || verb == "valmap" ||
+                             verb == "profile" || verb == "query" ||
+                             verb == "discords";
+  if (!is_query_verb) {
+    return ErrorResponse(
+        id, verb, Status::InvalidArgument("unknown verb '" + verb + "'"));
+  }
+  if (dataset_name.empty()) {
+    return ErrorResponse(
+        id, verb,
+        Status::InvalidArgument(verb + " requires a 'dataset' name"));
+  }
+  Result<std::shared_ptr<Dataset>> dataset = registry_.Get(dataset_name);
+  if (!dataset.ok()) return ErrorResponse(id, verb, dataset.status());
+
+  Result<QueryPlan> plan = [&]() -> Result<QueryPlan> {
+    if (verb == "motifs") return PlanValmod(*dataset, params, false);
+    if (verb == "valmap") return PlanValmod(*dataset, params, true);
+    if (verb == "profile") return PlanProfile(*dataset, params);
+    if (verb == "query") return PlanQuery(*dataset, params);
+    return PlanDiscords(*dataset, params);
+  }();
+  if (!plan.ok()) return ErrorResponse(id, verb, plan.status());
+
+  const bool cacheable = !plan->cache_key.empty();
+  if (cacheable) {
+    if (std::shared_ptr<const std::string> hit = cache_.Get(plan->cache_key)) {
+      return OkResponse(id, verb, /*cached=*/true, *hit);
+    }
+  }
+
+  // Envelope numerics: wrong *types* are rejected (a string "5000" for
+  // timeout_ms silently running unbounded would be the opposite of the
+  // requested deadline); out-of-range *values* are clamped — an absurd
+  // timeout means "effectively forever" and an absurd priority still
+  // orders correctly, while unchecked double -> integer casts on
+  // untrusted values would be undefined behavior.
+  for (const char* field : {"timeout_ms", "priority"}) {
+    const Value* v = request.Find(field);
+    if (v != nullptr && !v->is_number()) {
+      return ErrorResponse(id, verb,
+                           Status::InvalidArgument(
+                               std::string("'") + field +
+                               "' must be a number"));
+    }
+  }
+  const double timeout_ms =
+      std::min(request.GetNumber("timeout_ms", -1.0), 8.64e10);  // <= 1000d
+  Deadline deadline;
+  if (timeout_ms >= 0.0) {
+    deadline = Deadline::After(timeout_ms / 1000.0);
+  } else if (options_.default_timeout_seconds > 0.0) {
+    deadline = Deadline::After(options_.default_timeout_seconds);
+  }
+  const int priority = static_cast<int>(
+      std::clamp(request.GetNumber("priority", 0.0), -1.0e6, 1.0e6));
+
+  Result<std::shared_ptr<QueryScheduler::Ticket>> ticket =
+      scheduler_.Submit(std::move(plan->job), priority, deadline);
+  if (!ticket.ok()) return ErrorResponse(id, verb, ticket.status());
+  Result<std::string> payload = (*ticket)->Wait();
+  if (!payload.ok()) return ErrorResponse(id, verb, payload.status());
+
+  if (cacheable) {
+    cache_.Put(plan->cache_key,
+               std::make_shared<const std::string>(*payload));
+  }
+  return OkResponse(id, verb, /*cached=*/false, *payload);
+}
+
+}  // namespace valmod::service

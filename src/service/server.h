@@ -1,0 +1,80 @@
+#ifndef VALMOD_SERVICE_SERVER_H_
+#define VALMOD_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "service/registry.h"
+#include "service/result_cache.h"
+#include "service/scheduler.h"
+
+namespace valmod::service {
+
+struct ServiceOptions {
+  /// Request-executor threads (see SchedulerOptions::num_workers).
+  int workers = 4;
+  /// Bounded admission queue capacity.
+  std::size_t queue_capacity = 64;
+  /// Result cache entries; 0 disables response caching.
+  std::size_t cache_capacity = 128;
+  /// Deadline applied to requests that carry no `timeout_ms`; 0 = none.
+  double default_timeout_seconds = 0.0;
+};
+
+/// The VALMOD motif-discovery service: long-lived serving state (dataset
+/// registry + result cache) plus concurrent request execution (scheduler),
+/// speaking a newline-delimited JSON protocol.
+///
+/// One request per line in, exactly one response line out:
+///
+///   {"id":1,"verb":"motifs","dataset":"ecg",
+///    "params":{"lmin":100,"lmax":120,"k":3},"priority":0,"timeout_ms":5000}
+///   -> {"id":1,"ok":true,"verb":"motifs","cached":false,"result":{...}}
+///
+/// Errors are structured, never fatal:
+///   -> {"id":1,"ok":false,"verb":"motifs",
+///       "error":{"code":"InvalidArgument","message":"..."}}
+///
+/// Verbs:
+///   admin  — load, unload, append, stats, calibrate, shutdown
+///   query  — motifs, valmap, profile, query, discords (scheduled through
+///            the bounded queue with priorities/deadlines; responses are
+///            memoized in the result cache)
+///
+/// `HandleRequestLine` is safe to call from any number of threads — the
+/// TCP front end calls it from one thread per connection, the --stdio mode
+/// from its single reader loop, and the bench from N client threads. See
+/// README "Serving" for the full protocol reference.
+class Service {
+ public:
+  explicit Service(const ServiceOptions& options = {});
+
+  /// Processes one request line and returns one response line (no trailing
+  /// newline). Never throws and never kills the process: malformed JSON,
+  /// unknown verbs, bad params, expired deadlines, and full queues all
+  /// come back as structured error responses.
+  std::string HandleRequestLine(const std::string& line);
+
+  /// Set by the `shutdown` verb; the front ends exit their accept/read
+  /// loops when this turns true.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  DatasetRegistry& registry() { return registry_; }
+  ResultCache& result_cache() { return cache_; }
+  QueryScheduler& scheduler() { return scheduler_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  const ServiceOptions options_;
+  DatasetRegistry registry_;
+  ResultCache cache_;
+  QueryScheduler scheduler_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace valmod::service
+
+#endif  // VALMOD_SERVICE_SERVER_H_

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/flags.h"
@@ -119,6 +122,32 @@ TEST(FlagsTest, ParsesDoublesAndStrings) {
   EXPECT_TRUE(flags.Has("ratio"));
 }
 
+TEST(FlagsTest, UnknownFlagsAgainstTable) {
+  const char* argv[] = {"prog", "--threads=4", "--thread=4", "--lmax=200"};
+  Flags flags = Flags::Parse(4, const_cast<char**>(argv));
+  constexpr std::string_view kKnown[] = {"threads", "lmin", "lmax"};
+  const std::vector<std::string> unknown = flags.UnknownFlags(kKnown);
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "thread");
+}
+
+TEST(FlagsTest, RejectUnknownNamesTheFlagAndTheTable) {
+  const char* argv[] = {"prog", "--thread=4"};
+  Flags flags = Flags::Parse(2, const_cast<char**>(argv));
+  constexpr std::string_view kKnown[] = {"threads"};
+  const Status status = flags.RejectUnknown(kKnown);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("--thread"), std::string::npos);
+  EXPECT_NE(status.message().find("--threads"), std::string::npos);
+}
+
+TEST(FlagsTest, RejectUnknownAcceptsKnownFlags) {
+  const char* argv[] = {"prog", "--threads=4", "--lmin=10"};
+  Flags flags = Flags::Parse(3, const_cast<char**>(argv));
+  constexpr std::string_view kKnown[] = {"threads", "lmin", "lmax"};
+  EXPECT_TRUE(flags.RejectUnknown(kKnown).ok());
+}
+
 TEST(RngTest, DeterministicForSeed) {
   Rng a(42), b(42);
   for (int i = 0; i < 100; ++i) {
@@ -187,6 +216,22 @@ TEST(DeadlineTest, PastDeadlineExpires) {
 TEST(DeadlineTest, FutureDeadlineNotExpired) {
   Deadline deadline = Deadline::After(60.0);
   EXPECT_FALSE(deadline.Expired());
+}
+
+TEST(DeadlineTest, CancelFlagExpiresCooperatively) {
+  auto flag = std::make_shared<std::atomic<bool>>(false);
+  Deadline deadline = Deadline::Infinite().WithCancelFlag(flag);
+  EXPECT_FALSE(deadline.Expired());
+  flag->store(true);
+  EXPECT_TRUE(deadline.Expired());
+}
+
+TEST(DeadlineTest, CancelFlagSurvivesCopies) {
+  auto flag = std::make_shared<std::atomic<bool>>(false);
+  Deadline original = Deadline::After(60.0).WithCancelFlag(flag);
+  Deadline copy = original;  // options structs copy deadlines around
+  flag->store(true);
+  EXPECT_TRUE(copy.Expired());
 }
 
 TEST(WallTimerTest, MeasuresElapsedTime) {

@@ -1,0 +1,91 @@
+// Tests for the minimal JSON parser/serializer behind the serving protocol.
+
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace valmod::json {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_TRUE(Parse("true")->AsBool());
+  EXPECT_FALSE(Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(Parse("42")->AsDouble(), 42.0);
+  EXPECT_DOUBLE_EQ(Parse("-2.5e3")->AsDouble(), -2500.0);
+  EXPECT_EQ(Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParseTest, NestedDocument) {
+  auto doc = Parse(R"({"verb":"motifs","params":{"lmin":100,"k":3},)"
+                   R"("values":[1,2.5,-3],"flag":true})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->GetString("verb", ""), "motifs");
+  const Value* params = doc->Find("params");
+  ASSERT_NE(params, nullptr);
+  EXPECT_DOUBLE_EQ(params->GetNumber("lmin", 0), 100.0);
+  EXPECT_DOUBLE_EQ(params->GetNumber("absent", -1), -1.0);
+  const Value* values = doc->Find("values");
+  ASSERT_NE(values, nullptr);
+  ASSERT_EQ(values->AsArray().size(), 3u);
+  EXPECT_DOUBLE_EQ(values->AsArray()[1].AsDouble(), 2.5);
+  EXPECT_TRUE(doc->GetBool("flag", false));
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto doc = Parse(R"("a\"b\\c\n\tA")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->AsString(), "a\"b\\c\n\tA");
+}
+
+TEST(JsonParseTest, ErrorsAreStatusesNotCrashes) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Parse("[1,2").ok());
+  EXPECT_FALSE(Parse("nope").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("1 2").ok());        // trailing content
+  EXPECT_FALSE(Parse("{\"a\":1}x").ok());  // trailing content
+  EXPECT_FALSE(Parse("1e999").ok());       // non-finite
+}
+
+TEST(JsonParseTest, DeepNestingIsBounded) {
+  std::string evil(10000, '[');
+  EXPECT_FALSE(Parse(evil).ok());  // must not overflow the stack
+}
+
+TEST(JsonSerializeTest, CanonicalForm) {
+  Value::Object o;
+  o.emplace("b", Value(2));
+  o.emplace("a", Value(1));
+  o.emplace("s", Value("x\"y"));
+  o.emplace("arr", Value(Value::Array{Value(1), Value(nullptr), Value(true)}));
+  // Keys serialize in sorted order (std::map), which is what makes the
+  // serialized form usable as cache-key material.
+  EXPECT_EQ(Value(std::move(o)).Serialize(),
+            R"({"a":1,"arr":[1,null,true],"b":2,"s":"x\"y"})");
+}
+
+TEST(JsonSerializeTest, NumbersRoundTrip) {
+  // Integral doubles print as integers; non-integral at full precision.
+  EXPECT_EQ(Value(3.0).Serialize(), "3");
+  EXPECT_EQ(Value(-17).Serialize(), "-17");
+  const double pi = 3.141592653589793;
+  auto reparsed = Parse(Value(pi).Serialize());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->AsDouble(), pi);  // bit-exact round trip
+}
+
+TEST(JsonSerializeTest, ParseSerializeFixpoint) {
+  const std::string canonical =
+      R"({"id":7,"params":{"k":3,"lmin":100},"verb":"motifs"})";
+  auto doc = Parse(canonical);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Serialize(), canonical);
+}
+
+}  // namespace
+}  // namespace valmod::json

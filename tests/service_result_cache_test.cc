@@ -1,0 +1,109 @@
+// Tests for the serving result cache: LRU bounds, stats, and the
+// generation-based invalidation contract the server's keys rely on.
+
+#include "service/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace valmod::service {
+namespace {
+
+std::shared_ptr<const std::string> Payload(const std::string& s) {
+  return std::make_shared<const std::string>(s);
+}
+
+TEST(ResultCacheTest, HitAfterPut) {
+  ResultCache cache(4);
+  EXPECT_EQ(cache.Get("k"), nullptr);
+  cache.Put("k", Payload("v"));
+  auto hit = cache.Get("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "v");
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.Put("a", Payload("1"));
+  cache.Put("b", Payload("2"));
+  ASSERT_NE(cache.Get("a"), nullptr);  // refresh a; b is now LRU
+  cache.Put("c", Payload("3"));        // evicts b
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ResultCacheTest, PutRefreshesExistingKey) {
+  ResultCache cache(2);
+  cache.Put("a", Payload("1"));
+  cache.Put("a", Payload("updated"));
+  auto hit = cache.Get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "updated");
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);  // refresh, not insert
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.Put("a", Payload("1"));
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);  // disabled lookups are not counted
+}
+
+TEST(ResultCacheTest, EvictedValueSurvivesThroughSharedPtr) {
+  ResultCache cache(1);
+  cache.Put("a", Payload("1"));
+  auto held = cache.Get("a");
+  cache.Put("b", Payload("2"));  // evicts a
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  ASSERT_NE(held, nullptr);  // the reader's reference is unaffected
+  EXPECT_EQ(*held, "1");
+}
+
+// The invalidation contract: keys embed the dataset generation and the
+// cost-model generation, so bumping either *changes the key* — the old
+// entry is simply never asked for again and ages out of the LRU.
+TEST(ResultCacheTest, GenerationChangesMissNaturally) {
+  ResultCache cache(8);
+  const std::string old_key = "ds|g1|motifs|lmin=64,lmax=80,k=1|rv2|cm0";
+  const std::string new_key = "ds|g2|motifs|lmin=64,lmax=80,k=1|rv2|cm0";
+  cache.Put(old_key, Payload("stale"));
+  EXPECT_EQ(cache.Get(new_key), nullptr);
+  const std::string recal_key = "ds|g1|motifs|lmin=64,lmax=80,k=1|rv2|cm1";
+  EXPECT_EQ(cache.Get(recal_key), nullptr);
+}
+
+TEST(ResultCacheTest, ConcurrentGetPutIsSafe) {
+  ResultCache cache(16);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        const std::string key = "k" + std::to_string((t + i) % 24);
+        cache.Put(key, Payload(key));
+        auto hit = cache.Get(key);
+        if (hit != nullptr) EXPECT_EQ(*hit, key);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(cache.stats().entries, 16u);
+}
+
+}  // namespace
+}  // namespace valmod::service

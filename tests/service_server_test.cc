@@ -1,0 +1,447 @@
+// Server protocol tests: request/response round trips through Service
+// (in-process), error paths that must never kill the process, result-cache
+// and generation semantics observable through the protocol, a 4-client
+// concurrency run (TSan'd in CI), and an end-to-end smoke of the real
+// valmod_server binary in --stdio mode.
+
+#include "service/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+
+namespace valmod::service {
+namespace {
+
+using json::Value;
+
+/// Sends one request line and parses the response (which must always be
+/// valid JSON — that is itself part of the protocol contract).
+Value Roundtrip(Service& service, const std::string& line) {
+  const std::string response = service.HandleRequestLine(line);
+  auto parsed = json::Parse(response);
+  EXPECT_TRUE(parsed.ok()) << "unparseable response: " << response;
+  return parsed.ok() ? *parsed : Value();
+}
+
+bool Ok(const Value& response) { return response.GetBool("ok", false); }
+
+std::string ErrorCode(const Value& response) {
+  const Value* error = response.Find("error");
+  return error == nullptr ? "" : error->GetString("code", "");
+}
+
+TEST(ServiceProtocolTest, LoadQueryCacheStatsUnloadSession) {
+  Service service;
+  // load
+  Value load = Roundtrip(service,
+      R"({"id":1,"verb":"load","dataset":"ecg",)"
+      R"("params":{"generator":"ecg","n":4096,"seed":1}})");
+  ASSERT_TRUE(Ok(load)) << load.Serialize();
+  EXPECT_DOUBLE_EQ(load.Find("id")->AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(load.Find("result")->GetNumber("points", 0), 4096.0);
+
+  // motifs (miss, computed)
+  const std::string motifs_request =
+      R"({"id":2,"verb":"motifs","dataset":"ecg",)"
+      R"("params":{"lmin":100,"lmax":103,"k":2}})";
+  Value first = Roundtrip(service, motifs_request);
+  ASSERT_TRUE(Ok(first)) << first.Serialize();
+  EXPECT_FALSE(first.GetBool("cached", true));
+  const Value* per_length = first.Find("result")->Find("per_length");
+  ASSERT_NE(per_length, nullptr);
+  EXPECT_EQ(per_length->AsArray().size(), 4u);  // lengths 100..103
+
+  // identical motifs (hit) — byte-identical result, cached flag set
+  Value second = Roundtrip(service, motifs_request);
+  ASSERT_TRUE(Ok(second));
+  EXPECT_TRUE(second.GetBool("cached", false));
+  EXPECT_EQ(second.Find("result")->Serialize(),
+            first.Find("result")->Serialize());
+
+  // different threads param must HIT too (results are thread-count
+  // independent, so `threads` is not part of the cache key)
+  Value threaded = Roundtrip(service,
+      R"({"id":3,"verb":"motifs","dataset":"ecg",)"
+      R"("params":{"lmin":100,"lmax":103,"k":2,"threads":4}})");
+  ASSERT_TRUE(Ok(threaded));
+  EXPECT_TRUE(threaded.GetBool("cached", false));
+
+  // stats reflects the hits
+  Value stats = Roundtrip(service, R"({"id":4,"verb":"stats"})");
+  ASSERT_TRUE(Ok(stats));
+  const Value* cache = stats.Find("result")->Find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_DOUBLE_EQ(cache->GetNumber("hits", -1), 2.0);
+  EXPECT_DOUBLE_EQ(cache->GetNumber("misses", -1), 1.0);
+  const Value* scheduler = stats.Find("result")->Find("scheduler");
+  ASSERT_NE(scheduler, nullptr);
+  EXPECT_DOUBLE_EQ(scheduler->GetNumber("completed", -1), 1.0);
+  const Value* datasets = stats.Find("result")->Find("datasets");
+  ASSERT_NE(datasets, nullptr);
+  ASSERT_EQ(datasets->AsArray().size(), 1u);
+  EXPECT_EQ(datasets->AsArray()[0].GetString("name", ""), "ecg");
+
+  // unload, then querying is NotFound
+  Value unload =
+      Roundtrip(service, R"({"id":5,"verb":"unload","dataset":"ecg"})");
+  ASSERT_TRUE(Ok(unload));
+  Value gone = Roundtrip(service, motifs_request);
+  EXPECT_FALSE(Ok(gone));
+  EXPECT_EQ(ErrorCode(gone), "NotFound");
+}
+
+TEST(ServiceProtocolTest, ReloadingANameNeverServesTheOldDatasetsCache) {
+  Service service;
+  const std::string request =
+      R"({"verb":"query","dataset":"d",)"
+      R"("params":{"values":[0,1,0,-1,0,1,0,-1],"k":1}})";
+  // Same name, two different underlying series across an unload/reload.
+  ASSERT_TRUE(Ok(Roundtrip(service,
+      R"({"verb":"load","dataset":"d",)"
+      R"("params":{"generator":"sine","n":512,"seed":1}})")));
+  Value first = Roundtrip(service, request);
+  ASSERT_TRUE(Ok(first));
+  ASSERT_TRUE(Ok(Roundtrip(service, R"({"verb":"unload","dataset":"d"})")));
+  ASSERT_TRUE(Ok(Roundtrip(service,
+      R"({"verb":"load","dataset":"d",)"
+      R"("params":{"generator":"random_walk","n":512,"seed":9}})")));
+  Value second = Roundtrip(service, request);
+  ASSERT_TRUE(Ok(second));
+  // Must be a fresh computation against the new data, not a cache hit
+  // from the old series that happened to share name and generation.
+  EXPECT_FALSE(second.GetBool("cached", true));
+  EXPECT_NE(second.Find("result")->Serialize(),
+            first.Find("result")->Serialize());
+}
+
+TEST(ServiceProtocolTest, OutOfRangeNumericParamsAreStructuredErrors) {
+  Service service;
+  Roundtrip(service,
+            R"({"verb":"load","dataset":"d",)"
+            R"("params":{"generator":"sine","n":256}})");
+  // Values beyond any representable size must come back as errors, not
+  // wrap, crash, or trip UBSan.
+  EXPECT_EQ(ErrorCode(Roundtrip(service,
+                R"({"verb":"motifs","dataset":"d",)"
+                R"("params":{"lmin":16,"lmax":20,"k":1e300}})")),
+            "InvalidArgument");
+  EXPECT_EQ(ErrorCode(Roundtrip(service,
+                R"({"verb":"motifs","dataset":"d",)"
+                R"("params":{"lmin":16,"lmax":20,"threads":1e9}})")),
+            "InvalidArgument");
+  EXPECT_EQ(ErrorCode(Roundtrip(service,
+                R"({"verb":"load","dataset":"big",)"
+                R"("params":{"generator":"sine","n":1e11}})")),
+            "InvalidArgument");
+  // Envelope numerics are clamped rather than rejected; the request still
+  // executes.
+  Value clamped = Roundtrip(service,
+      R"({"verb":"motifs","dataset":"d",)"
+      R"("params":{"lmin":16,"lmax":17},)"
+      R"("priority":1e300,"timeout_ms":1e300})");
+  EXPECT_TRUE(Ok(clamped)) << clamped.Serialize();
+}
+
+TEST(ServiceProtocolTest, MalformedRequestsReturnStructuredErrors) {
+  Service service;
+  // Not JSON at all.
+  Value bad = Roundtrip(service, "this is not json");
+  EXPECT_FALSE(Ok(bad));
+  EXPECT_EQ(ErrorCode(bad), "InvalidArgument");
+  EXPECT_TRUE(bad.Find("id")->is_null());
+
+  // JSON but not an object.
+  EXPECT_EQ(ErrorCode(Roundtrip(service, "[1,2,3]")), "InvalidArgument");
+
+  // Missing verb.
+  EXPECT_EQ(ErrorCode(Roundtrip(service, R"({"id":9})")), "InvalidArgument");
+
+  // Unknown verb echoes the id.
+  Value unknown = Roundtrip(service, R"({"id":9,"verb":"frobnicate"})");
+  EXPECT_EQ(ErrorCode(unknown), "InvalidArgument");
+  EXPECT_DOUBLE_EQ(unknown.Find("id")->AsDouble(), 9.0);
+
+  // Bad params types.
+  Roundtrip(service,
+            R"({"verb":"load","dataset":"d",)"
+            R"("params":{"generator":"ecg","n":512}})");
+  EXPECT_EQ(ErrorCode(Roundtrip(service,
+                R"({"verb":"motifs","dataset":"d",)"
+                R"("params":{"lmin":-5,"lmax":100}})")),
+            "InvalidArgument");
+  EXPECT_EQ(ErrorCode(Roundtrip(service,
+                R"({"verb":"motifs","dataset":"d",)"
+                R"("params":{"lmin":100,"lmax":120,)"
+                R"("results_version":99}})")),
+            "InvalidArgument");
+  EXPECT_EQ(ErrorCode(Roundtrip(service,
+                R"({"verb":"query","dataset":"d",)"
+                R"("params":{"values":"not an array"}})")),
+            "InvalidArgument");
+
+  // Typo'd param keys fail loudly instead of silently running under
+  // defaults — the protocol mirror of the CLI's closed flag tables.
+  Value typo = Roundtrip(service,
+      R"({"verb":"motifs","dataset":"d",)"
+      R"("params":{"lmin":16,"lmxa":20,"results_versoin":1}})");
+  EXPECT_EQ(ErrorCode(typo), "InvalidArgument");
+  EXPECT_NE(typo.Find("error")->GetString("message", "").find("lmxa"),
+            std::string::npos);
+
+  // Wrong-typed envelope fields are rejected too.
+  EXPECT_EQ(ErrorCode(Roundtrip(service,
+                R"({"verb":"motifs","dataset":"d",)"
+                R"("params":{"lmin":16,"lmax":18},"timeout_ms":"5000"}})")),
+            "InvalidArgument");
+
+  // The service survives all of the above: a well-formed request works.
+  Value good = Roundtrip(service,
+      R"({"verb":"query","dataset":"d",)"
+      R"("params":{"values":[1,2,3,4,5,4,3,2],"k":1}})");
+  EXPECT_TRUE(Ok(good)) << good.Serialize();
+}
+
+TEST(ServiceProtocolTest, OverDeadlineRequestsFailStructurally) {
+  Service service;
+  Roundtrip(service,
+            R"({"verb":"load","dataset":"d",)"
+            R"("params":{"generator":"random_walk","n":4096}})");
+  // timeout_ms=0: the deadline is already expired at admission.
+  Value late = Roundtrip(service,
+      R"({"id":7,"verb":"motifs","dataset":"d",)"
+      R"("params":{"lmin":100,"lmax":140},"timeout_ms":0})");
+  EXPECT_FALSE(Ok(late));
+  EXPECT_EQ(ErrorCode(late), "DeadlineExceeded");
+  // The failure was not cached; the process is fine.
+  Value stats = Roundtrip(service, R"({"id":8,"verb":"stats"})");
+  ASSERT_TRUE(Ok(stats));
+  EXPECT_DOUBLE_EQ(
+      stats.Find("result")->Find("cache")->GetNumber("entries", -1), 0.0);
+}
+
+TEST(ServiceProtocolTest, StreamingAppendFlowsThroughGenerations) {
+  Service service;
+  ASSERT_TRUE(Ok(Roundtrip(service,
+      R"({"verb":"load","dataset":"s","params":{"streaming_length":8}})")));
+
+  // Querying an empty streaming dataset is a structured error.
+  EXPECT_EQ(ErrorCode(Roundtrip(service,
+                R"({"verb":"motifs","dataset":"s",)"
+                R"("params":{"lmin":4,"lmax":5}})")),
+            "FailedPrecondition");
+
+  Value append = Roundtrip(service,
+      R"({"verb":"append","dataset":"s",)"
+      R"("params":{"values":[1,2,3,1,2,3,1,2,3,1,2,3,1,2,3,1,2,3]}})");
+  ASSERT_TRUE(Ok(append)) << append.Serialize();
+  EXPECT_DOUBLE_EQ(append.Find("result")->GetNumber("points", 0), 18.0);
+  EXPECT_DOUBLE_EQ(append.Find("result")->GetNumber("generation", 0), 2.0);
+
+  // The incrementally maintained profile is served (and cached).
+  const std::string profile_request =
+      R"({"verb":"profile","dataset":"s"})";
+  Value profile = Roundtrip(service, profile_request);
+  ASSERT_TRUE(Ok(profile)) << profile.Serialize();
+  EXPECT_TRUE(profile.Find("result")->GetBool("streaming", false));
+  EXPECT_DOUBLE_EQ(profile.Find("result")->GetNumber("generation", 0), 2.0);
+  const std::size_t rows_before =
+      profile.Find("result")->Find("distances")->AsArray().size();
+  EXPECT_EQ(rows_before, 11u);  // 18 - 8 + 1
+  EXPECT_TRUE(Roundtrip(service, profile_request).GetBool("cached", false));
+
+  // Batch verbs work against the materialized snapshot.
+  Value motifs = Roundtrip(service,
+      R"({"verb":"motifs","dataset":"s","params":{"lmin":4,"lmax":5}})");
+  ASSERT_TRUE(Ok(motifs)) << motifs.Serialize();
+
+  // Append again: generation bumps, cached profile is NOT reused.
+  ASSERT_TRUE(Ok(Roundtrip(service,
+      R"({"verb":"append","dataset":"s","params":{"values":[9,8,7]}})")));
+  Value after = Roundtrip(service, profile_request);
+  ASSERT_TRUE(Ok(after));
+  EXPECT_FALSE(after.GetBool("cached", true));
+  EXPECT_DOUBLE_EQ(after.Find("result")->GetNumber("generation", 0), 3.0);
+  EXPECT_EQ(after.Find("result")->Find("distances")->AsArray().size(),
+            rows_before + 3);
+
+  // A mismatched explicit length is rejected, not silently recomputed.
+  EXPECT_EQ(ErrorCode(Roundtrip(service,
+                R"({"verb":"profile","dataset":"s","params":{"l":16}})")),
+            "InvalidArgument");
+
+  // Appending to a static dataset fails.
+  Roundtrip(service,
+            R"({"verb":"load","dataset":"fixed",)"
+            R"("params":{"generator":"sine","n":256}})");
+  EXPECT_EQ(ErrorCode(Roundtrip(service,
+                R"({"verb":"append","dataset":"fixed",)"
+                R"("params":{"values":[1]}})")),
+            "FailedPrecondition");
+}
+
+TEST(ServiceProtocolTest, AdmissionQueueFullIsAStructuredError) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.cache_capacity = 0;  // force every request to compute
+  Service service(options);
+  Roundtrip(service,
+            R"({"verb":"load","dataset":"d",)"
+            R"("params":{"generator":"random_walk","n":4096}})");
+  // Saturate the single worker + single queue slot from multiple clients;
+  // the requests are heavy enough (hundreds of ms) that all six overlap,
+  // so at least one must be bounced with FailedPrecondition — and none may
+  // crash or hang.
+  std::vector<std::thread> clients;
+  std::vector<std::string> codes(6);
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&service, &codes, c] {
+      const std::string request =
+          R"({"verb":"motifs","dataset":"d","params":{"lmin":)" +
+          std::to_string(64 + c) + R"(,"lmax":)" + std::to_string(120 + c) +
+          R"(}})";
+      Value response = Roundtrip(service, request);
+      codes[static_cast<std::size_t>(c)] =
+          Ok(response) ? "ok" : ErrorCode(response);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  std::size_t ok_count = 0;
+  std::size_t bounced = 0;
+  for (const std::string& code : codes) {
+    if (code == "ok") ++ok_count;
+    if (code == "FailedPrecondition") ++bounced;
+  }
+  EXPECT_EQ(ok_count + bounced, 6u) << "unexpected outcome in mix";
+  EXPECT_GE(ok_count, 1u);
+  EXPECT_GE(bounced, 1u);
+  const SchedulerStats stats = service.scheduler().stats();
+  EXPECT_EQ(stats.rejected, bounced);
+}
+
+// The acceptance-bar concurrency run: 4 clients hammering one service with
+// a mixed verb stream (loads, queries, appends, stats). Under TSan in CI.
+TEST(ServiceProtocolTest, FourConcurrentClientsMixedWorkload) {
+  Service service;
+  ASSERT_TRUE(Ok(Roundtrip(service,
+      R"({"verb":"load","dataset":"shared",)"
+      R"("params":{"generator":"ecg","n":2048,"seed":2}})")));
+  ASSERT_TRUE(Ok(Roundtrip(service,
+      R"({"verb":"load","dataset":"stream","params":{"streaming_length":16}})")));
+
+  std::vector<std::thread> clients;
+  std::vector<int> failures(4, 0);
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&service, &failures, c] {
+      for (int i = 0; i < 6; ++i) {
+        std::vector<std::string> requests = {
+            R"({"verb":"motifs","dataset":"shared","params":{"lmin":)" +
+                std::to_string(40 + 4 * c) + R"(,"lmax":)" +
+                std::to_string(42 + 4 * c) + R"(}})",
+            R"({"verb":"query","dataset":"shared",)"
+            R"("params":{"values":[1,2,1,0,1,2,1,0,1,2,1,0],"k":2}})",
+            R"({"verb":"append","dataset":"stream","params":{"values":[)" +
+                std::to_string(c) + "," + std::to_string(i) + R"(,1,2,3]}})",
+            R"({"verb":"stats"})",
+        };
+        const std::string& request =
+            requests[static_cast<std::size_t>(i) % requests.size()];
+        const std::string response = service.HandleRequestLine(request);
+        auto parsed = json::Parse(response);
+        if (!parsed.ok() || !parsed->GetBool("ok", false)) {
+          ++failures[static_cast<std::size_t>(c)];
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(failures[static_cast<std::size_t>(c)], 0) << "client " << c;
+  }
+  // The service is still coherent after the storm (both datasets listed;
+  // each client's append landed).
+  Value stats = Roundtrip(service, R"({"verb":"stats"})");
+  ASSERT_TRUE(Ok(stats));
+  ASSERT_EQ(stats.Find("result")->Find("datasets")->AsArray().size(), 2u);
+}
+
+#ifdef VALMOD_SERVER_BINARY
+// End-to-end --stdio smoke: pipe a scripted session through the real
+// binary (full main() path: flag validation, stdio loop, shutdown verb)
+// and check the response stream line by line.
+TEST(ServerBinaryTest, StdioSessionEndToEnd) {
+  const std::string script =
+      R"({"id":1,"verb":"load","dataset":"d","params":{"generator":"ecg","n":1024}})" "\n"
+      R"({"id":2,"verb":"motifs","dataset":"d","params":{"lmin":32,"lmax":34}})" "\n"
+      R"({"id":3,"verb":"motifs","dataset":"d","params":{"lmin":32,"lmax":34}})" "\n"
+      "not json\n"
+      R"({"id":4,"verb":"stats"})" "\n"
+      R"({"id":5,"verb":"unload","dataset":"d"})" "\n"
+      R"({"id":6,"verb":"shutdown"})" "\n";
+  const std::string command = std::string("printf '%s' '") + script +
+                              "' | " + VALMOD_SERVER_BINARY +
+                              " --stdio 2>/dev/null";
+  std::FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string output;
+  char buffer[4096];
+  std::size_t n;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output.append(buffer, n);
+  }
+  const int exit_code = pclose(pipe);
+  EXPECT_EQ(exit_code, 0);
+
+  std::vector<std::string> lines;
+  std::size_t start = 0, newline;
+  while ((newline = output.find('\n', start)) != std::string::npos) {
+    lines.push_back(output.substr(start, newline - start));
+    start = newline + 1;
+  }
+  ASSERT_EQ(lines.size(), 7u) << output;
+  auto parse = [](const std::string& line) {
+    auto v = json::Parse(line);
+    EXPECT_TRUE(v.ok()) << line;
+    return v.ok() ? *v : Value();
+  };
+  EXPECT_TRUE(parse(lines[0]).GetBool("ok", false));         // load
+  Value motifs = parse(lines[1]);
+  EXPECT_TRUE(motifs.GetBool("ok", false));
+  EXPECT_FALSE(motifs.GetBool("cached", true));
+  Value cached = parse(lines[2]);
+  EXPECT_TRUE(cached.GetBool("ok", false));
+  EXPECT_TRUE(cached.GetBool("cached", false));              // cache hit
+  EXPECT_FALSE(parse(lines[3]).GetBool("ok", true));         // bad JSON
+  Value stats = parse(lines[4]);
+  EXPECT_TRUE(stats.GetBool("ok", false));
+  EXPECT_DOUBLE_EQ(
+      stats.Find("result")->Find("cache")->GetNumber("hits", -1), 1.0);
+  EXPECT_TRUE(parse(lines[5]).GetBool("ok", false));         // unload
+  EXPECT_TRUE(parse(lines[6]).GetBool("ok", false));         // shutdown
+}
+
+TEST(ServerBinaryTest, UnknownFlagIsAUsageError) {
+  const std::string command = std::string(VALMOD_SERVER_BINARY) +
+                              " --stdio --thread=4 2>&1 </dev/null";
+  std::FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string output;
+  char buffer[1024];
+  std::size_t n;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  EXPECT_NE(status, 0);
+  EXPECT_NE(output.find("--thread"), std::string::npos) << output;
+}
+#endif  // VALMOD_SERVER_BINARY
+
+}  // namespace
+}  // namespace valmod::service

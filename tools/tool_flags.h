@@ -1,0 +1,85 @@
+#ifndef VALMOD_TOOLS_TOOL_FLAGS_H_
+#define VALMOD_TOOLS_TOOL_FLAGS_H_
+
+// Per-subcommand flag tables shared by the tool front ends (valmod_cli and
+// valmod_server). Each tool validates its parsed flags against the table
+// with Flags::RejectUnknown, so a typo'd flag (`--thread=4`, `--lmax`
+// misspelled) is a hard usage error instead of a silently applied default.
+// Keeping the tables next to each other — and shared between the binaries —
+// means the CLI and the server cannot drift apart on what a subcommand
+// accepts.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/flags.h"
+#include "common/result.h"
+#include "series/data_series.h"
+#include "series/generators.h"
+#include "series/io.h"
+
+namespace valmod::tools {
+
+/// Dataset-source flags accepted by every series-consuming subcommand.
+inline constexpr std::string_view kSourceFlags[] = {
+    "input", "column", "generate", "n", "seed",
+};
+
+/// Loads the series the source flags describe — `--input=<csv>
+/// [--column=c]` or `--generate=<name> [--n] [--seed]` — with one set of
+/// defaults shared by valmod_cli and valmod_server (--preload), so the two
+/// binaries cannot drift apart on source semantics any more than on flag
+/// tables.
+inline Result<series::DataSeries> LoadSeriesFromFlags(const Flags& flags) {
+  if (flags.Has("input")) {
+    return series::ReadDelimited(
+        flags.GetString("input", ""),
+        static_cast<std::size_t>(flags.GetInt("column", 0)));
+  }
+  return synth::ByName(flags.GetString("generate", "ecg"),
+                       static_cast<std::size_t>(flags.GetInt("n", 20000)),
+                       static_cast<std::uint64_t>(flags.GetInt("seed", 1)));
+}
+
+inline constexpr std::string_view kMotifsFlags[] = {
+    "input", "column", "generate", "n", "seed",
+    "lmin", "lmax", "k", "p", "threads", "results-version", "calibrate",
+};
+
+inline constexpr std::string_view kDiscordsFlags[] = {
+    "input", "column", "generate", "n", "seed",
+    "lmin", "lmax", "k", "threads",
+};
+
+inline constexpr std::string_view kValmapFlags[] = {
+    "input", "column", "generate", "n", "seed",
+    "lmin", "lmax", "k", "p", "threads", "results-version", "calibrate",
+    "output",
+};
+
+inline constexpr std::string_view kProfileFlags[] = {
+    "input", "column", "generate", "n", "seed",
+    "l", "k", "threads", "results-version", "calibrate", "output",
+};
+
+inline constexpr std::string_view kQueryFlags[] = {
+    "input", "column", "generate", "n", "seed",
+    "query", "k", "results-version", "calibrate",
+};
+
+inline constexpr std::string_view kGenerateFlags[] = {
+    "input", "column", "generate", "n", "seed", "output",
+};
+
+/// valmod_server accepts its serving knobs plus the same source flags (for
+/// --preload, which loads a dataset before serving).
+inline constexpr std::string_view kServerFlags[] = {
+    "input", "column", "generate", "n", "seed",
+    "stdio", "port", "workers", "queue", "cache", "timeout-s", "preload",
+    "calibrate",
+};
+
+}  // namespace valmod::tools
+
+#endif  // VALMOD_TOOLS_TOOL_FLAGS_H_

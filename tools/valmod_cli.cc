@@ -18,10 +18,13 @@
 //   valmod_cli query --input=ecg.csv --query=pattern.csv --k=5
 
 #include <cstdio>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/flags.h"
+#include "tool_flags.h"
 #include "core/valmod.h"
 #include "core/variable_discords.h"
 #include "mass/backend.h"
@@ -55,8 +58,9 @@ int Usage() {
                "calibrated cost model,\n"
                "          %d = legacy v1 bit-compat) [--calibrate] (fit "
                "backend weights here)\n"
-               "  motifs/valmap/discords: --lmin --lmax [--k=1] [--p=10] "
+               "  motifs/valmap: --lmin --lmax [--k=1] [--p=10] "
                "[--threads=1]\n"
+               "  discords: --lmin --lmax [--k=1] [--threads=1]\n"
                "  profile: --l [--output=profile.csv]\n"
                "  query: --query=<csv> [--k=1]\n"
                "  generate: --output=<csv>\n",
@@ -97,15 +101,7 @@ void ApplyBackendFlags(const Flags& flags) {
 }
 
 Result<DataSeries> LoadSeries(const Flags& flags) {
-  if (flags.Has("input")) {
-    return valmod::series::ReadDelimited(
-        flags.GetString("input", ""),
-        static_cast<std::size_t>(flags.GetInt("column", 0)));
-  }
-  return valmod::synth::ByName(
-      flags.GetString("generate", "ecg"),
-      static_cast<std::size_t>(flags.GetInt("n", 20000)),
-      static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  return valmod::tools::LoadSeriesFromFlags(flags);
 }
 
 int RunMotifs(const Flags& flags) {
@@ -178,6 +174,7 @@ int RunValmapCommand(const Flags& flags) {
   options.min_length = static_cast<std::size_t>(flags.GetInt("lmin", 0));
   options.max_length = static_cast<std::size_t>(flags.GetInt("lmax", 0));
   options.k = static_cast<std::size_t>(flags.GetInt("k", 4));
+  options.p = static_cast<std::size_t>(flags.GetInt("p", 10));
   options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
   options.results_version = ResultsVersion(flags);
   if (options.results_version < 0) return 2;
@@ -284,11 +281,29 @@ int main(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc, argv);
   if (flags.positional().empty()) return Usage();
   const std::string command = flags.positional()[0];
+
+  // Every subcommand has a closed flag table (tools/tool_flags.h, shared
+  // with valmod_server): an unrecognized flag is a usage error, so a typo
+  // like `--thread=4` fails loudly instead of silently running with the
+  // default thread count.
+  std::span<const std::string_view> known;
+  if (command == "motifs") known = valmod::tools::kMotifsFlags;
+  else if (command == "discords") known = valmod::tools::kDiscordsFlags;
+  else if (command == "valmap") known = valmod::tools::kValmapFlags;
+  else if (command == "profile") known = valmod::tools::kProfileFlags;
+  else if (command == "query") known = valmod::tools::kQueryFlags;
+  else if (command == "generate") known = valmod::tools::kGenerateFlags;
+  else return Usage();
+  if (valmod::Status status = flags.RejectUnknown(known); !status.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", command.c_str(),
+                 status.message().c_str());
+    return 2;
+  }
+
   if (command == "motifs") return RunMotifs(flags);
   if (command == "discords") return RunDiscords(flags);
   if (command == "valmap") return RunValmapCommand(flags);
   if (command == "profile") return RunProfile(flags);
   if (command == "query") return RunQuery(flags);
-  if (command == "generate") return RunGenerate(flags);
-  return Usage();
+  return RunGenerate(flags);
 }

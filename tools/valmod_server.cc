@@ -1,0 +1,300 @@
+// valmod_server — long-lived serving front end to the VALMOD suite.
+//
+// Speaks newline-delimited JSON (one request per line, one response line
+// back; protocol reference in README "Serving") over either:
+//
+//   --stdio        stdin/stdout — the zero-networking mode CI and scripts
+//                  drive; exits on EOF or the `shutdown` verb.
+//   --port=P       a localhost TCP socket (127.0.0.1 only — the server
+//                  executes file loads and unbounded compute on behalf of
+//                  clients, so it is strictly a local tool); one thread
+//                  per connection, each connection a serial request
+//                  stream, concurrency across connections bounded by the
+//                  scheduler's admission queue.
+//
+// Serving state (dataset registry, shared MASS engines, result cache)
+// lives for the process: every request against a loaded dataset reuses
+// the engine's cached spectra, and repeated identical requests are O(1)
+// result-cache hits — the whole point versus one-shot valmod_cli runs.
+//
+// Examples:
+//   valmod_server --stdio
+//   valmod_server --port=7731 --workers=8 --queue=128 --cache=256
+//   valmod_server --stdio --preload=ecg --generate=ecg --n=20000
+//
+//   $ printf '%s\n' \
+//       '{"id":1,"verb":"load","dataset":"ecg","params":{"generator":"ecg","n":8192}}' \
+//       '{"id":2,"verb":"motifs","dataset":"ecg","params":{"lmin":100,"lmax":110}}' \
+//     | valmod_server --stdio
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "mass/backend.h"
+#include "service/server.h"
+#include "tool_flags.h"
+
+namespace {
+
+using valmod::Flags;
+using valmod::service::Service;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: valmod_server (--stdio | --port=<p>) [--workers=4] "
+               "[--queue=64] [--cache=128]\n"
+               "       [--timeout-s=<default deadline>] [--calibrate]\n"
+               "       [--preload=<name> (--input=<csv> [--column=0] | "
+               "--generate=<gen> [--n] [--seed])]\n"
+               "newline-delimited JSON protocol; see README \"Serving\"\n");
+  return 2;
+}
+
+/// Loads the --preload dataset into the registry before serving, through
+/// the same source-flag semantics as valmod_cli (tools/tool_flags.h).
+bool Preload(Service& service, const Flags& flags) {
+  const std::string name = flags.GetString("preload", "");
+  if (name.empty()) return true;
+  auto series = valmod::tools::LoadSeriesFromFlags(flags);
+  if (!series.ok()) {
+    std::fprintf(stderr, "error: preload: %s\n",
+                 series.status().ToString().c_str());
+    return false;
+  }
+  auto loaded = service.registry().LoadSeries(name, std::move(*series));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: preload: %s\n",
+                 loaded.status().ToString().c_str());
+    return false;
+  }
+  std::fprintf(stderr, "preloaded dataset '%s' (%zu points)\n", name.c_str(),
+               (*loaded)->size());
+  return true;
+}
+
+int RunStdio(Service& service) {
+  std::string line;
+  while (!service.shutdown_requested() && std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    const std::string response = service.HandleRequestLine(line);
+    std::fputs(response.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+/// Live-connection bookkeeping shared by the accept loop and the
+/// per-connection threads. Two jobs:
+///  - shutdown: a `shutdown` verb must end the process even while other
+///    clients sit idle in read(); Wake() shutdown(2)s every live socket
+///    (including the listener — close() alone does not reliably wake a
+///    thread blocked in accept()/read() on the same fd, shutdown() does).
+///  - reaping: finished connection threads are joined from the accept
+///    loop, so a long-lived server does not accumulate one dead
+///    std::thread per connection ever served.
+class ConnectionSet {
+ public:
+  explicit ConnectionSet(int listen_fd) : listen_fd_(listen_fd) {}
+
+  void Add(Service& service, int client_fd) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = client_fd;
+    Connection* raw = conn.get();
+    conn->thread = std::thread([this, &service, raw] {
+      ServeConnection(service, raw->fd, *this);
+      raw->done.store(true, std::memory_order_release);
+    });
+    connections_.push_back(std::move(conn));
+  }
+
+  /// Joins threads whose connections have finished. Called between
+  /// accepts; O(live connections).
+  void Reap() {
+    std::vector<std::unique_ptr<Connection>> finished;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = connections_.begin();
+      while (it != connections_.end()) {
+        if ((*it)->done.load(std::memory_order_acquire)) {
+          finished.push_back(std::move(*it));
+          it = connections_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (auto& conn : finished) conn->thread.join();  // finished: no block
+  }
+
+  /// Forces every blocked accept()/read() to return so the process can
+  /// exit. Idempotent.
+  void Wake() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    for (const auto& conn : connections_) {
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+
+  /// Joins and closes everything still live (listener already closed by
+  /// the caller).
+  void JoinAll() {
+    std::vector<std::unique_ptr<Connection>> remaining;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      remaining.swap(connections_);
+    }
+    for (auto& conn : remaining) conn->thread.join();
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  static void ServeConnection(Service& service, int fd, ConnectionSet& set);
+
+  const int listen_fd_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+/// Longest accepted request line. Generous (a 1M-point append of
+/// full-precision doubles fits), but bounded: a client streaming bytes
+/// with no newline must produce a structured error and a dropped
+/// connection, not unbounded buffer growth until the process is killed.
+constexpr std::size_t kMaxRequestLineBytes = 32u << 20;  // 32 MiB
+
+/// One connection: a serial newline-delimited request stream.
+void ConnectionSet::ServeConnection(Service& service, int fd,
+                                    ConnectionSet& set) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > kMaxRequestLineBytes &&
+        buffer.find('\n') == std::string::npos) {
+      const char* error =
+          "{\"id\":null,\"ok\":false,\"error\":{\"code\":\"InvalidArgument\","
+          "\"message\":\"request line exceeds 32 MiB\"}}\n";
+      (void)!::write(fd, error, std::strlen(error));
+      break;
+    }
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::string response = service.HandleRequestLine(line);
+      response.push_back('\n');
+      std::size_t written = 0;
+      while (written < response.size()) {
+        const ssize_t w = ::write(fd, response.data() + written,
+                                  response.size() - written);
+        if (w <= 0) { ::close(fd); return; }
+        written += static_cast<std::size_t>(w);
+      }
+      if (service.shutdown_requested()) {
+        set.Wake();  // unblocks the accept loop and every idle client
+        ::close(fd);
+        return;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+int RunTcp(Service& service, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::perror("bind");
+    ::close(fd);
+    return 1;
+  }
+  if (::listen(fd, 16) < 0) {
+    std::perror("listen");
+    ::close(fd);
+    return 1;
+  }
+  std::fprintf(stderr, "valmod_server listening on 127.0.0.1:%d\n", port);
+
+  ConnectionSet connections(fd);
+  for (;;) {
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) break;  // listener shut down by the shutdown verb
+    connections.Reap();
+    connections.Add(service, client);
+  }
+  connections.Wake();  // shutdown also any clients idle in read()
+  connections.JoinAll();
+  ::close(fd);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  if (valmod::Status status = flags.RejectUnknown(valmod::tools::kServerFlags);
+      !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.message().c_str());
+    return 2;
+  }
+  const bool stdio = flags.GetBool("stdio", false);
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  if (!stdio && port <= 0) return Usage();
+  if (stdio && port > 0) {
+    std::fprintf(stderr, "error: --stdio and --port are exclusive\n");
+    return 2;
+  }
+
+  if (flags.Has("calibrate")) {
+    (void)valmod::mass::CalibrateBackendCostModel();
+    std::fprintf(stderr, "calibrated backend cost model (generation %llu)\n",
+                 static_cast<unsigned long long>(
+                     valmod::mass::BackendCostModelGeneration()));
+  }
+
+  valmod::service::ServiceOptions options;
+  options.workers = static_cast<int>(flags.GetInt("workers", 4));
+  options.queue_capacity =
+      static_cast<std::size_t>(flags.GetInt("queue", 64));
+  options.cache_capacity =
+      static_cast<std::size_t>(flags.GetInt("cache", 128));
+  options.default_timeout_seconds = flags.GetDouble("timeout-s", 0.0);
+
+  Service service(options);
+  if (!Preload(service, flags)) return 1;
+  return stdio ? RunStdio(service) : RunTcp(service, port);
+}
