@@ -28,6 +28,7 @@
 #include "common/timer.h"
 #include "series/data_series.h"
 #include "series/generators.h"
+#include "service/client.h"
 #include "service/server.h"
 
 namespace {
@@ -166,6 +167,131 @@ RunResult RunWarm(Service& service, const std::vector<std::string>& stream,
   return Finish(seconds, std::move(all), total_errors);
 }
 
+/// Overload: a miss-storm against a deliberately undersized service (2
+/// workers, 8 queue slots, cache off, every request a distinct shape) from
+/// twice as many clients as the queue can absorb — half at priority 5,
+/// half at the default 0 — each speaking through the RetryClient, so the
+/// documented retry/backoff contract (ResourceExhausted + retry_after_ms)
+/// is what keeps the storm sustainable. Reports per-class outcomes plus
+/// the scheduler's shed/rejected counters: under pressure, capacity must
+/// go to the high-priority class, and its p99 must stay bounded by
+/// queue-depth x service-time rather than growing with the storm.
+Value RunOverload(const DataSeries& series, std::size_t length) {
+  ServiceOptions options;
+  options.workers = 2;
+  // 8 clients against 2 workers + 4 slots: up to 6 requests are waiting at
+  // once, so the queue genuinely overflows and the shed/retry machinery is
+  // what every client's progress actually rides on.
+  options.queue_capacity = 4;
+  options.cache_capacity = 0;  // every request computes: a pure miss-storm
+  Service service(options);
+  auto loaded = service.registry().LoadSeries("bench", series.Clone());
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "overload load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return Value();
+  }
+
+  constexpr std::size_t kClientsPerClass = 4;
+  constexpr std::size_t kRequestsPerClient = 4;
+  struct ClassOutcome {
+    std::vector<double> latencies_ms;
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t gave_up = 0;
+  };
+  std::vector<ClassOutcome> outcomes(2 * kClientsPerClass);
+
+  WallTimer total;
+  std::vector<std::thread> clients;
+  for (std::size_t idx = 0; idx < outcomes.size(); ++idx) {
+    clients.emplace_back([&, idx] {
+      const bool high = idx < kClientsPerClass;
+      const int priority = high ? 5 : 0;
+      valmod::service::CallbackTransport transport(
+          [&service](const std::string& line) {
+            return service.HandleRequestLine(line);
+          });
+      valmod::service::RetryOptions retry;
+      retry.max_attempts = 4;
+      retry.initial_backoff_ms = 5;
+      retry.max_backoff_ms = 200;
+      retry.jitter_seed = idx + 1;  // desynchronize, deterministically
+      valmod::service::RetryClient client(transport, retry);
+      ClassOutcome& outcome = outcomes[idx];
+      for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+        // Every (client, i) pair is a distinct motifs shape: no request
+        // ever hits the (disabled) cache or another client's work.
+        const std::size_t lmin = length + 4 * (idx * kRequestsPerClient + i);
+        const std::string request =
+            "{\"verb\":\"motifs\",\"dataset\":\"bench\",\"params\":{\"lmin\":" +
+            std::to_string(lmin) + ",\"lmax\":" + std::to_string(lmin + 2) +
+            ",\"k\":1},\"priority\":" + std::to_string(priority) + "}";
+        WallTimer timer;
+        auto response = client.Call(request);
+        outcome.latencies_ms.push_back(timer.ElapsedMillis());
+        if (response.ok() && response->GetBool("ok", false)) {
+          ++outcome.ok;
+        } else {
+          ++outcome.failed;
+        }
+      }
+      outcome.retries = client.stats().retries;
+      outcome.gave_up = client.stats().gave_up;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double seconds = total.ElapsedSeconds();
+
+  const auto class_value = [&](std::size_t begin) {
+    ClassOutcome merged;
+    for (std::size_t c = begin; c < begin + kClientsPerClass; ++c) {
+      const ClassOutcome& o = outcomes[c];
+      merged.latencies_ms.insert(merged.latencies_ms.end(),
+                                 o.latencies_ms.begin(), o.latencies_ms.end());
+      merged.ok += o.ok;
+      merged.failed += o.failed;
+      merged.retries += o.retries;
+      merged.gave_up += o.gave_up;
+    }
+    std::sort(merged.latencies_ms.begin(), merged.latencies_ms.end());
+    Value::Object o;
+    o.emplace("ok", Value(merged.ok));
+    o.emplace("failed", Value(merged.failed));
+    o.emplace("retries", Value(merged.retries));
+    o.emplace("gave_up", Value(merged.gave_up));
+    o.emplace("p50_ms", Value(Percentile(merged.latencies_ms, 0.50)));
+    o.emplace("p99_ms", Value(Percentile(merged.latencies_ms, 0.99)));
+    return std::make_pair(Value(std::move(o)), merged);
+  };
+  auto [high_value, high] = class_value(0);
+  auto [low_value, low] = class_value(kClientsPerClass);
+  const valmod::service::SchedulerStats sched = service.scheduler().stats();
+
+  std::fprintf(stderr,
+               "overload      : %5.2f s  high %zu/%zu ok (p99 %7.2f ms)  "
+               "low %zu/%zu ok (p99 %7.2f ms)  shed %llu  rejected %llu  "
+               "retries %llu\n",
+               seconds, high.ok, high.ok + high.failed,
+               Percentile(high.latencies_ms, 0.99), low.ok,
+               low.ok + low.failed, Percentile(low.latencies_ms, 0.99),
+               static_cast<unsigned long long>(sched.shed),
+               static_cast<unsigned long long>(sched.rejected),
+               static_cast<unsigned long long>(high.retries + low.retries));
+
+  Value::Object overload;
+  overload.emplace("seconds", Value(seconds));
+  overload.emplace("workers", Value(options.workers));
+  overload.emplace("queue_capacity", Value(options.queue_capacity));
+  overload.emplace("high_priority", std::move(high_value));
+  overload.emplace("low_priority", std::move(low_value));
+  overload.emplace("shed", Value(sched.shed));
+  overload.emplace("rejected", Value(sched.rejected));
+  overload.emplace("mean_service_ms", Value(sched.mean_service_ms));
+  return Value(std::move(overload));
+}
+
 Value RunValue(const RunResult& run) {
   Value::Object o;
   o.emplace("seconds", Value(run.seconds));
@@ -245,6 +371,8 @@ int main(int argc, char** argv) {
       cold.throughput > 0.0 ? warm_1client_throughput / cold.throughput : 0.0;
   doc.emplace("speedup_warm_vs_cold_1client", Value(speedup));
   std::fprintf(stderr, "speedup warm/cold (1 client): %.2fx\n", speedup);
+
+  doc.emplace("overload", RunOverload(*series, length));
 
   const std::string json = Value(std::move(doc)).Serialize();
   std::fputs(json.c_str(), stdout);

@@ -1,0 +1,266 @@
+#include "common/fault.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace valmod::fault {
+namespace {
+
+/// splitmix64 — a well-mixed 64-bit hash. Feeding it seed^hit gives each
+/// hit of an armed point an independent, reproducible coin flip.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Maps a hash to [0, 1) with 53 bits of precision.
+double HashToUnit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool ParseUint64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseDoubleUnit(std::string_view text, double* out) {
+  const std::string owned(text);
+  char* end = nullptr;
+  const double value = std::strtod(owned.c_str(), &end);
+  if (end == owned.c_str() || *end != '\0') return false;
+  if (!(value >= 0.0 && value <= 1.0)) return false;
+  *out = value;
+  return true;
+}
+
+/// Parses one `point=kind[:key=value]*` directive into (point, spec).
+/// `armed=false` means the directive was `point=off`.
+Status ParseDirective(std::string_view directive, std::string* point,
+                      FaultSpec* spec, bool* armed) {
+  const std::size_t eq = directive.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return Status::InvalidArgument("fault directive '" +
+                                   std::string(directive) +
+                                   "' is not of the form point=kind[:k=v]*");
+  }
+  *point = std::string(directive.substr(0, eq));
+  std::string_view rest = directive.substr(eq + 1);
+
+  std::vector<std::string_view> parts;
+  while (!rest.empty()) {
+    const std::size_t colon = rest.find(':');
+    parts.push_back(rest.substr(0, colon));
+    if (colon == std::string_view::npos) break;
+    rest.remove_prefix(colon + 1);
+  }
+  if (parts.empty() || parts[0].empty()) {
+    return Status::InvalidArgument("fault directive for '" + *point +
+                                   "' is missing a kind");
+  }
+
+  *armed = true;
+  const std::string_view kind = parts[0];
+  if (kind == "off") {
+    *armed = false;
+    if (parts.size() > 1) {
+      return Status::InvalidArgument("'" + *point +
+                                     "=off' takes no options");
+    }
+    return Status::Ok();
+  }
+  if (kind == "error") {
+    spec->kind = FaultKind::kError;
+  } else if (kind == "delay") {
+    spec->kind = FaultKind::kDelay;
+  } else if (kind == "alloc") {
+    spec->kind = FaultKind::kAllocFail;
+  } else {
+    return Status::InvalidArgument("unknown fault kind '" +
+                                   std::string(kind) + "' for '" + *point +
+                                   "' (want error|delay|alloc|off)");
+  }
+
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::string_view part = parts[i];
+    const std::size_t kv = part.find('=');
+    if (kv == std::string_view::npos) {
+      return Status::InvalidArgument("fault option '" + std::string(part) +
+                                     "' for '" + *point +
+                                     "' is not key=value");
+    }
+    const std::string_view key = part.substr(0, kv);
+    const std::string_view value = part.substr(kv + 1);
+    bool ok = true;
+    if (key == "code") {
+      ok = StatusCodeFromName(value, &spec->code) &&
+           spec->code != StatusCode::kOk;
+    } else if (key == "nth") {
+      ok = ParseUint64(value, &spec->nth);
+    } else if (key == "p") {
+      ok = ParseDoubleUnit(value, &spec->probability);
+    } else if (key == "seed") {
+      ok = ParseUint64(value, &spec->seed);
+    } else if (key == "max_fires") {
+      ok = ParseUint64(value, &spec->max_fires);
+    } else if (key == "delay_ms") {
+      std::uint64_t ms = 0;
+      ok = ParseUint64(value, &ms) && ms <= 600000;  // cap at 10 minutes
+      spec->delay_ms = static_cast<int>(ms);
+    } else {
+      return Status::InvalidArgument("unknown fault option '" +
+                                     std::string(key) + "' for '" + *point +
+                                     "'");
+    }
+    if (!ok) {
+      return Status::InvalidArgument("bad value '" + std::string(value) +
+                                     "' for fault option '" +
+                                     std::string(key) + "' on '" + *point +
+                                     "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = [] {
+    auto* injector = new FaultInjector();
+    if (const char* env = std::getenv("VALMOD_FAULTS");
+        env != nullptr && *env != '\0') {
+      if (Status status = injector->ArmFromString(env); !status.ok()) {
+        std::fprintf(stderr, "warning: VALMOD_FAULTS ignored: %s\n",
+                     status.message().c_str());
+      }
+    }
+    return injector;
+  }();
+  return *instance;
+}
+
+void FaultInjector::Arm(std::string_view point, FaultSpec spec) {
+  if (spec.message.empty()) {
+    spec.message = "injected fault at '" + std::string(point) + "'";
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = points_.insert_or_assign(std::string(point),
+                                                 ArmedPoint{std::move(spec)});
+  (void)it;
+  if (inserted) armed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status FaultInjector::ArmFromString(std::string_view directives) {
+  // Parse everything first so a bad trailing directive does not leave half
+  // the list armed.
+  struct Parsed {
+    std::string point;
+    FaultSpec spec;
+    bool armed = true;
+  };
+  std::vector<Parsed> parsed;
+  std::string_view rest = directives;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    const std::string_view directive = rest.substr(0, semi);
+    if (!directive.empty()) {
+      Parsed p;
+      VALMOD_RETURN_IF_ERROR(
+          ParseDirective(directive, &p.point, &p.spec, &p.armed));
+      parsed.push_back(std::move(p));
+    }
+    if (semi == std::string_view::npos) break;
+    rest.remove_prefix(semi + 1);
+  }
+  for (auto& p : parsed) {
+    if (p.armed) {
+      Arm(p.point, std::move(p.spec));
+    } else {
+      Disarm(p.point);
+    }
+  }
+  return Status::Ok();
+}
+
+bool FaultInjector::Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  points_.erase(it);
+  armed_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.fetch_sub(static_cast<int>(points_.size()),
+                   std::memory_order_relaxed);
+  points_.clear();
+}
+
+std::vector<FaultPointInfo> FaultInjector::List() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FaultPointInfo> out;
+  out.reserve(points_.size());
+  for (const auto& [point, state] : points_) {
+    out.push_back(FaultPointInfo{point, state.spec, state.hits, state.fires});
+  }
+  return out;
+}
+
+Status FaultInjector::Check(std::string_view point) {
+  // Fast path: nothing armed anywhere. One relaxed load.
+  if (armed_.load(std::memory_order_relaxed) == 0) return Status::Ok();
+  return CheckSlow(point);
+}
+
+Status FaultInjector::CheckSlow(std::string_view point) {
+  FaultSpec fired;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = points_.find(point);
+    if (it == points_.end()) return Status::Ok();
+    ArmedPoint& state = it->second;
+    ++state.hits;
+    const FaultSpec& spec = state.spec;
+    if (spec.max_fires != 0 && state.fires >= spec.max_fires) {
+      return Status::Ok();
+    }
+    if (spec.nth != 0 && state.hits != spec.nth) return Status::Ok();
+    if (spec.probability < 1.0 &&
+        HashToUnit(Mix64(spec.seed ^ state.hits)) >= spec.probability) {
+      return Status::Ok();
+    }
+    ++state.fires;
+    fired = spec;
+    fire = true;
+  }
+  if (!fire) return Status::Ok();
+  switch (fired.kind) {
+    case FaultKind::kDelay:
+      if (fired.delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(fired.delay_ms));
+      }
+      return Status::Ok();
+    case FaultKind::kAllocFail:
+      return Status::ResourceExhausted("injected allocation failure at '" +
+                                       std::string(point) + "'");
+    case FaultKind::kError:
+      return Status(fired.code, fired.message);
+  }
+  return Status::Ok();
+}
+
+}  // namespace valmod::fault

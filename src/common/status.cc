@@ -20,8 +20,34 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+bool StatusCodeFromName(std::string_view name, StatusCode* code) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,
+      StatusCode::kInvalidArgument,
+      StatusCode::kOutOfRange,
+      StatusCode::kNotFound,
+      StatusCode::kFailedPrecondition,
+      StatusCode::kIoError,
+      StatusCode::kDeadlineExceeded,
+      StatusCode::kInternal,
+      StatusCode::kResourceExhausted,
+      StatusCode::kUnavailable,
+  };
+  for (StatusCode candidate : kAll) {
+    if (StatusCodeName(candidate) == name) {
+      *code = candidate;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string Status::ToString() const {

@@ -18,10 +18,18 @@ enum class StatusCode {
   kIoError = 5,
   kDeadlineExceeded = 6,
   kInternal = 7,
+  kResourceExhausted = 8,
+  kUnavailable = 9,
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
 std::string_view StatusCodeName(StatusCode code);
+
+/// Inverse of StatusCodeName: parses "ResourceExhausted" back into its code.
+/// Returns false for unknown names. Used by the fault injector (which arms
+/// fault points from text directives) and by clients mapping wire errors
+/// back onto StatusCode.
+bool StatusCodeFromName(std::string_view name, StatusCode* code);
 
 /// Lightweight status object carrying a code and, for errors, a message.
 ///
@@ -65,10 +73,30 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// Optional machine-readable backoff hint, in milliseconds. Zero means
+  /// "no hint". Set on overload errors (kResourceExhausted) by the query
+  /// scheduler from observed service rates; serialized as `retry_after_ms`
+  /// in wire errors and honored by service::RetryClient.
+  int retry_after_ms() const { return retry_after_ms_; }
+  Status& SetRetryAfterMs(int ms) & {
+    retry_after_ms_ = ms > 0 ? ms : 0;
+    return *this;
+  }
+  Status&& SetRetryAfterMs(int ms) && {
+    retry_after_ms_ = ms > 0 ? ms : 0;
+    return std::move(*this);
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -79,6 +107,9 @@ class Status {
 
  private:
   StatusCode code_ = StatusCode::kOk;
+  /// Advisory only — deliberately excluded from operator== so tests that
+  /// compare statuses are not sensitive to load-dependent hints.
+  int retry_after_ms_ = 0;
   std::string message_;
 };
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <memory>
 #include <optional>
 
@@ -67,6 +68,19 @@ class Deadline {
   bool Expired() const {
     if (cancel_ && cancel_->load(std::memory_order_relaxed)) return true;
     return at_.has_value() && std::chrono::steady_clock::now() >= *at_;
+  }
+
+  /// Seconds until the time limit fires (negative once past it), or
+  /// +infinity for a deadline with no time limit. Ignores the cancel flag:
+  /// this reports the configured budget, which the scheduler's watchdog
+  /// uses to decide when a running request counts as stalled.
+  double SecondsRemaining() const {
+    if (!at_.has_value()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return std::chrono::duration<double>(*at_ -
+                                         std::chrono::steady_clock::now())
+        .count();
   }
 
  private:

@@ -586,9 +586,17 @@ Result<ValmodResult> ValmodRunner::Run() {
   result_.init_seconds = timer.ElapsedSeconds();
 
   timer.Restart();
+  // Under allow_partial a deadline after the initial scan degrades to a
+  // partial result: the lengths completed so far (each exact — ProcessLength
+  // emits a length only after its certification loop finishes, so an
+  // interrupted length leaves no trace) instead of a bare error.
   for (std::size_t length = options_.min_length + 1;
        length <= options_.max_length; ++length) {
     if (options_.deadline.Expired()) {
+      if (options_.allow_partial && !result_.per_length.empty()) {
+        result_.partial = true;
+        break;
+      }
       return Status::DeadlineExceeded("VALMOD timed out at length " +
                                       std::to_string(length));
     }
@@ -608,7 +616,14 @@ Result<ValmodResult> ValmodRunner::Run() {
       }
       break;
     }
-    VALMOD_RETURN_IF_ERROR(ProcessLength(length));
+    if (Status status = ProcessLength(length); !status.ok()) {
+      if (status.code() == StatusCode::kDeadlineExceeded &&
+          options_.allow_partial && !result_.per_length.empty()) {
+        result_.partial = true;
+        break;
+      }
+      return status;
+    }
   }
   result_.update_seconds = timer.ElapsedSeconds();
 

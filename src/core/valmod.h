@@ -46,6 +46,14 @@ struct ValmodOptions {
   int results_version = mass::kResultsVersion;
   /// Cooperative timeout; checked per length iteration.
   Deadline deadline;
+  /// Graceful degradation: when the deadline fires (or the run is
+  /// cancelled) after the initial scan completed, return the lengths
+  /// finished so far with ValmodResult::partial set instead of a bare
+  /// kDeadlineExceeded. Every returned length is still exact — the cut
+  /// happens only at length granularity, mirroring the anytime contract of
+  /// the MAD follow-up paper. A deadline during the initial scan still
+  /// errors: there is no exact prefix to return yet.
+  bool allow_partial = false;
 };
 
 /// Per-length certification statistics — the observable behaviour of the
@@ -90,6 +98,10 @@ struct ValmodResult {
   /// Wall-clock split: initial scan vs the variable-length phase.
   double init_seconds = 0.0;
   double update_seconds = 0.0;
+  /// True when the run was cut short by its deadline under
+  /// ValmodOptions::allow_partial: per_length/stats/valmap cover only the
+  /// completed prefix of the length range (each completed length exact).
+  bool partial = false;
 };
 
 /// Runs VALMOD: exact top-k motif pairs for every subsequence length in

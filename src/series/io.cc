@@ -1,6 +1,7 @@
 #include "series/io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -44,7 +45,8 @@ bool ParseDouble(const std::string& text, double* out) {
 
 }  // namespace
 
-Result<DataSeries> ReadDelimited(const std::string& path, std::size_t column) {
+Result<DataSeries> ReadDelimited(const std::string& path, std::size_t column,
+                                 const ReadOptions& options) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open '" + path + "' for reading");
 
@@ -71,6 +73,15 @@ Result<DataSeries> ReadDelimited(const std::string& path, std::size_t column) {
                              "' at line " + std::to_string(line_number) +
                              " of '" + path + "'");
     }
+    // strtod happily parses "nan"/"inf"; rejected here, at the boundary,
+    // where the error can name the offending line (see ReadOptions).
+    if (!std::isfinite(value)) {
+      if (options.allow_nonfinite) continue;
+      return Status::InvalidArgument(
+          "non-finite value '" + fields[column] + "' at line " +
+          std::to_string(line_number) + " of '" + path +
+          "' (pass --allow-nonfinite to drop such samples)");
+    }
     values.push_back(value);
   }
   if (values.empty()) {
@@ -88,7 +99,8 @@ Status WriteDelimited(const DataSeries& series, const std::string& path) {
   return Status::Ok();
 }
 
-Result<DataSeries> ReadBinary(const std::string& path) {
+Result<DataSeries> ReadBinary(const std::string& path,
+                              const ReadOptions& options) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return Status::IoError("cannot open '" + path + "' for reading");
   const std::streamsize bytes = in.tellg();
@@ -102,6 +114,20 @@ Result<DataSeries> ReadBinary(const std::string& path) {
   if (!values.empty() &&
       !in.read(reinterpret_cast<char*>(values.data()), bytes)) {
     return Status::IoError("short read from '" + path + "'");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (std::isfinite(values[i])) continue;
+    if (options.allow_nonfinite) {
+      values.erase(std::remove_if(values.begin() +
+                                      static_cast<std::ptrdiff_t>(i),
+                                  values.end(),
+                                  [](double v) { return !std::isfinite(v); }),
+                   values.end());
+      break;
+    }
+    return Status::InvalidArgument(
+        "non-finite value at index " + std::to_string(i) + " of '" + path +
+        "' (pass --allow-nonfinite to drop such samples)");
   }
   if (values.empty()) {
     return Status::IoError("no data in '" + path + "'");

@@ -11,19 +11,34 @@
 
 namespace valmod::series {
 
+/// Options shared by the series readers.
+struct ReadOptions {
+  /// How to treat non-finite samples (`nan`/`inf` parse as valid doubles,
+  /// and binary files can carry any bit pattern). Default false: loading
+  /// fails with kInvalidArgument naming the file and line/index — a NaN
+  /// would otherwise poison every z-normalized statistic downstream, and
+  /// the engine layer rejects it anyway, just with no file context. True
+  /// (the CLI's --allow-nonfinite escape hatch): non-finite samples are
+  /// treated as missing readings and dropped, so the surviving values form
+  /// a shorter but analyzable series.
+  bool allow_nonfinite = false;
+};
+
 /// Reads a series from a delimited text file (CSV/TSV/whitespace).
 ///
 /// `column` selects the 0-based field to parse on each line. Blank lines are
 /// skipped; a single non-numeric header line is tolerated and skipped.
 /// Delimiters `,`, `;`, tab and space are all accepted.
 Result<DataSeries> ReadDelimited(const std::string& path,
-                                 std::size_t column = 0);
+                                 std::size_t column = 0,
+                                 const ReadOptions& options = {});
 
 /// Writes one value per line.
 Status WriteDelimited(const DataSeries& series, const std::string& path);
 
 /// Reads a series stored as raw little-endian IEEE-754 doubles.
-Result<DataSeries> ReadBinary(const std::string& path);
+Result<DataSeries> ReadBinary(const std::string& path,
+                              const ReadOptions& options = {});
 
 /// Writes a series as raw little-endian IEEE-754 doubles.
 Status WriteBinary(const DataSeries& series, const std::string& path);

@@ -1,0 +1,207 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace valmod::service {
+
+namespace {
+
+timeval ToTimeval(double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  return tv;
+}
+
+/// splitmix64; the client's deterministic jitter source.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TcpTransport
+// ---------------------------------------------------------------------------
+
+TcpTransport::TcpTransport(int port) : TcpTransport(port, Options()) {}
+
+TcpTransport::TcpTransport(int port, const Options& options)
+    : port_(port), options_(options) {}
+
+TcpTransport::~TcpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpTransport::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status TcpTransport::EnsureConnected() {
+  if (fd_ >= 0) return Status::Ok();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  // SO_SNDTIMEO also bounds a blocking connect(), standing in for the
+  // connect timeout; after the connect it is re-set to the I/O timeout.
+  timeval tv = ToTimeval(options_.connect_timeout_seconds);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("connect to 127.0.0.1:" + std::to_string(port_) +
+                           ": " + std::strerror(err));
+  }
+  tv = ToTimeval(options_.io_timeout_seconds);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  fd_ = fd;
+  buffer_.clear();
+  return Status::Ok();
+}
+
+Result<std::string> TcpTransport::RoundTrip(const std::string& line) {
+  VALMOD_RETURN_IF_ERROR(EnsureConnected());
+  std::string out = line;
+  out.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    // MSG_NOSIGNAL: a server that closed the connection must surface as a
+    // retryable kIoError here, not a SIGPIPE in the client process.
+    const ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      const int err = errno;
+      Reset();
+      return Status::IoError(std::string("send: ") + std::strerror(err));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string response = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!response.empty() && response.back() == '\r') response.pop_back();
+      return response;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      const int err = errno;
+      Reset();
+      return Status::IoError(
+          n == 0 ? "connection closed before a full response line"
+                 : std::string("recv: ") + std::strerror(err));
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RetryClient
+// ---------------------------------------------------------------------------
+
+RetryClient::RetryClient(Transport& transport, const RetryOptions& options)
+    : transport_(transport),
+      options_(options),
+      jitter_state_(options.jitter_seed) {}
+
+int RetryClient::DelayMs(int attempt, const json::Value* response) {
+  // Server hint wins: it reflects the actual backlog drain rate.
+  if (response != nullptr) {
+    if (const json::Value* error = response->Find("error")) {
+      const double hint = error->GetNumber("retry_after_ms", 0.0);
+      if (hint > 0.0) {
+        return static_cast<int>(std::min(hint, 60000.0));
+      }
+    }
+  }
+  double delay = static_cast<double>(options_.initial_backoff_ms) *
+                 std::pow(options_.multiplier, attempt);
+  delay = std::min(delay, static_cast<double>(options_.max_backoff_ms));
+  if (options_.jitter_fraction > 0.0) {
+    jitter_state_ = Mix64(jitter_state_);
+    const double unit =
+        static_cast<double>(jitter_state_ >> 11) * 0x1.0p-53;  // [0, 1)
+    delay *= 1.0 + options_.jitter_fraction * (2.0 * unit - 1.0);
+  }
+  return std::max(0, static_cast<int>(delay));
+}
+
+Result<json::Value> RetryClient::Call(const std::string& line) {
+  ++stats_.calls;
+  const int max_attempts = std::max(1, options_.max_attempts);
+  Status last_transport_error = Status::Ok();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    ++stats_.attempts;
+    Result<std::string> wire = transport_.RoundTrip(line);
+    if (!wire.ok()) {
+      last_transport_error = wire.status();
+      if (!options_.retry_io_errors ||
+          wire.status().code() != StatusCode::kIoError) {
+        return wire.status();
+      }
+      transport_.Reset();
+      if (attempt + 1 < max_attempts) {
+        const int delay = DelayMs(attempt, nullptr);
+        stats_.backoff_ms_total += static_cast<std::uint64_t>(delay);
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+      continue;
+    }
+    Result<json::Value> response = json::Parse(*wire);
+    if (!response.ok()) {
+      // A server speaking garbage is not retryable: surface it.
+      return response.status();
+    }
+    bool retryable = false;
+    if (response->is_object() && !response->GetBool("ok", false)) {
+      if (const json::Value* error = response->Find("error")) {
+        const std::string code_name = error->GetString("code", "");
+        StatusCode code = StatusCode::kInternal;
+        if (StatusCodeFromName(code_name, &code)) {
+          retryable = code == StatusCode::kResourceExhausted ||
+                      code == StatusCode::kUnavailable;
+        }
+      }
+    }
+    if (!retryable || attempt + 1 == max_attempts) {
+      if (retryable) ++stats_.gave_up;
+      return response;
+    }
+    const int delay = DelayMs(attempt, &*response);
+    stats_.backoff_ms_total += static_cast<std::uint64_t>(delay);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+  ++stats_.gave_up;
+  return last_transport_error;
+}
+
+}  // namespace valmod::service

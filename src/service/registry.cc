@@ -3,6 +3,8 @@
 #include <atomic>
 #include <utility>
 
+#include "common/fault.h"
+
 namespace valmod::service {
 
 namespace {
@@ -66,6 +68,9 @@ Result<std::shared_ptr<const DatasetSnapshot>> Dataset::Snapshot() {
     return Status::FailedPrecondition(
         "streaming dataset '" + name_ + "' has no points yet");
   }
+  // Models the O(n) snapshot materialization failing; the dataset keeps
+  // its appended values and the next query retries the build.
+  VALMOD_RETURN_IF_ERROR(VALMOD_FAULT_POINT("registry.snapshot.alloc"));
   const auto values = streaming_->values();
   VALMOD_ASSIGN_OR_RETURN(
       series::DataSeries series,
@@ -116,6 +121,10 @@ Result<std::shared_ptr<Dataset>> DatasetRegistry::LoadSeries(
     return Status::FailedPrecondition(
         "dataset '" + name + "' is already loaded (unload it first)");
   }
+  // Models the allocation of the dataset's series/stats arrays failing:
+  // the name must stay unclaimed and the registry untouched, so a retried
+  // load after the fault clears succeeds.
+  VALMOD_RETURN_IF_ERROR(VALMOD_FAULT_POINT("registry.load.alloc"));
   auto dataset = Dataset::CreateStatic(name, std::move(series));
   datasets_.emplace(name, dataset);
   return dataset;

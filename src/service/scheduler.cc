@@ -1,9 +1,22 @@
 #include "service/scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "common/fault.h"
+
 namespace valmod::service {
+
+namespace {
+
+double ElapsedSeconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+
+}  // namespace
 
 Result<std::string> QueryScheduler::Ticket::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
@@ -34,11 +47,9 @@ QueryScheduler::~QueryScheduler() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
-    while (!queue_.empty()) {
-      orphans.push_back(queue_.top());
-      queue_.pop();
-      ++counters_.cancelled;
-    }
+    orphans.assign(queue_.begin(), queue_.end());
+    queue_.clear();
+    counters_.cancelled += orphans.size();
   }
   work_cv_.notify_all();
   // Resolve outside the lock: waiters may wake immediately and re-enter
@@ -49,27 +60,64 @@ QueryScheduler::~QueryScheduler() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+int QueryScheduler::RetryHintMsLocked() const {
+  const int workers = std::max(1, options_.num_workers);
+  const double backlog = static_cast<double>(queue_.size()) + 1.0;
+  const double hint = mean_service_ms_ * backlog / workers;
+  return static_cast<int>(std::clamp(hint, 1.0, 30000.0));
+}
+
+double QueryScheduler::StallThresholdSeconds(double timeout_seconds) const {
+  if (!std::isfinite(timeout_seconds) || timeout_seconds <= 0.0) return -1.0;
+  return options_.watchdog_factor * timeout_seconds;
+}
+
 Result<std::shared_ptr<QueryScheduler::Ticket>> QueryScheduler::Submit(
     Job job, int priority, Deadline deadline) {
   auto ticket = std::make_shared<Ticket>();
   ticket->job_ = std::move(job);
   ticket->priority_ = priority;
+  ticket->timeout_seconds_ = deadline.SecondsRemaining();
   // The job observes cancellation through its own deadline checks.
   ticket->deadline_ = deadline.WithCancelFlag(ticket->cancelled_);
+  std::shared_ptr<Ticket> victim;
+  int victim_hint = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stop_) {
       return Status::FailedPrecondition("scheduler is shut down");
     }
     if (queue_.size() >= options_.queue_capacity) {
-      ++counters_.rejected;
-      return Status::FailedPrecondition(
-          "admission queue full (" + std::to_string(options_.queue_capacity) +
-          " requests waiting); retry later");
+      // Full. Shed the lowest-priority queued request if the newcomer
+      // strictly outranks it; otherwise the newcomer is the lowest-value
+      // work and is the one turned away.
+      const auto last = queue_.empty() ? queue_.end() : std::prev(queue_.end());
+      if (options_.shed_on_overload && last != queue_.end() &&
+          (*last)->priority_ < priority) {
+        victim = *last;
+        queue_.erase(last);
+        ++counters_.shed;
+        victim_hint = RetryHintMsLocked();
+      } else {
+        ++counters_.rejected;
+        const int hint = RetryHintMsLocked();
+        return Status::ResourceExhausted(
+                   "admission queue full (" +
+                   std::to_string(options_.queue_capacity) +
+                   " requests waiting)")
+            .SetRetryAfterMs(hint);
+      }
     }
     ticket->sequence_ = next_sequence_++;
-    queue_.push(ticket);
+    ticket->admitted_at_ = std::chrono::steady_clock::now();
+    queue_.insert(ticket);
     ++counters_.admitted;
+  }
+  if (victim) {
+    Resolve(victim, Status::ResourceExhausted(
+                        "shed from admission queue by a higher-priority "
+                        "request")
+                        .SetRetryAfterMs(victim_hint));
   }
   work_cv_.notify_one();
   return ticket;
@@ -80,6 +128,19 @@ SchedulerStats QueryScheduler::stats() const {
   SchedulerStats stats = counters_;
   stats.queue_depth = queue_.size();
   stats.active = active_;
+  stats.mean_service_ms = service_time_observed_ ? mean_service_ms_ : 0.0;
+  stats.mean_queue_wait_ms =
+      started_ > 0 ? total_queue_wait_ms_ / static_cast<double>(started_)
+                   : 0.0;
+  stats.retry_after_ms = RetryHintMsLocked();
+  std::size_t stalled = 0;
+  for (const auto& [ticket, info] : active_info_) {
+    const double threshold = StallThresholdSeconds(info.timeout_seconds);
+    if (threshold >= 0.0 && ElapsedSeconds(info.started_at) > threshold) {
+      ++stalled;
+    }
+  }
+  stats.stalled = stalled;
   return stats;
 }
 
@@ -101,8 +162,8 @@ void QueryScheduler::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ and drained
-      ticket = queue_.top();
-      queue_.pop();
+      ticket = *queue_.begin();
+      queue_.erase(queue_.begin());
       // Pre-start gates, decided under the lock so counters are exact.
       if (ticket->cancelled_->load(std::memory_order_relaxed)) {
         ++counters_.cancelled;
@@ -118,14 +179,44 @@ void QueryScheduler::WorkerLoop() {
                             "deadline expired before execution"));
         continue;
       }
+      const double wait_ms = ElapsedSeconds(ticket->admitted_at_) * 1e3;
+      ++started_;
+      total_queue_wait_ms_ += wait_ms;
+      counters_.max_queue_wait_ms =
+          std::max(counters_.max_queue_wait_ms, wait_ms);
       ++active_;
+      active_info_[ticket.get()] =
+          ActiveInfo{std::chrono::steady_clock::now(),
+                     ticket->timeout_seconds_};
     }
 
-    Result<std::string> result = ticket->job_(ticket->deadline_);
+    // The stall fault point models a worker wedged in (or failed by) the
+    // backend: a delay spec holds the worker here — visible to the
+    // watchdog — while an error spec fails the request as if the engine
+    // call itself had faulted.
+    const Status fault = VALMOD_FAULT_POINT("scheduler.worker.stall");
+    Result<std::string> result =
+        fault.ok() ? ticket->job_(ticket->deadline_)
+                   : Result<std::string>(fault);
     // Counters first, then Resolve: a waiter woken by Resolve must already
     // see this request as completed in stats().
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = active_info_.find(ticket.get());
+      if (it != active_info_.end()) {
+        const double elapsed_s = ElapsedSeconds(it->second.started_at);
+        const double threshold =
+            StallThresholdSeconds(it->second.timeout_seconds);
+        if (threshold >= 0.0 && elapsed_s > threshold) ++counters_.overruns;
+        // EWMA: smooth enough to ride out one outlier, fresh enough that
+        // the retry hint tracks a load shift within a few requests.
+        const double elapsed_ms = elapsed_s * 1e3;
+        mean_service_ms_ = service_time_observed_
+                               ? 0.8 * mean_service_ms_ + 0.2 * elapsed_ms
+                               : elapsed_ms;
+        service_time_observed_ = true;
+        active_info_.erase(it);
+      }
       --active_;
       ++counters_.completed;
     }

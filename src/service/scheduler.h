@@ -2,14 +2,16 @@
 #define VALMOD_SERVICE_SCHEDULER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <queue>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,11 +30,23 @@ struct SchedulerOptions {
   /// at a time and runs overflow inline, which keeps the two layers from
   /// deadlocking or oversubscribing.
   int num_workers = 4;
-  /// Most requests waiting to start. Admission beyond this is rejected
-  /// immediately (bounded queue = bounded memory and bounded worst-case
-  /// queueing delay; the client sees a structured "queue full" error and
-  /// can back off).
+  /// Most requests waiting to start. Admission beyond this sheds or rejects
+  /// (bounded queue = bounded memory and bounded worst-case queueing delay;
+  /// the loser sees a structured retryable error with a backoff hint).
   std::size_t queue_capacity = 64;
+  /// When the queue is full and a higher-priority request arrives, evict
+  /// the lowest-priority queued request (newest first within that class)
+  /// instead of bouncing the newcomer — under overload, capacity goes to
+  /// the work the client ranked highest. Set false for strict
+  /// reject-the-newcomer admission.
+  bool shed_on_overload = true;
+  /// A running request whose elapsed time exceeds `watchdog_factor` times
+  /// its deadline budget counts as stalled (gauge `stalled` in stats) and,
+  /// once it finally finishes, as an overrun (counter `overruns`). Such
+  /// requests hold a worker hostage — the deadline is cooperative, so a
+  /// wedged backend ignores it — and the watchdog makes that visible to
+  /// `health` instead of silently shrinking the worker pool.
+  double watchdog_factor = 3.0;
 };
 
 /// Counters exposed through the server's `stats` verb.
@@ -42,8 +56,15 @@ struct SchedulerStats {
   std::uint64_t admitted = 0;    // accepted into the queue, ever
   std::uint64_t completed = 0;   // job ran to completion (ok or error)
   std::uint64_t rejected = 0;    // bounced at admission (queue full)
+  std::uint64_t shed = 0;        // evicted from the queue by higher priority
   std::uint64_t cancelled = 0;   // cancelled before starting
   std::uint64_t expired = 0;     // deadline passed before starting
+  std::uint64_t overruns = 0;    // finished after watchdog_factor × deadline
+  std::size_t stalled = 0;       // running now, past watchdog_factor × deadline
+  double mean_queue_wait_ms = 0.0;  // admission → start, over started requests
+  double max_queue_wait_ms = 0.0;
+  double mean_service_ms = 0.0;  // EWMA of job execution time
+  int retry_after_ms = 0;        // current backoff hint for overload errors
 };
 
 /// Bounded, priority-ordered admission queue feeding a small set of
@@ -61,6 +82,10 @@ struct SchedulerStats {
 ///    requests never run; a running request's deadline starts reporting
 ///    Expired() (the cancel flag is attached to it), so it unwinds at the
 ///    algorithm's next cooperative checkpoint.
+///  - Overload: at capacity, either the lowest-priority queued request is
+///    shed (default) or the newcomer is rejected; both resolve as
+///    kResourceExhausted carrying a `retry_after_ms` hint derived from the
+///    observed service rate and current queue depth.
 class QueryScheduler {
  public:
   /// A job computes the response payload under the request's deadline.
@@ -69,9 +94,10 @@ class QueryScheduler {
   /// Handle to one admitted request.
   class Ticket {
    public:
-    /// Blocks until the request completes (or is cancelled / expired) and
-    /// returns its payload or error. May be called once or many times; the
-    /// result is latched.
+    /// Blocks until the request completes (or is cancelled / expired /
+    /// shed) and returns its payload or error. May be called once or many
+    /// times; the result is latched — every terminal path funnels through
+    /// QueryScheduler::Resolve, which writes the result exactly once.
     Result<std::string> Wait();
 
     /// True once a result is available (Wait would not block).
@@ -92,6 +118,10 @@ class QueryScheduler {
     int priority_ = 0;
     std::uint64_t sequence_ = 0;
     Deadline deadline_;
+    /// Deadline budget at admission, seconds (+inf when unbounded); the
+    /// watchdog threshold is watchdog_factor × this.
+    double timeout_seconds_ = 0.0;
+    std::chrono::steady_clock::time_point admitted_at_;
   };
 
   explicit QueryScheduler(const SchedulerOptions& options = {});
@@ -103,38 +133,60 @@ class QueryScheduler {
   QueryScheduler(const QueryScheduler&) = delete;
   QueryScheduler& operator=(const QueryScheduler&) = delete;
 
-  /// Admits a request. Fails fast with FailedPrecondition when the queue
-  /// is at capacity (the caller translates that into a structured
-  /// retryable error).
+  /// Admits a request. At capacity, sheds the lowest-priority queued
+  /// request if the newcomer outranks it (its Wait() returns
+  /// kResourceExhausted), otherwise fails fast with kResourceExhausted;
+  /// either error carries a retry_after_ms hint.
   Result<std::shared_ptr<Ticket>> Submit(Job job, int priority = 0,
                                          Deadline deadline = Deadline());
 
   SchedulerStats stats() const;
 
  private:
+  /// Orders the ready set: begin() is the next request to run (highest
+  /// priority, earliest admission); the last element is the shed victim
+  /// (lowest priority, latest admission — the one that has both the least
+  /// claim to run and the least wait invested).
   struct Compare {
     bool operator()(const std::shared_ptr<Ticket>& a,
                     const std::shared_ptr<Ticket>& b) const {
-      if (a->priority_ != b->priority_) return a->priority_ < b->priority_;
-      return a->sequence_ > b->sequence_;  // earlier admission first
+      if (a->priority_ != b->priority_) return a->priority_ > b->priority_;
+      return a->sequence_ < b->sequence_;  // earlier admission first
     }
+  };
+
+  struct ActiveInfo {
+    std::chrono::steady_clock::time_point started_at;
+    double timeout_seconds = 0.0;
   };
 
   void WorkerLoop();
   static void Resolve(const std::shared_ptr<Ticket>& ticket,
                       Result<std::string> result);
+  /// Backoff hint for overload errors: expected time for the backlog to
+  /// drain one slot at the observed service rate. Requires mutex_.
+  int RetryHintMsLocked() const;
+  /// Watchdog threshold in seconds for a request with this budget, or a
+  /// negative value when the budget is unbounded (never stalls).
+  double StallThresholdSeconds(double timeout_seconds) const;
 
   const SchedulerOptions options_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
-  std::priority_queue<std::shared_ptr<Ticket>,
-                      std::vector<std::shared_ptr<Ticket>>, Compare>
-      queue_;
+  std::set<std::shared_ptr<Ticket>, Compare> queue_;
   bool stop_ = false;
   std::uint64_t next_sequence_ = 0;
   std::size_t active_ = 0;
+  /// Start time and budget of every running request, keyed by ticket
+  /// identity; the watchdog gauge walks this in stats().
+  std::map<const Ticket*, ActiveInfo> active_info_;
   SchedulerStats counters_;
+  /// EWMA of job execution time; seeds the retry hint before data arrives.
+  double mean_service_ms_ = 100.0;
+  bool service_time_observed_ = false;
+  std::uint64_t started_ = 0;          // requests that reached execution
+  double total_queue_wait_ms_ = 0.0;   // summed over started requests
   std::vector<std::thread> workers_;
 };
 

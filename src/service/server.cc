@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/json.h"
 #include "common/timer.h"
 #include "core/valmod.h"
@@ -56,6 +57,10 @@ std::string ErrorResponse(const Value& id, const std::string& verb,
   json::AppendQuoted(StatusCodeName(status.code()), &out);
   out += ",\"message\":";
   json::AppendQuoted(status.message(), &out);
+  if (status.retry_after_ms() > 0) {
+    out += ",\"retry_after_ms\":";
+    out += std::to_string(status.retry_after_ms());
+  }
   out += "}}";
   return out;
 }
@@ -121,6 +126,17 @@ Result<int> IntParam(const Value& params, std::string_view key,
                                    "' must be an integer in [0, 1e6]");
   }
   return static_cast<int>(v->AsDouble());
+}
+
+Result<bool> BoolParam(const Value& params, std::string_view key,
+                       bool default_value) {
+  const Value* v = params.Find(key);
+  if (v == nullptr) return default_value;
+  if (!v->is_bool()) {
+    return Status::InvalidArgument("param '" + std::string(key) +
+                                   "' must be a boolean");
+  }
+  return v->AsBool();
 }
 
 Result<int> ResultsVersionParam(const Value& params) {
@@ -212,6 +228,11 @@ struct QueryPlan {
   /// disables caching for this request.
   std::string cache_key;
   QueryScheduler::Job job;
+  /// Set true by the job when it returned a deadline-truncated payload
+  /// (allow_partial). The server must never cache such a response: it
+  /// keeps the plan's cache key, and serving it to a later identical
+  /// request would silently degrade an unconstrained caller.
+  std::shared_ptr<std::atomic<bool>> partial_flag;
 };
 
 /// Key = dataset uid|generation|verb|params|versioning. The *uid* — not
@@ -245,7 +266,8 @@ std::string CacheKey(const Dataset& dataset, std::uint64_t generation,
 Result<QueryPlan> PlanValmod(const std::shared_ptr<Dataset>& dataset,
                              const Value& params, bool build_valmap) {
   VALMOD_RETURN_IF_ERROR(RejectUnknownParams(
-      params, {"lmin", "lmax", "k", "p", "threads", "results_version"}));
+      params, {"lmin", "lmax", "k", "p", "threads", "results_version",
+               "allow_partial"}));
   core::ValmodOptions options;
   VALMOD_ASSIGN_OR_RETURN(options.min_length, SizeParam(params, "lmin", 0));
   VALMOD_ASSIGN_OR_RETURN(options.max_length, SizeParam(params, "lmax", 0));
@@ -255,11 +277,17 @@ Result<QueryPlan> PlanValmod(const std::shared_ptr<Dataset>& dataset,
   VALMOD_ASSIGN_OR_RETURN(options.num_threads, IntParam(params, "threads", 1));
   VALMOD_ASSIGN_OR_RETURN(options.results_version,
                           ResultsVersionParam(params));
+  VALMOD_ASSIGN_OR_RETURN(options.allow_partial,
+                          BoolParam(params, "allow_partial", false));
   options.build_valmap = build_valmap;
 
   VALMOD_ASSIGN_OR_RETURN(std::shared_ptr<const DatasetSnapshot> snapshot,
                           dataset->Snapshot());
   // `threads` is absent on purpose: results are thread-count independent.
+  // `allow_partial` is also absent: a run that *completes* under
+  // allow_partial is byte-identical to an unconstrained run, so the two
+  // share a cache line; truncated responses are never cached at all
+  // (partial_flag below).
   std::string params_key = "lmin=" + std::to_string(options.min_length) +
                            ",lmax=" + std::to_string(options.max_length) +
                            ",k=" + std::to_string(options.k) +
@@ -269,8 +297,10 @@ Result<QueryPlan> PlanValmod(const std::shared_ptr<Dataset>& dataset,
       CacheKey(*dataset, snapshot->generation(),
                build_valmap ? "valmap" : "motifs", params_key,
                options.results_version, /*engine_backed=*/true);
-  plan.job = [snapshot, options,
-              build_valmap](const Deadline& deadline) -> Result<std::string> {
+  plan.partial_flag = std::make_shared<std::atomic<bool>>(false);
+  plan.job = [snapshot, options, build_valmap,
+              partial_flag = plan.partial_flag](
+                 const Deadline& deadline) -> Result<std::string> {
     core::ValmodOptions run_options = options;
     run_options.deadline = deadline;
     VALMOD_ASSIGN_OR_RETURN(core::ValmodResult result,
@@ -278,6 +308,14 @@ Result<QueryPlan> PlanValmod(const std::shared_ptr<Dataset>& dataset,
     Value::Object payload;
     payload.emplace("generation", Value(snapshot->generation()));
     payload.emplace("results_version", Value(options.results_version));
+    if (result.partial) {
+      partial_flag->store(true, std::memory_order_relaxed);
+      payload.emplace("partial", Value(true));
+      // The longest length actually covered; per_length is an ascending,
+      // gap-free prefix of [lmin, lmax].
+      payload.emplace("completed_lmax",
+                      Value(result.per_length.back().length));
+    }
     if (build_valmap) {
       const core::Valmap& valmap = result.valmap;
       payload.emplace("size", Value(valmap.size()));
@@ -512,7 +550,7 @@ Result<std::string> DoLoad(DatasetRegistry& registry, const std::string& name,
   }
   VALMOD_RETURN_IF_ERROR(RejectUnknownParams(
       params, {"streaming_length", "exclusion_fraction", "path", "column",
-               "generator", "n", "seed"}));
+               "generator", "n", "seed", "allow_nonfinite"}));
   std::shared_ptr<Dataset> dataset;
   if (params.Find("streaming_length") != nullptr) {
     VALMOD_ASSIGN_OR_RETURN(std::size_t length,
@@ -522,9 +560,13 @@ Result<std::string> DoLoad(DatasetRegistry& registry, const std::string& name,
         dataset, registry.CreateStreaming(name, length, exclusion));
   } else if (params.Find("path") != nullptr) {
     VALMOD_ASSIGN_OR_RETURN(std::size_t column, SizeParam(params, "column", 0));
+    series::ReadOptions read_options;
+    VALMOD_ASSIGN_OR_RETURN(read_options.allow_nonfinite,
+                            BoolParam(params, "allow_nonfinite", false));
     VALMOD_ASSIGN_OR_RETURN(
         series::DataSeries series,
-        series::ReadDelimited(params.GetString("path", ""), column));
+        series::ReadDelimited(params.GetString("path", ""), column,
+                              read_options));
     VALMOD_ASSIGN_OR_RETURN(dataset,
                             registry.LoadSeries(name, std::move(series)));
   } else if (params.Find("generator") != nullptr) {
@@ -597,13 +639,116 @@ Result<std::string> DoStats(Service& service) {
   sched_obj.emplace("admitted", Value(sched.admitted));
   sched_obj.emplace("completed", Value(sched.completed));
   sched_obj.emplace("rejected", Value(sched.rejected));
+  sched_obj.emplace("shed", Value(sched.shed));
   sched_obj.emplace("cancelled", Value(sched.cancelled));
   sched_obj.emplace("expired", Value(sched.expired));
+  sched_obj.emplace("overruns", Value(sched.overruns));
+  sched_obj.emplace("stalled", Value(sched.stalled));
+  sched_obj.emplace("mean_queue_wait_ms", Value(sched.mean_queue_wait_ms));
+  sched_obj.emplace("max_queue_wait_ms", Value(sched.max_queue_wait_ms));
+  sched_obj.emplace("mean_service_ms", Value(sched.mean_service_ms));
+  sched_obj.emplace("retry_after_ms", Value(sched.retry_after_ms));
   payload.emplace("scheduler", Value(std::move(sched_obj)));
 
   payload.emplace("cost_model_generation",
                   Value(mass::BackendCostModelGeneration()));
   payload.emplace("default_results_version", Value(mass::kResultsVersion));
+  return Value(std::move(payload)).Serialize();
+}
+
+/// Lists every armed fault point with its trigger state. Shared by the
+/// `faults` verb's response and by `health` (armed faults mark the process
+/// degraded — chaos harnesses must never be mistaken for a healthy server).
+Value FaultListValue() {
+  Value::Array points;
+  if constexpr (fault::kFaultInjectionEnabled) {
+    for (const fault::FaultPointInfo& info :
+         fault::FaultInjector::Global().List()) {
+      Value::Object o;
+      o.emplace("point", Value(info.point));
+      switch (info.spec.kind) {
+        case fault::FaultKind::kError:
+          o.emplace("kind", Value("error"));
+          o.emplace("code", Value(std::string(
+                                StatusCodeName(info.spec.code))));
+          break;
+        case fault::FaultKind::kDelay:
+          o.emplace("kind", Value("delay"));
+          o.emplace("delay_ms", Value(info.spec.delay_ms));
+          break;
+        case fault::FaultKind::kAllocFail:
+          o.emplace("kind", Value("alloc"));
+          break;
+      }
+      o.emplace("hits", Value(info.hits));
+      o.emplace("fires", Value(info.fires));
+      points.push_back(Value(std::move(o)));
+    }
+  }
+  return Value(std::move(points));
+}
+
+/// `faults` verb: arm/disarm fault points at runtime, for chaos testing a
+/// live server without restarting it. Unavailable (structured, not fatal)
+/// when the build compiled fault injection out.
+Result<std::string> DoFaults(const Value& params) {
+  VALMOD_RETURN_IF_ERROR(
+      RejectUnknownParams(params, {"arm", "disarm", "disarm_all"}));
+  if constexpr (!fault::kFaultInjectionEnabled) {
+    return Status::Unavailable(
+        "fault injection compiled out (build with -DVALMOD_FAULT_INJECTION=ON)");
+  }
+  fault::FaultInjector& injector = fault::FaultInjector::Global();
+  if (const Value* arm = params.Find("arm")) {
+    if (!arm->is_string()) {
+      return Status::InvalidArgument("param 'arm' must be a directive string");
+    }
+    VALMOD_RETURN_IF_ERROR(injector.ArmFromString(arm->AsString()));
+  }
+  if (const Value* disarm = params.Find("disarm")) {
+    if (!disarm->is_string()) {
+      return Status::InvalidArgument(
+          "param 'disarm' must be a fault point name");
+    }
+    injector.Disarm(disarm->AsString());
+  }
+  VALMOD_ASSIGN_OR_RETURN(const bool disarm_all,
+                          BoolParam(params, "disarm_all", false));
+  if (disarm_all) injector.DisarmAll();
+  Value::Object payload;
+  payload.emplace("armed", FaultListValue());
+  return Value(std::move(payload)).Serialize();
+}
+
+/// `health` verb: one cheap, always-serviceable probe that summarizes
+/// whether the process is degraded — stalled workers, a saturated
+/// admission queue, or armed fault points — without queueing behind the
+/// very overload it is reporting.
+Result<std::string> DoHealth(Service& service) {
+  const SchedulerStats sched = service.scheduler().stats();
+  Value::Array reasons;
+  if (sched.stalled > 0) {
+    reasons.push_back(Value("stalled_workers"));
+  }
+  if (sched.queue_depth >= service.options().queue_capacity) {
+    reasons.push_back(Value("admission_queue_full"));
+  }
+  int faults_armed = 0;
+  if constexpr (fault::kFaultInjectionEnabled) {
+    faults_armed = fault::FaultInjector::Global().armed_count();
+  }
+  if (faults_armed > 0) {
+    reasons.push_back(Value("faults_armed"));
+  }
+  Value::Object payload;
+  payload.emplace("status", Value(reasons.empty() ? "ok" : "degraded"));
+  payload.emplace("reasons", Value(std::move(reasons)));
+  payload.emplace("stalled", Value(sched.stalled));
+  payload.emplace("active", Value(sched.active));
+  payload.emplace("queue_depth", Value(sched.queue_depth));
+  payload.emplace("queue_capacity", Value(service.options().queue_capacity));
+  payload.emplace("datasets", Value(service.registry().List().size()));
+  payload.emplace("faults_armed", Value(faults_armed));
   return Value(std::move(payload)).Serialize();
 }
 
@@ -689,6 +834,16 @@ std::string Service::HandleRequestLine(const std::string& line) {
     if (!payload.ok()) return ErrorResponse(id, verb, payload.status());
     return OkResponse(id, verb, /*cached=*/false, *payload);
   }
+  if (verb == "faults") {
+    Result<std::string> payload = DoFaults(params);
+    if (!payload.ok()) return ErrorResponse(id, verb, payload.status());
+    return OkResponse(id, verb, /*cached=*/false, *payload);
+  }
+  if (verb == "health") {
+    Result<std::string> payload = DoHealth(*this);
+    if (!payload.ok()) return ErrorResponse(id, verb, payload.status());
+    return OkResponse(id, verb, /*cached=*/false, *payload);
+  }
   if (verb == "shutdown") {
     shutdown_.store(true, std::memory_order_release);
     return OkResponse(id, verb, /*cached=*/false,
@@ -759,7 +914,10 @@ std::string Service::HandleRequestLine(const std::string& line) {
   Result<std::string> payload = (*ticket)->Wait();
   if (!payload.ok()) return ErrorResponse(id, verb, payload.status());
 
-  if (cacheable) {
+  const bool partial =
+      plan->partial_flag != nullptr &&
+      plan->partial_flag->load(std::memory_order_relaxed);
+  if (cacheable && !partial) {
     cache_.Put(plan->cache_key,
                std::make_shared<const std::string>(*payload));
   }

@@ -37,10 +37,15 @@ struct ServiceOptions {
 ///       "error":{"code":"InvalidArgument","message":"..."}}
 ///
 /// Verbs:
-///   admin  — load, unload, append, stats, calibrate, shutdown
+///   admin  — load, unload, append, stats, health, faults, calibrate,
+///            shutdown
 ///   query  — motifs, valmap, profile, query, discords (scheduled through
 ///            the bounded queue with priorities/deadlines; responses are
 ///            memoized in the result cache)
+///
+/// Overload errors (queue full / request shed) use code ResourceExhausted
+/// and carry a `retry_after_ms` backoff hint; see README "Robustness" for
+/// the full error-code table and the retry contract.
 ///
 /// `HandleRequestLine` is safe to call from any number of threads — the
 /// TCP front end calls it from one thread per connection, the --stdio mode

@@ -69,15 +69,137 @@ TEST(QuerySchedulerTest, BoundedAdmissionRejectsWhenFull) {
       [](const Deadline&) -> Result<std::string> { return std::string("b"); });
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
+  // Equal priority: the newcomer has no claim over the queued work, so it
+  // is the one turned away — with the structured retryable code and a
+  // backoff hint, not free-text advice.
   auto rejected = scheduler.Submit(
       [](const Deadline&) -> Result<std::string> { return std::string("c"); });
-  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(rejected.status().retry_after_ms(), 0);
   EXPECT_EQ(scheduler.stats().rejected, 1u);
+  EXPECT_EQ(scheduler.stats().shed, 0u);
 
   release.store(true);
   EXPECT_TRUE((*blocker)->Wait().ok());
   EXPECT_TRUE((*a)->Wait().ok());
   EXPECT_TRUE((*b)->Wait().ok());
+}
+
+TEST(QuerySchedulerTest, ShedsLowestPriorityWhenOutrankedAtCapacity) {
+  QueryScheduler scheduler(SchedulerOptions{1, 2});
+  std::atomic<bool> release{false};
+  auto blocker = scheduler.Submit([&](const Deadline&) -> Result<std::string> {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+    return std::string("done");
+  });
+  ASSERT_TRUE(blocker.ok());
+  while (scheduler.stats().active == 0) std::this_thread::sleep_for(1ms);
+
+  // Queue fills with two low-priority requests; low-2 is the newest of the
+  // lowest class, i.e. the shed victim.
+  auto low1 = scheduler.Submit(
+      [](const Deadline&) -> Result<std::string> { return std::string("1"); },
+      /*priority=*/0);
+  auto low2 = scheduler.Submit(
+      [](const Deadline&) -> Result<std::string> { return std::string("2"); },
+      /*priority=*/0);
+  ASSERT_TRUE(low1.ok());
+  ASSERT_TRUE(low2.ok());
+
+  auto high = scheduler.Submit(
+      [](const Deadline&) -> Result<std::string> { return std::string("h"); },
+      /*priority=*/5);
+  ASSERT_TRUE(high.ok());  // admitted by displacing low-2
+
+  // The victim's Wait() latches the structured overload error immediately.
+  auto victim = (*low2)->Wait();
+  EXPECT_EQ(victim.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(victim.status().retry_after_ms(), 0);
+  EXPECT_EQ(scheduler.stats().shed, 1u);
+  EXPECT_EQ(scheduler.stats().rejected, 0u);
+
+  release.store(true);
+  EXPECT_TRUE((*blocker)->Wait().ok());
+  EXPECT_TRUE((*low1)->Wait().ok());
+  auto high_result = (*high)->Wait();
+  ASSERT_TRUE(high_result.ok());
+  EXPECT_EQ(*high_result, "h");
+}
+
+TEST(QuerySchedulerTest, ShedDisabledRejectsTheNewcomerInstead) {
+  SchedulerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  options.shed_on_overload = false;
+  QueryScheduler scheduler(options);
+  std::atomic<bool> release{false};
+  auto blocker = scheduler.Submit([&](const Deadline&) -> Result<std::string> {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+    return std::string("done");
+  });
+  ASSERT_TRUE(blocker.ok());
+  while (scheduler.stats().active == 0) std::this_thread::sleep_for(1ms);
+  auto low = scheduler.Submit(
+      [](const Deadline&) -> Result<std::string> { return std::string("l"); },
+      /*priority=*/0);
+  ASSERT_TRUE(low.ok());
+  auto high = scheduler.Submit(
+      [](const Deadline&) -> Result<std::string> { return std::string("h"); },
+      /*priority=*/5);
+  EXPECT_EQ(high.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(scheduler.stats().rejected, 1u);
+  EXPECT_EQ(scheduler.stats().shed, 0u);
+  release.store(true);
+  EXPECT_TRUE((*blocker)->Wait().ok());
+  EXPECT_TRUE((*low)->Wait().ok());
+}
+
+TEST(QuerySchedulerTest, QueueWaitAndServiceRateAccounting) {
+  QueryScheduler scheduler(SchedulerOptions{1, 8});
+  std::vector<std::shared_ptr<QueryScheduler::Ticket>> tickets;
+  for (int i = 0; i < 4; ++i) {
+    auto ticket =
+        scheduler.Submit([](const Deadline&) -> Result<std::string> {
+          std::this_thread::sleep_for(2ms);
+          return std::string("ok");
+        });
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(*ticket);
+  }
+  for (const auto& ticket : tickets) ASSERT_TRUE(ticket->Wait().ok());
+  const SchedulerStats stats = scheduler.stats();
+  // Four 2ms jobs through one worker: later jobs waited, and the EWMA saw
+  // every completion.
+  EXPECT_GT(stats.mean_service_ms, 0.0);
+  EXPECT_GE(stats.max_queue_wait_ms, stats.mean_queue_wait_ms);
+  EXPECT_GT(stats.max_queue_wait_ms, 0.0);
+  EXPECT_GT(stats.retry_after_ms, 0);
+}
+
+TEST(QuerySchedulerTest, WatchdogCountsOverruns) {
+  SchedulerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 4;
+  options.watchdog_factor = 2.0;
+  QueryScheduler scheduler(options);
+  // 1ms budget, ~40ms runtime: finishes well past factor × budget. The
+  // job ignores its deadline on purpose — that is the stall the watchdog
+  // exists to make visible.
+  auto ticket = scheduler.Submit(
+      [](const Deadline&) -> Result<std::string> {
+        std::this_thread::sleep_for(40ms);
+        return std::string("late");
+      },
+      0, Deadline::After(0.001));
+  ASSERT_TRUE(ticket.ok());
+  auto result = (*ticket)->Wait();
+  // Either the pre-start gate caught the expired deadline (fast machine
+  // jitter) or the job ran long; only the ran-long path counts overruns.
+  if (result.ok()) {
+    EXPECT_EQ(scheduler.stats().overruns, 1u);
+  } else {
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  }
 }
 
 TEST(QuerySchedulerTest, HigherPriorityRunsFirst) {

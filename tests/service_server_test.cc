@@ -296,8 +296,9 @@ TEST(ServiceProtocolTest, AdmissionQueueFullIsAStructuredError) {
             R"("params":{"generator":"random_walk","n":4096}})");
   // Saturate the single worker + single queue slot from multiple clients;
   // the requests are heavy enough (hundreds of ms) that all six overlap,
-  // so at least one must be bounced with FailedPrecondition — and none may
-  // crash or hang.
+  // so at least one must be bounced with ResourceExhausted (all requests
+  // share the default priority, so nothing is shed) — and none may crash
+  // or hang.
   std::vector<std::thread> clients;
   std::vector<std::string> codes(6);
   for (int c = 0; c < 6; ++c) {
@@ -316,7 +317,7 @@ TEST(ServiceProtocolTest, AdmissionQueueFullIsAStructuredError) {
   std::size_t bounced = 0;
   for (const std::string& code : codes) {
     if (code == "ok") ++ok_count;
-    if (code == "FailedPrecondition") ++bounced;
+    if (code == "ResourceExhausted") ++bounced;
   }
   EXPECT_EQ(ok_count + bounced, 6u) << "unexpected outcome in mix";
   EXPECT_GE(ok_count, 1u);

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <string>
@@ -447,6 +448,68 @@ TEST(ValmodTest, HonorsDeadline) {
   options.deadline = Deadline::After(-1.0);
   EXPECT_EQ(RunValmod(*series, options).status().code(),
             StatusCode::kDeadlineExceeded);
+}
+
+TEST(ValmodTest, AllowPartialStillErrorsWhenNothingCompleted) {
+  // An already-expired deadline means not even the initial scan ran:
+  // there is no exact prefix to return, so allow_partial must NOT turn
+  // the failure into an empty "success".
+  auto series = synth::ByName("random_walk", 2000, 53);
+  ASSERT_TRUE(series.ok());
+  ValmodOptions options;
+  options.min_length = 50;
+  options.max_length = 200;
+  options.allow_partial = true;
+  options.deadline = Deadline::After(-1.0);
+  EXPECT_EQ(RunValmod(*series, options).status().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(ValmodTest, AllowPartialPrefixIsExact) {
+  auto series = synth::ByName("random_walk", 3000, 71);
+  ASSERT_TRUE(series.ok());
+  ValmodOptions options;
+  options.min_length = 40;
+  options.max_length = 160;
+  options.k = 2;
+
+  // Reference: the unconstrained run.
+  const auto started = std::chrono::steady_clock::now();
+  auto full = RunValmod(*series, options);
+  const double full_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->partial);
+  ASSERT_EQ(full->per_length.size(), 160u - 40u + 1u);
+
+  // Rerun under a deadline sized to fire mid-way through the
+  // variable-length sweep. Exact timing is machine-dependent, so every
+  // legal outcome is accepted — but a partial result must be a
+  // length-exact prefix of the reference, and partiality must be flagged.
+  options.allow_partial = true;
+  options.deadline = Deadline::After(std::max(0.6 * full_seconds, 0.005));
+  auto constrained = RunValmod(*series, options);
+  if (!constrained.ok()) {
+    // The deadline beat the initial scan; nothing to hand back.
+    EXPECT_EQ(constrained.status().code(), StatusCode::kDeadlineExceeded);
+    return;
+  }
+  ASSERT_FALSE(constrained->per_length.empty());
+  EXPECT_LE(constrained->per_length.size(), full->per_length.size());
+  if (constrained->partial) {
+    EXPECT_LT(constrained->per_length.size(), full->per_length.size());
+  } else {
+    EXPECT_EQ(constrained->per_length.size(), full->per_length.size());
+  }
+  // Whatever got done is the exact answer for those lengths: same lengths
+  // in the same ascending order, same motif distances as the reference.
+  std::vector<LengthMotifs> reference_prefix(
+      full->per_length.begin(),
+      full->per_length.begin() +
+          static_cast<std::ptrdiff_t>(constrained->per_length.size()));
+  ExpectSamePerLengthDistances(constrained->per_length, reference_prefix,
+                               1e-9);
 }
 
 TEST(ValmodTest, DisablingValmapLeavesItEmpty) {

@@ -22,20 +22,24 @@
 namespace valmod::tools {
 
 /// Dataset-source flags accepted by every series-consuming subcommand.
+/// `--allow-nonfinite` is the escape hatch for files carrying nan/inf
+/// samples: loads reject them by default (series::ReadOptions).
 inline constexpr std::string_view kSourceFlags[] = {
-    "input", "column", "generate", "n", "seed",
+    "input", "column", "generate", "n", "seed", "allow-nonfinite",
 };
 
 /// Loads the series the source flags describe — `--input=<csv>
-/// [--column=c]` or `--generate=<name> [--n] [--seed]` — with one set of
-/// defaults shared by valmod_cli and valmod_server (--preload), so the two
-/// binaries cannot drift apart on source semantics any more than on flag
-/// tables.
+/// [--column=c] [--allow-nonfinite]` or `--generate=<name> [--n] [--seed]`
+/// — with one set of defaults shared by valmod_cli and valmod_server
+/// (--preload), so the two binaries cannot drift apart on source semantics
+/// any more than on flag tables.
 inline Result<series::DataSeries> LoadSeriesFromFlags(const Flags& flags) {
   if (flags.Has("input")) {
+    series::ReadOptions options;
+    options.allow_nonfinite = flags.GetBool("allow-nonfinite", false);
     return series::ReadDelimited(
         flags.GetString("input", ""),
-        static_cast<std::size_t>(flags.GetInt("column", 0)));
+        static_cast<std::size_t>(flags.GetInt("column", 0)), options);
   }
   return synth::ByName(flags.GetString("generate", "ecg"),
                        static_cast<std::size_t>(flags.GetInt("n", 20000)),
@@ -43,39 +47,39 @@ inline Result<series::DataSeries> LoadSeriesFromFlags(const Flags& flags) {
 }
 
 inline constexpr std::string_view kMotifsFlags[] = {
-    "input", "column", "generate", "n", "seed",
+    "input", "column", "generate", "n", "seed", "allow-nonfinite",
     "lmin", "lmax", "k", "p", "threads", "results-version", "calibrate",
 };
 
 inline constexpr std::string_view kDiscordsFlags[] = {
-    "input", "column", "generate", "n", "seed",
+    "input", "column", "generate", "n", "seed", "allow-nonfinite",
     "lmin", "lmax", "k", "threads",
 };
 
 inline constexpr std::string_view kValmapFlags[] = {
-    "input", "column", "generate", "n", "seed",
+    "input", "column", "generate", "n", "seed", "allow-nonfinite",
     "lmin", "lmax", "k", "p", "threads", "results-version", "calibrate",
     "output",
 };
 
 inline constexpr std::string_view kProfileFlags[] = {
-    "input", "column", "generate", "n", "seed",
+    "input", "column", "generate", "n", "seed", "allow-nonfinite",
     "l", "k", "threads", "results-version", "calibrate", "output",
 };
 
 inline constexpr std::string_view kQueryFlags[] = {
-    "input", "column", "generate", "n", "seed",
+    "input", "column", "generate", "n", "seed", "allow-nonfinite",
     "query", "k", "results-version", "calibrate",
 };
 
 inline constexpr std::string_view kGenerateFlags[] = {
-    "input", "column", "generate", "n", "seed", "output",
+    "input", "column", "generate", "n", "seed", "allow-nonfinite", "output",
 };
 
 /// valmod_server accepts its serving knobs plus the same source flags (for
 /// --preload, which loads a dataset before serving).
 inline constexpr std::string_view kServerFlags[] = {
-    "input", "column", "generate", "n", "seed",
+    "input", "column", "generate", "n", "seed", "allow-nonfinite",
     "stdio", "port", "workers", "queue", "cache", "timeout-s", "preload",
     "calibrate",
 };

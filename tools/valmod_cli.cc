@@ -52,8 +52,10 @@ int Usage() {
   std::fprintf(stderr,
                "usage: valmod_cli <motifs|discords|valmap|profile|query|"
                "generate> [flags]\n"
-               "  common: --input=<csv> [--column=0] | --generate=<name> "
-               "--n=<points> [--seed=1]\n"
+               "  common: --input=<csv> [--column=0] [--allow-nonfinite] | "
+               "--generate=<name> --n=<points> [--seed=1]\n"
+               "          (loads reject nan/inf samples unless "
+               "--allow-nonfinite drops them)\n"
                "  motifs/valmap/query: [--results-version=%d] (%d = "
                "calibrated cost model,\n"
                "          %d = legacy v1 bit-compat) [--calibrate] (fit "

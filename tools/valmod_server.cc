@@ -33,6 +33,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -43,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/flags.h"
 #include "mass/backend.h"
 #include "service/server.h"
@@ -55,12 +57,14 @@ using valmod::service::Service;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: valmod_server (--stdio | --port=<p>) [--workers=4] "
-               "[--queue=64] [--cache=128]\n"
+               "usage: valmod_server (--stdio | --port=<p, 0=ephemeral>) "
+               "[--workers=4] [--queue=64] [--cache=128]\n"
                "       [--timeout-s=<default deadline>] [--calibrate]\n"
-               "       [--preload=<name> (--input=<csv> [--column=0] | "
-               "--generate=<gen> [--n] [--seed])]\n"
-               "newline-delimited JSON protocol; see README \"Serving\"\n");
+               "       [--preload=<name> (--input=<csv> [--column=0] "
+               "[--allow-nonfinite] | --generate=<gen> [--n] [--seed])]\n"
+               "newline-delimited JSON protocol; see README \"Serving\"\n"
+               "fault injection: VALMOD_FAULTS env or the `faults` verb; "
+               "see README \"Robustness\"\n");
   return 2;
 }
 
@@ -183,6 +187,20 @@ class ConnectionSet {
 /// connection, not unbounded buffer growth until the process is killed.
 constexpr std::size_t kMaxRequestLineBytes = 32u << 20;  // 32 MiB
 
+/// Writes the whole buffer to a client socket. MSG_NOSIGNAL (belt to the
+/// SIG_IGN braces in main): a client that closed its socket mid-response
+/// must surface as a failed send on this connection, never as a SIGPIPE
+/// that kills the process — and with it every other client's datasets.
+bool SendAll(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t w = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    written += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
 /// One connection: a serial newline-delimited request stream.
 void ConnectionSet::ServeConnection(Service& service, int fd,
                                     ConnectionSet& set) {
@@ -197,7 +215,7 @@ void ConnectionSet::ServeConnection(Service& service, int fd,
       const char* error =
           "{\"id\":null,\"ok\":false,\"error\":{\"code\":\"InvalidArgument\","
           "\"message\":\"request line exceeds 32 MiB\"}}\n";
-      (void)!::write(fd, error, std::strlen(error));
+      (void)SendAll(fd, error, std::strlen(error));
       break;
     }
     std::size_t newline;
@@ -208,12 +226,13 @@ void ConnectionSet::ServeConnection(Service& service, int fd,
       if (line.empty()) continue;
       std::string response = service.HandleRequestLine(line);
       response.push_back('\n');
-      std::size_t written = 0;
-      while (written < response.size()) {
-        const ssize_t w = ::write(fd, response.data() + written,
-                                  response.size() - written);
-        if (w <= 0) { ::close(fd); return; }
-        written += static_cast<std::size_t>(w);
+      // Chaos hook: a fired "server.write" fault stands in for the client
+      // vanishing mid-response — drop the connection exactly as a failed
+      // send would.
+      if (!VALMOD_FAULT_POINT("server.write").ok() ||
+          !SendAll(fd, response.data(), response.size())) {
+        ::close(fd);
+        return;
       }
       if (service.shutdown_requested()) {
         set.Wake();  // unblocks the accept loop and every idle client
@@ -247,7 +266,16 @@ int RunTcp(Service& service, int port) {
     ::close(fd);
     return 1;
   }
+  // --port=0 binds an ephemeral port; report the real one so scripts and
+  // tests can parse it from stderr instead of racing for a fixed port.
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    port = static_cast<int>(ntohs(bound.sin_port));
+  }
   std::fprintf(stderr, "valmod_server listening on 127.0.0.1:%d\n", port);
+  std::fflush(stderr);
 
   ConnectionSet connections(fd);
   for (;;) {
@@ -265,6 +293,15 @@ int RunTcp(Service& service, int port) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A client disconnecting mid-write must error that one send(), not
+  // deliver a process-killing SIGPIPE (SendAll's MSG_NOSIGNAL covers the
+  // sockets; this covers any stray write to a closed stdio pipe).
+  std::signal(SIGPIPE, SIG_IGN);
+  // Instantiating the injector up front applies VALMOD_FAULTS directives
+  // at startup, so a chaos harness sees its faults listed by the `faults`
+  // verb before any fault point has been hit.
+  (void)valmod::fault::FaultInjector::Global();
+
   const Flags flags = Flags::Parse(argc, argv);
   if (valmod::Status status = flags.RejectUnknown(valmod::tools::kServerFlags);
       !status.ok()) {
@@ -272,10 +309,16 @@ int main(int argc, char** argv) {
     return 2;
   }
   const bool stdio = flags.GetBool("stdio", false);
+  const bool has_port = flags.Has("port");
   const int port = static_cast<int>(flags.GetInt("port", 0));
-  if (!stdio && port <= 0) return Usage();
-  if (stdio && port > 0) {
+  if (!stdio && !has_port) return Usage();
+  if (stdio && has_port) {
     std::fprintf(stderr, "error: --stdio and --port are exclusive\n");
+    return 2;
+  }
+  if (!stdio && (port < 0 || port > 65535)) {
+    std::fprintf(stderr, "error: --port must be in [0, 65535] (0 = pick an "
+                         "ephemeral port)\n");
     return 2;
   }
 
