@@ -17,10 +17,12 @@
 // acceptance bar is >= 3x (caches must actually amortize).
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/flags.h"
@@ -30,6 +32,7 @@
 #include "series/generators.h"
 #include "service/client.h"
 #include "service/server.h"
+#include "service/tcp_server.h"
 
 namespace {
 
@@ -292,6 +295,175 @@ Value RunOverload(const DataSeries& series, std::size_t length) {
   return Value(std::move(overload));
 }
 
+Value RunValue(const RunResult& run);
+
+/// TCP front-end sweep: one warm Service behind either transport, hammered
+/// by `client_counts` concurrent connections each issuing round trips from
+/// the (cache-hot) stream. Requests are hits, so the number measures the
+/// transport — accept/read/dispatch/write — not the compute behind it.
+/// That is exactly the epoll-vs-threads comparison: at 256 connections the
+/// threaded transport pays one blocked thread per client, the event loop
+/// one fd per client.
+Value RunTcpSweep(const DataSeries& series,
+                  const std::vector<std::string>& stream, bool threaded,
+                  const std::vector<std::size_t>& client_counts,
+                  std::size_t requests_per_client) {
+  ServiceOptions options;
+  options.workers = 4;
+  options.cache_capacity = 256;
+  Service service(options);
+  auto loaded = service.registry().LoadSeries("bench", series.Clone());
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "tcp sweep load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return Value();
+  }
+  valmod::service::TcpServerOptions tcp_options;
+  tcp_options.port = 0;
+  auto server = threaded
+                    ? valmod::service::MakeThreadedServer(service, tcp_options)
+                    : valmod::service::MakeEpollServer(service, tcp_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "tcp sweep bind failed: %s\n",
+                 server.status().ToString().c_str());
+    return Value();
+  }
+  const int port = (*server)->port();
+  std::thread serve_thread([&server] { (void)(*server)->Serve(); });
+
+  // Warm every cache entry in-process so the sweep measures the wire.
+  for (const std::string& request : stream) {
+    (void)service.HandleRequestLine(request);
+  }
+
+  const char* label = threaded ? "tcp threads" : "tcp epoll  ";
+  Value::Object runs;
+  for (const std::size_t clients : client_counts) {
+    std::vector<std::vector<double>> latencies(clients);
+    std::vector<std::size_t> errors(clients, 0);
+    WallTimer total;
+    std::vector<std::thread> client_threads;
+    client_threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      client_threads.emplace_back([&, c] {
+        valmod::service::TcpTransport transport(port);
+        valmod::service::RetryClient client(transport);
+        for (std::size_t i = 0; i < requests_per_client; ++i) {
+          const std::string& request =
+              stream[(c * requests_per_client + i) % stream.size()];
+          WallTimer timer;
+          auto response = client.Call(request);
+          latencies[c].push_back(timer.ElapsedMillis());
+          if (!response.ok() || !response->GetBool("ok", false)) ++errors[c];
+        }
+      });
+    }
+    for (std::thread& t : client_threads) t.join();
+    const double seconds = total.ElapsedSeconds();
+    std::vector<double> all;
+    std::size_t total_errors = 0;
+    for (std::size_t c = 0; c < clients; ++c) {
+      all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+      total_errors += errors[c];
+    }
+    const RunResult run = Finish(seconds, std::move(all), total_errors);
+    std::fprintf(
+        stderr,
+        "%s %3zu clients: %8.2f req/s (p50 %6.2f ms, p99 %6.2f ms)%s\n",
+        label, clients, run.throughput, run.p50_ms, run.p99_ms,
+        run.errors > 0 ? "  [errors!]" : "");
+    Value::Object entry = RunValue(run).AsObject();
+    entry.emplace("clients", Value(clients));
+    runs.emplace(std::to_string(clients) + "_clients",
+                 Value(std::move(entry)));
+  }
+
+  {
+    valmod::service::TcpTransport transport(port);
+    (void)transport.RoundTrip("{\"verb\":\"shutdown\"}");
+  }
+  serve_thread.join();
+  return Value(std::move(runs));
+}
+
+/// Miss coalescing under a storm: 64 clients issue the *same* cold-key
+/// request at once. The flight machinery must collapse them to ONE
+/// computation (observed through the scheduler's completed counter), so
+/// the storm's wall time stays ~1x a single miss, not 64x (or queue-full
+/// errors, which capacity 64 could not absorb uncoalesced).
+Value RunMissStorm(const DataSeries& series, std::size_t length) {
+  constexpr std::size_t kClients = 64;
+  ServiceOptions options;
+  options.workers = 4;
+  options.cache_capacity = 64;
+  options.queue_capacity = 8;  // far fewer slots than storm clients
+  Service service(options);
+  auto loaded = service.registry().LoadSeries("bench", series.Clone());
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "miss storm load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return Value();
+  }
+  const auto profile_request = [&](std::size_t l) {
+    return "{\"verb\":\"profile\",\"dataset\":\"bench\",\"params\":{\"l\":" +
+           std::to_string(l) + "}}";
+  };
+
+  // Baseline: one cold miss, alone.
+  WallTimer baseline_timer;
+  const bool baseline_ok =
+      ResponseOk(service.HandleRequestLine(profile_request(length + 5)));
+  const double baseline_ms = baseline_timer.ElapsedMillis();
+
+  // Storm: a different cold key, hit by every client at once.
+  const std::string storm_request = profile_request(length + 7);
+  const std::uint64_t completed_before = service.scheduler().stats().completed;
+  std::vector<std::size_t> errors(kClients, 0);
+  WallTimer storm_timer;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      if (!ResponseOk(service.HandleRequestLine(storm_request))) ++errors[c];
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double storm_ms = storm_timer.ElapsedMillis();
+  const std::uint64_t computations =
+      service.scheduler().stats().completed - completed_before;
+  std::size_t storm_errors = 0;
+  for (const std::size_t e : errors) storm_errors += e;
+  const double ratio = baseline_ms > 0.0 ? storm_ms / baseline_ms : 0.0;
+
+  std::uint64_t coalesced = 0;
+  auto stats = valmod::json::Parse(
+      service.HandleRequestLine("{\"verb\":\"stats\"}"));
+  if (stats.ok()) {
+    if (const Value* cache = stats->Find("result")->Find("cache")) {
+      coalesced = static_cast<std::uint64_t>(cache->GetNumber("coalesced", 0));
+    }
+  }
+
+  std::fprintf(stderr,
+               "miss storm    : %zu clients, 1 key: %llu computation%s, "
+               "%llu coalesced, %.2f ms vs %.2f ms single miss (%.2fx)%s\n",
+               kClients, static_cast<unsigned long long>(computations),
+               computations == 1 ? "" : "s",
+               static_cast<unsigned long long>(coalesced), storm_ms,
+               baseline_ms, ratio,
+               (storm_errors > 0 || !baseline_ok) ? "  [errors!]" : "");
+
+  Value::Object o;
+  o.emplace("clients", Value(kClients));
+  o.emplace("single_miss_ms", Value(baseline_ms));
+  o.emplace("storm_ms", Value(storm_ms));
+  o.emplace("storm_vs_single_miss", Value(ratio));
+  o.emplace("computations", Value(computations));
+  o.emplace("coalesced", Value(coalesced));
+  o.emplace("errors", Value(storm_errors + (baseline_ok ? 0u : 1u)));
+  return Value(std::move(o));
+}
+
 Value RunValue(const RunResult& run) {
   Value::Object o;
   o.emplace("seconds", Value(run.seconds));
@@ -364,6 +536,15 @@ int main(int argc, char** argv) {
       warm_runs.emplace(std::to_string(clients) + "_clients",
                         RunValue(warm));
     }
+    // The per-verb latency panel the `stats` verb serves (Welford mean +
+    // histogram p50/p99), as observed after the whole warm sweep.
+    auto stats = valmod::json::Parse(
+        service.HandleRequestLine("{\"verb\":\"stats\"}"));
+    if (stats.ok()) {
+      if (const Value* verbs = stats->Find("result")->Find("verbs")) {
+        doc.emplace("verb_latency", *verbs);
+      }
+    }
   }
   doc.emplace("warm", Value(std::move(warm_runs)));
 
@@ -373,6 +554,24 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "speedup warm/cold (1 client): %.2fx\n", speedup);
 
   doc.emplace("overload", RunOverload(*series, length));
+  doc.emplace("miss_storm", RunMissStorm(*series, length));
+
+  // TCP transport sweep at 64..tcp-clients connections, epoll vs the
+  // legacy thread-per-connection transport, over cache-hot requests.
+  const std::size_t tcp_max =
+      static_cast<std::size_t>(flags.GetInt("tcp-clients", 256));
+  std::vector<std::size_t> client_counts;
+  for (std::size_t c = 64; c <= tcp_max; c *= 2) client_counts.push_back(c);
+  if (!client_counts.empty()) {
+    const std::size_t per_client =
+        static_cast<std::size_t>(flags.GetInt("tcp-requests", 16));
+    doc.emplace("tcp_event_loop",
+                RunTcpSweep(*series, stream, /*threaded=*/false,
+                            client_counts, per_client));
+    doc.emplace("tcp_threaded",
+                RunTcpSweep(*series, stream, /*threaded=*/true,
+                            client_counts, per_client));
+  }
 
   const std::string json = Value(std::move(doc)).Serialize();
   std::fputs(json.c_str(), stdout);

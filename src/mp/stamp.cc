@@ -14,6 +14,18 @@ namespace valmod::mp {
 Result<MatrixProfile> ComputeStamp(const series::DataSeries& series,
                                    std::size_t length,
                                    const ProfileOptions& options) {
+  // One engine for the whole sweep: the series spectrum and FFT plan are
+  // computed once and shared by all row profiles. Callers that already
+  // hold a warm engine (the serving layer's dataset snapshots) use the
+  // engine overload instead and skip even that one-time cost.
+  mass::MassEngine engine(series);
+  return ComputeStamp(engine, length, options);
+}
+
+Result<MatrixProfile> ComputeStamp(mass::MassEngine& engine,
+                                   std::size_t length,
+                                   const ProfileOptions& options) {
+  const series::DataSeries& series = engine.series();
   const std::size_t count = series.NumSubsequences(length);
   if (count == 0) {
     return Status::InvalidArgument(
@@ -32,15 +44,12 @@ Result<MatrixProfile> ComputeStamp(const series::DataSeries& series,
   profile.distances.assign(count, kInfinity);
   profile.indices.assign(count, -1);
 
-  // One engine for the whole sweep: the series spectrum and FFT plan are
-  // computed once and shared by all `count` row profiles. Rows are pulled
-  // through the engine's batched entry point in fixed-size chunks, which
-  // (a) fans each chunk across options.num_threads pool workers, (b) lets
-  // adjacent rows share one pair-packed transform, and (c) bounds how much
-  // work runs between deadline checks. The chunk size is even so the row
-  // pairing — and therefore the numerics — never depends on the thread
-  // count, only on the (fixed) row order.
-  mass::MassEngine engine(series);
+  // Rows are pulled through the engine's batched entry point in fixed-size
+  // chunks, which (a) fans each chunk across options.num_threads pool
+  // workers, (b) lets adjacent rows share one pair-packed transform, and
+  // (c) bounds how much work runs between deadline checks. The chunk size
+  // is even so the row pairing — and therefore the numerics — never
+  // depends on the thread count, only on the (fixed) row order.
   const int num_threads = std::max(1, options.num_threads);
   const std::size_t chunk =
       std::max<std::size_t>(64, 16 * static_cast<std::size_t>(num_threads));

@@ -102,6 +102,13 @@ Result<std::string> TcpTransport::RoundTrip(const std::string& line) {
     }
     sent += static_cast<std::size_t>(n);
   }
+  return ReceiveLine();
+}
+
+Result<std::string> TcpTransport::ReceiveLine() {
+  if (fd_ < 0) {
+    return Status::IoError("not connected: no response line to receive");
+  }
   for (;;) {
     const std::size_t newline = buffer_.find('\n');
     if (newline != std::string::npos) {
@@ -154,6 +161,58 @@ int RetryClient::DelayMs(int attempt, const json::Value* response) {
   return std::max(0, static_cast<int>(delay));
 }
 
+Result<json::Value> RetryClient::ReassemblePaged(json::Value first) {
+  const json::Value* chunk = first.Find("chunk");
+  if (chunk == nullptr || !chunk->is_string()) {
+    return Status::Internal("paged response: page 0 carries no string chunk");
+  }
+  if (first.GetNumber("seq", -1.0) != 0.0) {
+    return Status::Internal("paged response: first page is not seq 0");
+  }
+  std::string payload = chunk->AsString();
+  json::Value last = std::move(first);
+  std::size_t seq = 0;
+  while (last.GetBool("partial", false)) {
+    Result<std::string> wire = transport_.ReceiveLine();
+    if (!wire.ok()) return wire.status();  // kIoError: the retryable class
+    ++stats_.pages;
+    Result<json::Value> page = json::Parse(*wire);
+    if (!page.ok()) return page.status();
+    const json::Value* next_chunk = page->Find("chunk");
+    if (!page->is_object() || next_chunk == nullptr ||
+        !next_chunk->is_string()) {
+      return Status::Internal("paged response: page " +
+                              std::to_string(seq + 1) +
+                              " carries no string chunk");
+    }
+    ++seq;
+    if (page->GetNumber("seq", -1.0) != static_cast<double>(seq)) {
+      return Status::Internal("paged response: expected seq " +
+                              std::to_string(seq) + ", got " +
+                              page->Serialize());
+    }
+    payload += next_chunk->AsString();
+    last = std::move(*page);
+  }
+  const double pages = last.GetNumber("pages", static_cast<double>(seq + 1));
+  if (pages != static_cast<double>(seq + 1)) {
+    return Status::Internal(
+        "paged response: final page claims " +
+        std::to_string(static_cast<long long>(pages)) + " pages, received " +
+        std::to_string(seq + 1));
+  }
+  VALMOD_ASSIGN_OR_RETURN(json::Value result, json::Parse(payload));
+  // The caller sees the same shape an unpaged response has: the final
+  // page's envelope with the paging bookkeeping replaced by `result`.
+  json::Value::Object& envelope = last.AsObject();
+  envelope.erase("partial");
+  envelope.erase("seq");
+  envelope.erase("pages");
+  envelope.erase("chunk");
+  envelope.emplace("result", std::move(result));
+  return last;
+}
+
 Result<json::Value> RetryClient::Call(const std::string& line) {
   ++stats_.calls;
   const int max_attempts = std::max(1, options_.max_attempts);
@@ -180,6 +239,25 @@ Result<json::Value> RetryClient::Call(const std::string& line) {
     if (!response.ok()) {
       // A server speaking garbage is not retryable: surface it.
       return response.status();
+    }
+    if (response->is_object() && response->Find("chunk") != nullptr) {
+      response = ReassemblePaged(std::move(*response));
+      if (!response.ok()) {
+        if (response.status().code() != StatusCode::kIoError) {
+          return response.status();  // malformed pages: not retryable
+        }
+        // The stream broke mid-response: same handling as a failed
+        // round trip (requests are idempotent reads).
+        last_transport_error = response.status();
+        if (!options_.retry_io_errors) return response.status();
+        transport_.Reset();
+        if (attempt + 1 < max_attempts) {
+          const int delay = DelayMs(attempt, nullptr);
+          stats_.backoff_ms_total += static_cast<std::uint64_t>(delay);
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        }
+        continue;
+      }
     }
     bool retryable = false;
     if (response->is_object() && !response->GetBool("ok", false)) {

@@ -9,6 +9,7 @@
 // through this client so the documented retry semantics are exercised by
 // code, not just prose (README "Robustness").
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -31,14 +32,25 @@ class Transport {
   /// as successful round trips whose payload says ok:false.
   virtual Result<std::string> RoundTrip(const std::string& line) = 0;
 
+  /// Returns the next response line without sending anything — the
+  /// continuation pages of a paged response (README "Serving": a large
+  /// result arrives as several `chunk` lines). kIoError when the stream
+  /// ends before another line; the default suits transports that can
+  /// never have one buffered.
+  virtual Result<std::string> ReceiveLine() {
+    return Status::IoError("transport has no further response lines");
+  }
+
   /// Drops any broken connection state so the next RoundTrip starts
   /// fresh. No-op for connectionless transports.
   virtual void Reset() {}
 };
 
 /// In-process transport: forwards lines to a callback (typically
-/// Service::HandleRequestLine). Lets benches and tests exercise the full
-/// client retry stack without sockets.
+/// Service::HandleRequestLine or HandleRequest). Lets benches and tests
+/// exercise the full client retry stack without sockets. A handler may
+/// return several '\n'-separated lines (HandleRequest's paged encoding
+/// does); RoundTrip yields the first and ReceiveLine the rest.
 class CallbackTransport final : public Transport {
  public:
   using Handler = std::function<std::string(const std::string&)>;
@@ -47,11 +59,35 @@ class CallbackTransport final : public Transport {
       : handler_(std::move(handler)) {}
 
   Result<std::string> RoundTrip(const std::string& line) override {
-    return handler_(line);
+    pending_ = handler_(line);
+    offset_ = 0;
+    return NextLine();
+  }
+
+  Result<std::string> ReceiveLine() override { return NextLine(); }
+
+  void Reset() override {
+    pending_.clear();
+    offset_ = 0;
   }
 
  private:
+  Result<std::string> NextLine() {
+    if (offset_ >= pending_.size()) {
+      return Status::IoError("transport has no further response lines");
+    }
+    const std::size_t newline = pending_.find('\n', offset_);
+    const std::size_t end =
+        newline == std::string::npos ? pending_.size() : newline;
+    std::string line = pending_.substr(offset_, end - offset_);
+    offset_ = newline == std::string::npos ? pending_.size() : newline + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return line;
+  }
+
   Handler handler_;
+  std::string pending_;     // handler output not yet returned as lines
+  std::size_t offset_ = 0;  // read position within pending_
 };
 
 /// TCP transport to a local valmod_server (127.0.0.1 only, matching the
@@ -73,6 +109,7 @@ class TcpTransport final : public Transport {
   TcpTransport& operator=(const TcpTransport&) = delete;
 
   Result<std::string> RoundTrip(const std::string& line) override;
+  Result<std::string> ReceiveLine() override;
   void Reset() override;
 
  private:
@@ -107,6 +144,7 @@ struct RetryStats {
   std::uint64_t retries = 0;      // attempts beyond each call's first
   std::uint64_t gave_up = 0;      // calls that exhausted max_attempts
   std::uint64_t backoff_ms_total = 0;  // time spent sleeping between tries
+  std::uint64_t pages = 0;  // continuation pages received (paged responses)
 };
 
 /// Issues requests through a Transport with the retry/backoff contract:
@@ -117,6 +155,14 @@ struct RetryStats {
 ///    DeadlineExceeded, ... — retrying cannot change the outcome);
 ///  - delay: the response's `retry_after_ms` hint when present, otherwise
 ///    jittered capped exponential backoff.
+///
+/// Paged responses are reassembled transparently: when the first line of a
+/// response carries a `chunk` field, Call keeps reading lines through
+/// Transport::ReceiveLine until the `"partial":false` page, concatenates
+/// the chunks in seq order, and returns the same single object an unpaged
+/// response would have produced (envelope fields plus `result`; the paging
+/// bookkeeping — partial/seq/pages/chunk — is stripped). A stream that
+/// breaks mid-page is a transport kIoError, retried like any other.
 class RetryClient {
  public:
   explicit RetryClient(Transport& transport, const RetryOptions& options = {});
@@ -131,6 +177,10 @@ class RetryClient {
 
  private:
   int DelayMs(int attempt, const json::Value* response);
+  /// Drains and reassembles the remaining pages of a paged response whose
+  /// first page is `first`. kIoError when the stream ends early (the
+  /// retryable class); other codes mean a malformed page (not retryable).
+  Result<json::Value> ReassemblePaged(json::Value first);
 
   Transport& transport_;
   const RetryOptions options_;

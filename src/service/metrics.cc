@@ -1,0 +1,96 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace valmod::service {
+
+double WelfordAccumulator::StdDev() const { return std::sqrt(Variance()); }
+
+int LatencyHistogram::BucketIndex(double ms) {
+  if (!(ms > kMinMs)) return 0;  // underflow, zero, and NaN land in bucket 0
+  const double octaves = std::log2(ms / kMinMs);
+  const int index =
+      static_cast<int>(octaves * static_cast<double>(kBucketsPerDoubling));
+  return std::clamp(index, 0, kBucketCount - 1);
+}
+
+double LatencyHistogram::BucketLowerMs(int i) {
+  return kMinMs *
+         std::exp2(static_cast<double>(i) /
+                   static_cast<double>(kBucketsPerDoubling));
+}
+
+void LatencyHistogram::Record(double ms) {
+  if (!std::isfinite(ms) || ms < 0.0) ms = 0.0;
+  ++buckets_[static_cast<std::size_t>(BucketIndex(ms))];
+  if (count_ == 0 || ms < min_ms_) min_ms_ = ms;
+  if (ms > max_ms_) max_ms_ = ms;
+  ++count_;
+}
+
+double LatencyHistogram::QuantileMs(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample (1-based, ceil): the smallest bucket whose
+  // cumulative count reaches it holds the quantile.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[static_cast<std::size_t>(i)];
+    if (cumulative >= rank) {
+      // Geometric midpoint of the bucket — the minimum-relative-error
+      // point estimate for a log-scale bin — clamped to the observed
+      // extremes so a single-sample histogram reports the sample itself.
+      const double estimate =
+          BucketLowerMs(i) * std::exp2(0.5 / kBucketsPerDoubling);
+      return std::clamp(estimate, min_ms_, max_ms_);
+    }
+  }
+  return max_ms_;
+}
+
+void VerbMetrics::Record(std::string_view verb, double latency_ms, bool ok) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = verbs_.find(verb);
+  if (it == verbs_.end()) {
+    it = verbs_.emplace(std::string(verb), PerVerb{}).first;
+  }
+  PerVerb& entry = it->second;
+  entry.welford.Add(latency_ms);
+  entry.histogram.Record(latency_ms);
+  if (!ok) ++entry.errors;
+}
+
+double VerbMetrics::UptimeSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       started_at_)
+      .count();
+}
+
+std::vector<VerbMetrics::VerbSnapshot> VerbMetrics::Snapshot() const {
+  const double uptime = UptimeSeconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<VerbSnapshot> out;
+  out.reserve(verbs_.size());
+  for (const auto& [verb, entry] : verbs_) {
+    VerbSnapshot snapshot;
+    snapshot.verb = verb;
+    snapshot.count = entry.welford.n;
+    snapshot.errors = entry.errors;
+    snapshot.mean_ms = entry.welford.mean;
+    snapshot.stddev_ms = entry.welford.StdDev();
+    snapshot.min_ms = entry.histogram.min_ms();
+    snapshot.max_ms = entry.histogram.max_ms();
+    snapshot.p50_ms = entry.histogram.QuantileMs(0.50);
+    snapshot.p99_ms = entry.histogram.QuantileMs(0.99);
+    snapshot.requests_per_second =
+        uptime > 0.0 ? static_cast<double>(entry.welford.n) / uptime : 0.0;
+    out.push_back(std::move(snapshot));
+  }
+  return out;
+}
+
+}  // namespace valmod::service

@@ -1,0 +1,126 @@
+#ifndef VALMOD_SERVICE_METRICS_H_
+#define VALMOD_SERVICE_METRICS_H_
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace valmod::service {
+
+/// Streaming mean/variance accumulator (Welford's algorithm): O(1) memory,
+/// numerically stable, no sample buffer — the `struct stats {n, mean, M2}`
+/// pattern the Linux perf tooling uses for exactly this job. Percentiles
+/// cannot come from it, which is what the bucket histogram below is for.
+struct WelfordAccumulator {
+  std::uint64_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+
+  void Add(double x) {
+    ++n;
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (x - mean);
+  }
+
+  /// Population variance; 0 until two samples exist.
+  double Variance() const {
+    return n > 1 ? m2 / static_cast<double>(n) : 0.0;
+  }
+  double StdDev() const;
+};
+
+/// Fixed log-scale latency histogram: quarter-octave buckets (4 per
+/// doubling) from 1 µs to ~4.6 hours, so the whole range a request could
+/// plausibly take lives in 132 fixed counters — O(1) memory per verb, no
+/// sample buffers, and p50/p99 estimates whose relative error is bounded by
+/// the bucket width (2^(1/4) ≈ 19%). Records are lock-free after the
+/// owner's mutex (see VerbMetrics); the histogram itself is plain counters.
+class LatencyHistogram {
+ public:
+  /// Quarter-octave resolution: bucket i covers
+  /// [kMinMs * 2^(i/4), kMinMs * 2^((i+1)/4)). Bucket 0 also absorbs
+  /// underflow, the last bucket absorbs overflow.
+  static constexpr double kMinMs = 1e-3;  // 1 µs
+  static constexpr int kBucketsPerDoubling = 4;
+  static constexpr int kDoublings = 33;  // 1 µs * 2^33 ≈ 2.4 h
+  static constexpr int kBucketCount = kBucketsPerDoubling * kDoublings;
+
+  void Record(double ms);
+
+  /// Latency (ms) at quantile q in [0, 1], estimated as the geometric
+  /// midpoint of the bucket where the cumulative count crosses q·n.
+  /// 0 when empty.
+  double QuantileMs(double q) const;
+
+  std::uint64_t count() const { return count_; }
+  double min_ms() const { return count_ > 0 ? min_ms_ : 0.0; }
+  double max_ms() const { return max_ms_; }
+
+  /// Lower bound of bucket `i` in milliseconds (exposed for tests).
+  static double BucketLowerMs(int i);
+  /// Bucket index for a latency (exposed for tests).
+  static int BucketIndex(double ms);
+
+ private:
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+  std::uint64_t count_ = 0;
+  double min_ms_ = 0.0;
+  double max_ms_ = 0.0;
+};
+
+/// Per-verb request metrics for the `stats` verb: a Welford accumulator
+/// (exact mean/stddev) plus a log-scale histogram (p50/p99) and an error
+/// counter per verb, under one mutex. Request rates come from the recorder
+/// uptime, so throughput needs no extra state.
+class VerbMetrics {
+ public:
+  VerbMetrics() : started_at_(std::chrono::steady_clock::now()) {}
+
+  VerbMetrics(const VerbMetrics&) = delete;
+  VerbMetrics& operator=(const VerbMetrics&) = delete;
+
+  /// Records one completed request for `verb`. `ok` tracks the error rate;
+  /// latency is recorded either way (errors have latency too, and an
+  /// overloaded server's error latency is exactly what an operator needs).
+  void Record(std::string_view verb, double latency_ms, bool ok);
+
+  struct VerbSnapshot {
+    std::string verb;
+    std::uint64_t count = 0;
+    std::uint64_t errors = 0;
+    double mean_ms = 0.0;
+    double stddev_ms = 0.0;
+    double min_ms = 0.0;
+    double max_ms = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double requests_per_second = 0.0;  // count / recorder uptime
+  };
+
+  /// Sorted by verb name.
+  std::vector<VerbSnapshot> Snapshot() const;
+
+  double UptimeSeconds() const;
+
+ private:
+  struct PerVerb {
+    WelfordAccumulator welford;
+    LatencyHistogram histogram;
+    std::uint64_t errors = 0;
+  };
+
+  const std::chrono::steady_clock::time_point started_at_;
+  mutable std::mutex mutex_;
+  std::map<std::string, PerVerb, std::less<>> verbs_;
+};
+
+}  // namespace valmod::service
+
+#endif  // VALMOD_SERVICE_METRICS_H_

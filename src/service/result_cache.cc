@@ -4,9 +4,9 @@
 
 namespace valmod::service {
 
-std::shared_ptr<const std::string> ResultCache::Get(const std::string& key) {
-  if (capacity_ == 0) return nullptr;
-  std::lock_guard<std::mutex> lock(mutex_);
+std::shared_ptr<const std::string> ResultCache::GetLocked(
+    const std::string& key) {
+  if (capacity_ == 0) return nullptr;  // disabled lookups are not counted
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++counters_.misses;
@@ -17,10 +17,9 @@ std::shared_ptr<const std::string> ResultCache::Get(const std::string& key) {
   return it->second->value;
 }
 
-void ResultCache::Put(const std::string& key,
-                      std::shared_ptr<const std::string> value) {
+void ResultCache::PutLocked(const std::string& key,
+                            std::shared_ptr<const std::string> value) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->value = std::move(value);
@@ -37,11 +36,74 @@ void ResultCache::Put(const std::string& key,
   }
 }
 
+std::shared_ptr<const std::string> ResultCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetLocked(key);
+}
+
+void ResultCache::Put(const std::string& key,
+                      std::shared_ptr<const std::string> value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PutLocked(key, std::move(value));
+}
+
+ResultCache::FlightLookup ResultCache::GetOrJoin(const std::string& key,
+                                                 InFlightWaiter waiter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FlightLookup lookup;
+  lookup.value = GetLocked(key);
+  if (lookup.value != nullptr) {
+    lookup.state = FlightState::kHit;
+    return lookup;
+  }
+  auto it = flights_.find(key);
+  if (it != flights_.end()) {
+    it->second.push_back(std::move(waiter));
+    ++counters_.coalesced;
+    lookup.state = FlightState::kJoined;
+    return lookup;
+  }
+  flights_.emplace(key, std::deque<InFlightWaiter>{});
+  lookup.state = FlightState::kLeader;
+  return lookup;
+}
+
+std::vector<ResultCache::InFlightWaiter> ResultCache::CompleteFlight(
+    const std::string& key, std::shared_ptr<const std::string> value,
+    bool cache_value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cache_value) PutLocked(key, std::move(value));
+  std::vector<InFlightWaiter> waiters;
+  auto it = flights_.find(key);
+  if (it != flights_.end()) {
+    waiters.assign(std::make_move_iterator(it->second.begin()),
+                   std::make_move_iterator(it->second.end()));
+    flights_.erase(it);
+  }
+  return waiters;
+}
+
+std::optional<ResultCache::InFlightWaiter> ResultCache::FailFlight(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = flights_.find(key);
+  if (it == flights_.end()) return std::nullopt;
+  if (it->second.empty()) {
+    flights_.erase(it);
+    return std::nullopt;
+  }
+  InFlightWaiter next = std::move(it->second.front());
+  it->second.pop_front();
+  ++counters_.failovers;
+  return next;
+}
+
 ResultCache::Stats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Stats stats = counters_;
   stats.entries = lru_.size();
   stats.capacity = capacity_;
+  stats.inflight = flights_.size();
   return stats;
 }
 

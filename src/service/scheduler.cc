@@ -74,8 +74,14 @@ double QueryScheduler::StallThresholdSeconds(double timeout_seconds) const {
 
 Result<std::shared_ptr<QueryScheduler::Ticket>> QueryScheduler::Submit(
     Job job, int priority, Deadline deadline) {
+  return Submit(std::move(job), priority, deadline, Completion());
+}
+
+Result<std::shared_ptr<QueryScheduler::Ticket>> QueryScheduler::Submit(
+    Job job, int priority, Deadline deadline, Completion completion) {
   auto ticket = std::make_shared<Ticket>();
   ticket->job_ = std::move(job);
+  ticket->completion_ = std::move(completion);
   ticket->priority_ = priority;
   ticket->timeout_seconds_ = deadline.SecondsRemaining();
   // The job observes cancellation through its own deadline checks.
@@ -146,13 +152,23 @@ SchedulerStats QueryScheduler::stats() const {
 
 void QueryScheduler::Resolve(const std::shared_ptr<Ticket>& ticket,
                              Result<std::string> result) {
+  Completion completion;
   {
     std::lock_guard<std::mutex> lock(ticket->mutex_);
     if (!ticket->result_.has_value()) {
       ticket->result_.emplace(std::move(result));
+      // Claim the completion under the same latch that makes the result
+      // write exactly-once; a second Resolve finds it already moved out.
+      completion = std::move(ticket->completion_);
+      ticket->completion_ = nullptr;
     }
   }
   ticket->cv_.notify_all();
+  // Outside both locks: the callback may re-enter the scheduler (e.g. a
+  // coalescing fail-over resubmits the next waiter's job). Reading result_
+  // unlocked is safe — only the thread that latched it holds a completion,
+  // and the latch guarantees no later write.
+  if (completion) completion(*ticket->result_);
 }
 
 void QueryScheduler::WorkerLoop() {

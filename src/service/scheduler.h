@@ -91,6 +91,14 @@ class QueryScheduler {
   /// A job computes the response payload under the request's deadline.
   using Job = std::function<Result<std::string>(const Deadline& deadline)>;
 
+  /// Completion callback for the async submit path: invoked exactly once
+  /// with the ticket's final result, from whichever thread resolves the
+  /// ticket (a worker, the shedding submitter, or the destructor). It runs
+  /// outside every scheduler and ticket lock, so it may call back into the
+  /// scheduler (including Submit) — but it must not block for long, since
+  /// it borrows a worker thread.
+  using Completion = std::function<void(const Result<std::string>& result)>;
+
   /// Handle to one admitted request.
   class Ticket {
    public:
@@ -115,6 +123,10 @@ class QueryScheduler {
         std::make_shared<std::atomic<bool>>(false);
 
     Job job_;
+    /// Set only through the async Submit overload; moved out (under the
+    /// ticket mutex) and invoked by Resolve, so it fires at most once no
+    /// matter which terminal path wins.
+    Completion completion_;
     int priority_ = 0;
     std::uint64_t sequence_ = 0;
     Deadline deadline_;
@@ -139,6 +151,15 @@ class QueryScheduler {
   /// either error carries a retry_after_ms hint.
   Result<std::shared_ptr<Ticket>> Submit(Job job, int priority = 0,
                                          Deadline deadline = Deadline());
+
+  /// Async variant: like Submit, but `completion` is invoked exactly once
+  /// with the final result instead of (or in addition to) a Wait() call.
+  /// Rejection at admission (queue full, shut down) is returned directly —
+  /// the completion is NOT invoked for requests that were never admitted,
+  /// so the caller keeps one error path, not two.
+  Result<std::shared_ptr<Ticket>> Submit(Job job, int priority,
+                                         Deadline deadline,
+                                         Completion completion);
 
   SchedulerStats stats() const;
 

@@ -1,8 +1,12 @@
 #include "service/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <initializer_list>
 #include <memory>
 #include <string>
@@ -17,6 +21,7 @@
 #include "core/variable_discords.h"
 #include "mass/backend.h"
 #include "mass/query_search.h"
+#include "mp/stamp.h"
 #include "mp/stomp.h"
 #include "series/generators.h"
 #include "series/io.h"
@@ -32,17 +37,56 @@ using json::Value;
 // Response envelopes
 // ---------------------------------------------------------------------------
 
-std::string OkResponse(const Value& id, const std::string& verb, bool cached,
-                       const std::string& payload) {
-  std::string out = "{\"id\":";
-  id.SerializeTo(&out);
-  out += ",\"ok\":true,\"verb\":";
-  json::AppendQuoted(verb, &out);
-  out += cached ? ",\"cached\":true,\"result\":" : ",\"cached\":false,\"result\":";
-  out += payload;
-  out += "}";
+void AppendEnvelopePrefix(const Value& id, const std::string& verb,
+                          bool cached, bool coalesced, std::string* out) {
+  *out += "{\"id\":";
+  id.SerializeTo(out);
+  *out += ",\"ok\":true,\"verb\":";
+  json::AppendQuoted(verb, out);
+  *out += cached ? ",\"cached\":true" : ",\"cached\":false";
+  if (coalesced) *out += ",\"coalesced\":true";
+}
+
+/// Wire encoding of a successful response: one '\n'-terminated line when
+/// the serialized result fits in `page_bytes` (or paging is off), else
+/// ceil(size / page_bytes) chunk lines. Every page repeats the envelope;
+/// non-final pages carry "partial":true, the final page "partial":false
+/// plus the total page count; concatenating the `chunk` fragments in
+/// `seq` order reproduces the result bytes. This envelope "partial" (more
+/// pages follow) is unrelated to allow_partial's in-result "partial" (the
+/// computation was deadline-truncated).
+std::string EncodeOkWire(const Value& id, const std::string& verb, bool cached,
+                         bool coalesced, const std::string& payload,
+                         std::size_t page_bytes) {
+  if (page_bytes == 0 || payload.size() <= page_bytes) {
+    std::string out;
+    AppendEnvelopePrefix(id, verb, cached, coalesced, &out);
+    out += ",\"result\":";
+    out += payload;
+    out += "}\n";
+    return out;
+  }
+  const std::size_t pages = (payload.size() + page_bytes - 1) / page_bytes;
+  std::string out;
+  out.reserve(payload.size() + pages * 96);
+  for (std::size_t i = 0; i < pages; ++i) {
+    AppendEnvelopePrefix(id, verb, cached, coalesced, &out);
+    const bool last = i + 1 == pages;
+    out += last ? ",\"partial\":false" : ",\"partial\":true";
+    out += ",\"seq\":";
+    out += std::to_string(i);
+    if (last) {
+      out += ",\"pages\":";
+      out += std::to_string(pages);
+    }
+    out += ",\"chunk\":";
+    json::AppendQuoted(
+        std::string_view(payload).substr(i * page_bytes, page_bytes), &out);
+    out += "}\n";
+  }
   return out;
 }
+
 
 std::string ErrorResponse(const Value& id, const std::string& verb,
                           const Status& status) {
@@ -356,8 +400,14 @@ Result<QueryPlan> PlanValmod(const std::shared_ptr<Dataset>& dataset,
 
 Result<QueryPlan> PlanProfile(const std::shared_ptr<Dataset>& dataset,
                               const Value& params) {
-  VALMOD_RETURN_IF_ERROR(RejectUnknownParams(params, {"l", "threads"}));
+  VALMOD_RETURN_IF_ERROR(
+      RejectUnknownParams(params, {"l", "threads", "algo"}));
   if (dataset->streaming()) {
+    if (params.Find("algo") != nullptr) {
+      return Status::InvalidArgument(
+          "param 'algo' does not apply to streaming datasets (the profile "
+          "is maintained incrementally, not recomputed)");
+    }
     // The incrementally maintained profile is the dataset's native one;
     // a mismatched length request is an error rather than a silent batch
     // recompute at a different length.
@@ -399,23 +449,38 @@ Result<QueryPlan> PlanProfile(const std::shared_ptr<Dataset>& dataset,
 
   VALMOD_ASSIGN_OR_RETURN(std::size_t length, SizeParam(params, "l", 0));
   VALMOD_ASSIGN_OR_RETURN(int threads, IntParam(params, "threads", 1));
+  const std::string algo = params.GetString("algo", "stomp");
+  if (algo != "stomp" && algo != "stamp") {
+    return Status::InvalidArgument(
+        "param 'algo' must be \"stomp\" (default) or \"stamp\"");
+  }
+  const bool use_stamp = algo == "stamp";
   VALMOD_ASSIGN_OR_RETURN(std::shared_ptr<const DatasetSnapshot> snapshot,
                           dataset->Snapshot());
   QueryPlan plan;
+  // STOMP computes no convolutions, so its bytes are backend-independent
+  // and the key skips the rv/cm components. STAMP runs MASS rows through
+  // the snapshot's shared engine, so its key carries them — and the algo
+  // tag, so the two algorithms' (numerically ~1e-9-apart) results never
+  // alias one cache entry.
   plan.cache_key = CacheKey(*dataset, snapshot->generation(), "profile",
-                            "l=" + std::to_string(length),
-                            mass::kResultsVersion, /*engine_backed=*/false);
-  plan.job = [snapshot, length,
-              threads](const Deadline& deadline) -> Result<std::string> {
+                            "l=" + std::to_string(length) +
+                                (use_stamp ? ",algo=stamp" : ""),
+                            mass::kResultsVersion,
+                            /*engine_backed=*/use_stamp);
+  plan.job = [snapshot, length, threads,
+              use_stamp](const Deadline& deadline) -> Result<std::string> {
     mp::ProfileOptions options;
     options.num_threads = threads;
     options.deadline = deadline;
     VALMOD_ASSIGN_OR_RETURN(
         mp::MatrixProfile profile,
-        mp::ComputeStomp(snapshot->series(), length, options));
+        use_stamp ? mp::ComputeStamp(snapshot->engine(), length, options)
+                  : mp::ComputeStomp(snapshot->series(), length, options));
     Value payload = ProfileValue(profile);
     payload.AsObject().emplace("generation", Value(snapshot->generation()));
     payload.AsObject().emplace("streaming", Value(false));
+    if (use_stamp) payload.AsObject().emplace("algo", Value("stamp"));
     return payload.Serialize();
   };
   return plan;
@@ -630,6 +695,9 @@ Result<std::string> DoStats(Service& service) {
   cache_obj.emplace("misses", Value(cache.misses));
   cache_obj.emplace("insertions", Value(cache.insertions));
   cache_obj.emplace("evictions", Value(cache.evictions));
+  cache_obj.emplace("inflight", Value(cache.inflight));
+  cache_obj.emplace("coalesced", Value(cache.coalesced));
+  cache_obj.emplace("failovers", Value(cache.failovers));
   payload.emplace("cache", Value(std::move(cache_obj)));
 
   const SchedulerStats sched = service.scheduler().stats();
@@ -649,6 +717,26 @@ Result<std::string> DoStats(Service& service) {
   sched_obj.emplace("mean_service_ms", Value(sched.mean_service_ms));
   sched_obj.emplace("retry_after_ms", Value(sched.retry_after_ms));
   payload.emplace("scheduler", Value(std::move(sched_obj)));
+
+  // Per-verb latency/throughput: exact mean/stddev from the Welford
+  // accumulators, p50/p99 from the log-scale histograms.
+  Value::Array verbs;
+  for (const VerbMetrics::VerbSnapshot& v : service.metrics().Snapshot()) {
+    Value::Object o;
+    o.emplace("verb", Value(v.verb));
+    o.emplace("count", Value(v.count));
+    o.emplace("errors", Value(v.errors));
+    o.emplace("mean_ms", Value(v.mean_ms));
+    o.emplace("stddev_ms", Value(v.stddev_ms));
+    o.emplace("min_ms", Value(v.min_ms));
+    o.emplace("max_ms", Value(v.max_ms));
+    o.emplace("p50_ms", Value(v.p50_ms));
+    o.emplace("p99_ms", Value(v.p99_ms));
+    o.emplace("requests_per_second", Value(v.requests_per_second));
+    verbs.push_back(Value(std::move(o)));
+  }
+  payload.emplace("verbs", Value(std::move(verbs)));
+  payload.emplace("uptime_seconds", Value(service.metrics().UptimeSeconds()));
 
   payload.emplace("cost_model_generation",
                   Value(mass::BackendCostModelGeneration()));
@@ -769,32 +857,121 @@ Result<std::string> DoCalibrate() {
 
 }  // namespace
 
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+             .count() *
+         1e3;
+}
+
+/// Blocking adapter for the sync entry points: parks the caller until the
+/// async path invokes the captured callback (which may happen on a
+/// scheduler worker thread).
+struct SyncWaiter {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::string response;
+  bool signalled = false;
+};
+
+Service::ResponseCallback CaptureInto(std::shared_ptr<SyncWaiter> waiter) {
+  return [waiter = std::move(waiter)](std::string response) {
+    {
+      std::lock_guard<std::mutex> lock(waiter->mutex);
+      waiter->response = std::move(response);
+      waiter->signalled = true;
+    }
+    waiter->cv.notify_one();
+  };
+}
+
+std::string AwaitResponse(SyncWaiter& waiter) {
+  std::unique_lock<std::mutex> lock(waiter.mutex);
+  waiter.cv.wait(lock, [&] { return waiter.signalled; });
+  return std::move(waiter.response);
+}
+
+}  // namespace
+
+/// One query request in flight through the async path: everything needed
+/// to execute it (or re-execute it after a fail-over promotion), deliver
+/// its response, and account for it — independent of the calling thread.
+struct Service::RequestContext {
+  Value id;
+  std::string verb;
+  QueryScheduler::Job job;
+  std::shared_ptr<std::atomic<bool>> partial_flag;
+  std::string cache_key;
+  int priority = 0;
+  Deadline deadline;
+  std::size_t page_bytes = 0;
+  ResponseCallback done;
+  std::chrono::steady_clock::time_point started_at;
+};
+
 Service::Service(const ServiceOptions& options)
     : options_(options),
       cache_(options.cache_capacity),
       scheduler_(SchedulerOptions{options.workers, options.queue_capacity}) {}
 
+void Service::HandleRequestAsync(const std::string& line,
+                                 ResponseCallback done) {
+  Handle(line, options_.page_bytes, std::move(done));
+}
+
+std::string Service::HandleRequest(const std::string& line) {
+  auto waiter = std::make_shared<SyncWaiter>();
+  Handle(line, options_.page_bytes, CaptureInto(waiter));
+  return AwaitResponse(*waiter);
+}
+
 std::string Service::HandleRequestLine(const std::string& line) {
+  auto waiter = std::make_shared<SyncWaiter>();
+  Handle(line, /*page_bytes=*/0, CaptureInto(waiter));
+  std::string wire = AwaitResponse(*waiter);
+  if (!wire.empty() && wire.back() == '\n') wire.pop_back();
+  return wire;
+}
+
+void Service::Handle(const std::string& line, std::size_t page_bytes,
+                     ResponseCallback done) {
+  const auto started = std::chrono::steady_clock::now();
   Value id;  // null until the request proves parseable
+  std::string verb;
+
+  // Synchronous delivery for everything resolved inline: admin verbs,
+  // cache hits, and every validation error. (The query path below moves
+  // `done` into its context instead; control flow guarantees these
+  // lambdas are never touched after that.)
+  const auto fail = [&](const Status& status) {
+    metrics_.Record(verb.empty() ? "invalid" : verb, ElapsedMs(started),
+                    /*ok=*/false);
+    done(ErrorResponse(id, verb, status) + "\n");
+  };
+  const auto ok = [&](const std::string& payload, bool cached) {
+    metrics_.Record(verb, ElapsedMs(started), /*ok=*/true);
+    done(EncodeOkWire(id, verb, cached, /*coalesced=*/false, payload,
+                      page_bytes));
+  };
+
   Result<Value> parsed = json::Parse(line);
-  if (!parsed.ok()) return ErrorResponse(id, "", parsed.status());
+  if (!parsed.ok()) return fail(parsed.status());
   const Value& request = *parsed;
   if (!request.is_object()) {
-    return ErrorResponse(
-        id, "", Status::InvalidArgument("request must be a JSON object"));
+    return fail(Status::InvalidArgument("request must be a JSON object"));
   }
   if (const Value* idv = request.Find("id")) id = *idv;
-  const std::string verb = request.GetString("verb", "");
+  verb = request.GetString("verb", "");
   if (verb.empty()) {
-    return ErrorResponse(
-        id, verb,
+    return fail(
         Status::InvalidArgument("request must carry a string 'verb'"));
   }
   Value params{Value::Object{}};
   if (const Value* p = request.Find("params")) {
     if (!p->is_object()) {
-      return ErrorResponse(
-          id, verb, Status::InvalidArgument("'params' must be an object"));
+      return fail(Status::InvalidArgument("'params' must be an object"));
     }
     params = *p;
   }
@@ -803,68 +980,64 @@ std::string Service::HandleRequestLine(const std::string& line) {
   // ---- admin verbs: inline ----
   if (verb == "load") {
     Result<std::string> payload = DoLoad(registry_, dataset_name, params);
-    if (!payload.ok()) return ErrorResponse(id, verb, payload.status());
-    return OkResponse(id, verb, /*cached=*/false, *payload);
+    if (!payload.ok()) return fail(payload.status());
+    return ok(*payload, /*cached=*/false);
   }
   if (verb == "unload") {
     if (dataset_name.empty()) {
-      return ErrorResponse(
-          id, verb,
+      return fail(
           Status::InvalidArgument("unload requires a 'dataset' name"));
     }
     const Status status = registry_.Unload(dataset_name);
-    if (!status.ok()) return ErrorResponse(id, verb, status);
+    if (!status.ok()) return fail(status);
     std::string payload = "{\"unloaded\":";
     json::AppendQuoted(dataset_name, &payload);
     payload += "}";
-    return OkResponse(id, verb, /*cached=*/false, payload);
+    return ok(payload, /*cached=*/false);
   }
   if (verb == "append") {
     Result<std::string> payload = DoAppend(registry_, dataset_name, params);
-    if (!payload.ok()) return ErrorResponse(id, verb, payload.status());
-    return OkResponse(id, verb, /*cached=*/false, *payload);
+    if (!payload.ok()) return fail(payload.status());
+    return ok(*payload, /*cached=*/false);
   }
   if (verb == "stats") {
     Result<std::string> payload = DoStats(*this);
-    if (!payload.ok()) return ErrorResponse(id, verb, payload.status());
-    return OkResponse(id, verb, /*cached=*/false, *payload);
+    if (!payload.ok()) return fail(payload.status());
+    return ok(*payload, /*cached=*/false);
   }
   if (verb == "calibrate") {
     Result<std::string> payload = DoCalibrate();
-    if (!payload.ok()) return ErrorResponse(id, verb, payload.status());
-    return OkResponse(id, verb, /*cached=*/false, *payload);
+    if (!payload.ok()) return fail(payload.status());
+    return ok(*payload, /*cached=*/false);
   }
   if (verb == "faults") {
     Result<std::string> payload = DoFaults(params);
-    if (!payload.ok()) return ErrorResponse(id, verb, payload.status());
-    return OkResponse(id, verb, /*cached=*/false, *payload);
+    if (!payload.ok()) return fail(payload.status());
+    return ok(*payload, /*cached=*/false);
   }
   if (verb == "health") {
     Result<std::string> payload = DoHealth(*this);
-    if (!payload.ok()) return ErrorResponse(id, verb, payload.status());
-    return OkResponse(id, verb, /*cached=*/false, *payload);
+    if (!payload.ok()) return fail(payload.status());
+    return ok(*payload, /*cached=*/false);
   }
   if (verb == "shutdown") {
     shutdown_.store(true, std::memory_order_release);
-    return OkResponse(id, verb, /*cached=*/false,
-                      "{\"shutting_down\":true}");
+    return ok("{\"shutting_down\":true}", /*cached=*/false);
   }
 
-  // ---- query verbs: cache -> scheduler ----
+  // ---- query verbs: coalesce -> scheduler ----
   const bool is_query_verb = verb == "motifs" || verb == "valmap" ||
                              verb == "profile" || verb == "query" ||
                              verb == "discords";
   if (!is_query_verb) {
-    return ErrorResponse(
-        id, verb, Status::InvalidArgument("unknown verb '" + verb + "'"));
+    return fail(Status::InvalidArgument("unknown verb '" + verb + "'"));
   }
   if (dataset_name.empty()) {
-    return ErrorResponse(
-        id, verb,
+    return fail(
         Status::InvalidArgument(verb + " requires a 'dataset' name"));
   }
   Result<std::shared_ptr<Dataset>> dataset = registry_.Get(dataset_name);
-  if (!dataset.ok()) return ErrorResponse(id, verb, dataset.status());
+  if (!dataset.ok()) return fail(dataset.status());
 
   Result<QueryPlan> plan = [&]() -> Result<QueryPlan> {
     if (verb == "motifs") return PlanValmod(*dataset, params, false);
@@ -873,14 +1046,7 @@ std::string Service::HandleRequestLine(const std::string& line) {
     if (verb == "query") return PlanQuery(*dataset, params);
     return PlanDiscords(*dataset, params);
   }();
-  if (!plan.ok()) return ErrorResponse(id, verb, plan.status());
-
-  const bool cacheable = !plan->cache_key.empty();
-  if (cacheable) {
-    if (std::shared_ptr<const std::string> hit = cache_.Get(plan->cache_key)) {
-      return OkResponse(id, verb, /*cached=*/true, *hit);
-    }
-  }
+  if (!plan.ok()) return fail(plan.status());
 
   // Envelope numerics: wrong *types* are rejected (a string "5000" for
   // timeout_ms silently running unbounded would be the opposite of the
@@ -891,10 +1057,8 @@ std::string Service::HandleRequestLine(const std::string& line) {
   for (const char* field : {"timeout_ms", "priority"}) {
     const Value* v = request.Find(field);
     if (v != nullptr && !v->is_number()) {
-      return ErrorResponse(id, verb,
-                           Status::InvalidArgument(
-                               std::string("'") + field +
-                               "' must be a number"));
+      return fail(Status::InvalidArgument(std::string("'") + field +
+                                          "' must be a number"));
     }
   }
   const double timeout_ms =
@@ -905,23 +1069,130 @@ std::string Service::HandleRequestLine(const std::string& line) {
   } else if (options_.default_timeout_seconds > 0.0) {
     deadline = Deadline::After(options_.default_timeout_seconds);
   }
-  const int priority = static_cast<int>(
+
+  auto ctx = std::make_shared<RequestContext>();
+  ctx->id = id;
+  ctx->verb = verb;
+  ctx->partial_flag = plan->partial_flag;
+  ctx->cache_key = std::move(plan->cache_key);
+  ctx->priority = static_cast<int>(
       std::clamp(request.GetNumber("priority", 0.0), -1.0e6, 1.0e6));
+  ctx->deadline = deadline;
+  ctx->page_bytes = page_bytes;
+  ctx->done = std::move(done);
+  ctx->started_at = started;
+  // The fault point's hit counter increments once per job *execution*
+  // while armed, which is exactly what the coalescing tests and the
+  // bench's miss-storm probe count as "underlying computations".
+  ctx->job = [job = std::move(plan->job)](
+                 const Deadline& d) -> Result<std::string> {
+    const Status fault = VALMOD_FAULT_POINT("server.query.compute");
+    if (!fault.ok()) return fault;
+    return job(d);
+  };
 
-  Result<std::shared_ptr<QueryScheduler::Ticket>> ticket =
-      scheduler_.Submit(std::move(plan->job), priority, deadline);
-  if (!ticket.ok()) return ErrorResponse(id, verb, ticket.status());
-  Result<std::string> payload = (*ticket)->Wait();
-  if (!payload.ok()) return ErrorResponse(id, verb, payload.status());
-
-  const bool partial =
-      plan->partial_flag != nullptr &&
-      plan->partial_flag->load(std::memory_order_relaxed);
-  if (cacheable && !partial) {
-    cache_.Put(plan->cache_key,
-               std::make_shared<const std::string>(*payload));
+  if (ctx->cache_key.empty()) {
+    // No computation identity: nothing to look up or coalesce against.
+    ExecuteAsLeader(ctx);
+    return;
   }
-  return OkResponse(id, verb, /*cached=*/false, *payload);
+  ResultCache::InFlightWaiter waiter;
+  waiter.deliver = [this, ctx](std::shared_ptr<const std::string> value) {
+    if (ctx->deadline.Expired()) {
+      DeliverError(ctx, Status::DeadlineExceeded(
+                            "deadline expired while coalesced behind an "
+                            "identical in-flight request"));
+      return;
+    }
+    DeliverOk(ctx, *value, /*cached=*/false, /*coalesced=*/true);
+  };
+  waiter.promote = [this, ctx] { ExecuteAsLeader(ctx); };
+  const ResultCache::FlightLookup lookup =
+      cache_.GetOrJoin(ctx->cache_key, std::move(waiter));
+  switch (lookup.state) {
+    case ResultCache::FlightState::kHit:
+      DeliverOk(ctx, *lookup.value, /*cached=*/true, /*coalesced=*/false);
+      return;
+    case ResultCache::FlightState::kJoined:
+      return;  // parked; the leader's completion fans out to us
+    case ResultCache::FlightState::kLeader:
+      ExecuteAsLeader(ctx);
+      return;
+  }
+}
+
+void Service::ExecuteAsLeader(const std::shared_ptr<RequestContext>& ctx) {
+  Result<std::shared_ptr<QueryScheduler::Ticket>> ticket = scheduler_.Submit(
+      ctx->job, ctx->priority, ctx->deadline,
+      [this, ctx](const Result<std::string>& result) {
+        OnLeaderComplete(ctx, result);
+      });
+  if (!ticket.ok()) {
+    // Never admitted, so the completion will not fire. Deliver the
+    // overload error here and pass leadership on — a parked waiter may
+    // carry a higher priority or arrive at a drained queue.
+    const std::string key = ctx->cache_key;
+    DeliverError(ctx, ticket.status());
+    if (!key.empty()) FailOverFlight(key);
+  }
+}
+
+void Service::OnLeaderComplete(const std::shared_ptr<RequestContext>& ctx,
+                               const Result<std::string>& result) {
+  const std::string& key = ctx->cache_key;
+  if (!result.ok()) {
+    DeliverError(ctx, result.status());
+    if (!key.empty()) FailOverFlight(key);
+    return;
+  }
+  const bool partial = ctx->partial_flag != nullptr &&
+                       ctx->partial_flag->load(std::memory_order_relaxed);
+  if (partial) {
+    // A deadline-truncated payload is private to the leader that opted
+    // into allow_partial: it is never cached, and fanning it out would
+    // hand waiters a truncated answer they did not ask for — the next
+    // waiter computes for itself instead.
+    DeliverOk(ctx, *result, /*cached=*/false, /*coalesced=*/false);
+    if (!key.empty()) FailOverFlight(key);
+    return;
+  }
+  auto value = std::make_shared<const std::string>(*result);
+  // Close the flight (store the value, collect the waiters) BEFORE
+  // delivering to the leader: the moment the leader's client sees its
+  // response, an identical follow-up request must find a cache hit, not
+  // a stale open flight.
+  std::vector<ResultCache::InFlightWaiter> waiters;
+  if (!key.empty()) {
+    waiters = cache_.CompleteFlight(key, value, /*cache_value=*/true);
+  }
+  DeliverOk(ctx, *value, /*cached=*/false, /*coalesced=*/false);
+  for (ResultCache::InFlightWaiter& waiter : waiters) {
+    waiter.deliver(value);
+  }
+}
+
+void Service::FailOverFlight(const std::string& key) {
+  // The promotion runs outside the cache lock; a promotion that fails
+  // admission recurses here with one fewer waiter, so the chain always
+  // terminates.
+  if (std::optional<ResultCache::InFlightWaiter> next =
+          cache_.FailFlight(key)) {
+    next->promote();
+  }
+}
+
+void Service::DeliverOk(const std::shared_ptr<RequestContext>& ctx,
+                        const std::string& payload, bool cached,
+                        bool coalesced) {
+  metrics_.Record(ctx->verb, ElapsedMs(ctx->started_at), /*ok=*/true);
+  ctx->done(EncodeOkWire(ctx->id, ctx->verb, cached, coalesced, payload,
+                         ctx->page_bytes));
+}
+
+void Service::DeliverError(const std::shared_ptr<RequestContext>& ctx,
+                           const Status& status) {
+  metrics_.Record(ctx->verb, ElapsedMs(ctx->started_at), /*ok=*/false);
+  ctx->done(ErrorResponse(ctx->id, ctx->verb, status) + "\n");
 }
 
 }  // namespace valmod::service

@@ -3,8 +3,11 @@
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <string>
 
+#include "service/metrics.h"
 #include "service/registry.h"
 #include "service/result_cache.h"
 #include "service/scheduler.h"
@@ -16,23 +19,43 @@ struct ServiceOptions {
   int workers = 4;
   /// Bounded admission queue capacity.
   std::size_t queue_capacity = 64;
-  /// Result cache entries; 0 disables response caching.
+  /// Result cache entries; 0 disables response caching (miss coalescing
+  /// stays active — deduplicating concurrent work is independent of
+  /// memoizing finished work).
   std::size_t cache_capacity = 128;
   /// Deadline applied to requests that carry no `timeout_ms`; 0 = none.
   double default_timeout_seconds = 0.0;
+  /// Responses whose serialized result exceeds this are paged as a
+  /// sequence of bounded NDJSON chunk lines instead of one multi-megabyte
+  /// line (see HandleRequestAsync). 0 disables paging.
+  std::size_t page_bytes = 1 << 20;
 };
 
 /// The VALMOD motif-discovery service: long-lived serving state (dataset
 /// registry + result cache) plus concurrent request execution (scheduler),
 /// speaking a newline-delimited JSON protocol.
 ///
-/// One request per line in, exactly one response line out:
+/// One request per line in; one response out — usually one line, but a
+/// result larger than `page_bytes` is paged as several lines:
 ///
 ///   {"id":1,"verb":"motifs","dataset":"ecg",
 ///    "params":{"lmin":100,"lmax":120,"k":3},"priority":0,"timeout_ms":5000}
 ///   -> {"id":1,"ok":true,"verb":"motifs","cached":false,"result":{...}}
 ///
-/// Errors are structured, never fatal:
+/// Paged responses carry the serialized result split across `chunk`
+/// string fragments; every page repeats the envelope:
+///
+///   -> {"id":1,"ok":true,...,"partial":true,"seq":0,"chunk":"{\"size\":"}
+///   -> {"id":1,"ok":true,...,"partial":false,"seq":1,"pages":2,
+///       "chunk":"1024,...}"}
+///
+/// (concatenating the chunks in `seq` order reproduces the `result`
+/// bytes; the final page has "partial":false and the page count). This
+/// envelope-level "partial" — more pages follow — is distinct from the
+/// in-result "partial" written by allow_partial, which means the
+/// *computation* was deadline-truncated.
+///
+/// Errors are structured, never fatal, and never paged:
 ///   -> {"id":1,"ok":false,"verb":"motifs",
 ///       "error":{"code":"InvalidArgument","message":"..."}}
 ///
@@ -43,22 +66,48 @@ struct ServiceOptions {
 ///            the bounded queue with priorities/deadlines; responses are
 ///            memoized in the result cache)
 ///
+/// Identical concurrent cache misses are coalesced by cache key: the
+/// first becomes the leader and computes, the rest park as waiters and
+/// receive the leader's bytes (flagged "coalesced":true) — one
+/// computation, N responses. A failed/cancelled leader fails over to the
+/// next waiter instead of erroring everyone; a leader whose own run was
+/// deadline-truncated (allow_partial) keeps its partial payload private
+/// and the waiters fail over the same way, so truncated bytes are neither
+/// cached nor fanned out.
+///
 /// Overload errors (queue full / request shed) use code ResourceExhausted
 /// and carry a `retry_after_ms` backoff hint; see README "Robustness" for
 /// the full error-code table and the retry contract.
 ///
-/// `HandleRequestLine` is safe to call from any number of threads — the
-/// TCP front end calls it from one thread per connection, the --stdio mode
-/// from its single reader loop, and the bench from N client threads. See
+/// All entry points are safe to call from any number of threads. See
 /// README "Serving" for the full protocol reference.
 class Service {
  public:
+  /// Receives one complete response: one or more '\n'-terminated NDJSON
+  /// lines (several when the response is paged). Invoked exactly once per
+  /// request — synchronously for admin verbs, cache hits, and errors;
+  /// from a scheduler worker thread for computed query responses. It must
+  /// be callable from any thread and should not block.
+  using ResponseCallback = std::function<void(std::string response)>;
+
   explicit Service(const ServiceOptions& options = {});
 
-  /// Processes one request line and returns one response line (no trailing
-  /// newline). Never throws and never kills the process: malformed JSON,
-  /// unknown verbs, bad params, expired deadlines, and full queues all
-  /// come back as structured error responses.
+  /// Async entry point (the epoll front end's path): processes one
+  /// request line and hands the response to `done` instead of blocking
+  /// the caller. Never throws and never kills the process: malformed
+  /// JSON, unknown verbs, bad params, expired deadlines, and full queues
+  /// all come back as structured error responses.
+  void HandleRequestAsync(const std::string& line, ResponseCallback done);
+
+  /// Synchronous wrapper over HandleRequestAsync: blocks until the
+  /// response is ready and returns the same wire bytes ('\n'-terminated,
+  /// paged when large). Used by --stdio mode, which thereby shares the
+  /// paged-response encoder with TCP.
+  std::string HandleRequest(const std::string& line);
+
+  /// Legacy synchronous single-line entry point: like HandleRequest but
+  /// never pages (one response line, no trailing newline), preserving the
+  /// original line-in/line-out contract for embedders and tests.
   std::string HandleRequestLine(const std::string& line);
 
   /// Set by the `shutdown` verb; the front ends exit their accept/read
@@ -70,14 +119,44 @@ class Service {
   DatasetRegistry& registry() { return registry_; }
   ResultCache& result_cache() { return cache_; }
   QueryScheduler& scheduler() { return scheduler_; }
+  VerbMetrics& metrics() { return metrics_; }
   const ServiceOptions& options() const { return options_; }
 
  private:
+  struct RequestContext;
+
+  /// Shared implementation: parse, validate, dispatch. `page_bytes`
+  /// bounds the per-line result size (0 = never page).
+  void Handle(const std::string& line, std::size_t page_bytes,
+              ResponseCallback done);
+
+  /// Submits `ctx` as the leader of its flight (or as a plain request
+  /// when it has no cache key). On admission failure the error is
+  /// delivered and the flight fails over to the next waiter.
+  void ExecuteAsLeader(const std::shared_ptr<RequestContext>& ctx);
+  /// Leader's scheduler completion: fan out success, fail over errors and
+  /// partial (deadline-truncated) payloads.
+  void OnLeaderComplete(const std::shared_ptr<RequestContext>& ctx,
+                        const Result<std::string>& result);
+  /// Promotes the next parked waiter of `key`'s flight, if any.
+  void FailOverFlight(const std::string& key);
+
+  /// Terminal delivery: records per-verb metrics and invokes the
+  /// context's callback with the encoded wire bytes. Each context reaches
+  /// exactly one Deliver call.
+  void DeliverOk(const std::shared_ptr<RequestContext>& ctx,
+                 const std::string& payload, bool cached, bool coalesced);
+  void DeliverError(const std::shared_ptr<RequestContext>& ctx,
+                    const Status& status);
+
   const ServiceOptions options_;
   DatasetRegistry registry_;
   ResultCache cache_;
-  QueryScheduler scheduler_;
+  VerbMetrics metrics_;
   std::atomic<bool> shutdown_{false};
+  /// Declared last so it is destroyed first: in-flight completions still
+  /// touch the cache and metrics above while the scheduler drains.
+  QueryScheduler scheduler_;
 };
 
 }  // namespace valmod::service

@@ -1,0 +1,137 @@
+// Tests for the per-verb latency metrics: the Welford accumulator's exact
+// moments, the log-scale histogram's bucket math and quantile bounds, and
+// the VerbMetrics snapshot the `stats` verb serializes.
+
+#include "service/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace valmod::service {
+namespace {
+
+TEST(WelfordTest, MatchesClosedFormMoments) {
+  WelfordAccumulator acc;
+  const std::vector<double> samples = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double s : samples) acc.Add(s);
+  EXPECT_EQ(acc.n, samples.size());
+  EXPECT_DOUBLE_EQ(acc.mean, 5.0);
+  // Population variance of the classic example set is exactly 4.
+  EXPECT_DOUBLE_EQ(acc.Variance(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.StdDev(), 2.0);
+}
+
+TEST(WelfordTest, StableUnderLargeOffset) {
+  // The naive sum-of-squares formula loses all precision here; Welford
+  // must not.
+  WelfordAccumulator acc;
+  const double offset = 1e9;
+  for (double s : {offset + 1.0, offset + 2.0, offset + 3.0}) acc.Add(s);
+  EXPECT_DOUBLE_EQ(acc.mean, offset + 2.0);
+  EXPECT_NEAR(acc.Variance(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(WelfordTest, DegenerateCounts) {
+  WelfordAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.Variance(), 0.0);
+  acc.Add(42.0);
+  EXPECT_DOUBLE_EQ(acc.mean, 42.0);
+  EXPECT_DOUBLE_EQ(acc.Variance(), 0.0);  // defined from two samples on
+}
+
+TEST(LatencyHistogramTest, BucketMathRoundTrips) {
+  // Each bucket's lower bound must map back to that bucket's index.
+  for (int i = 0; i < LatencyHistogram::kBucketCount; i += 7) {
+    const double lower = LatencyHistogram::BucketLowerMs(i);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(lower), i) << "bucket " << i;
+  }
+  // Underflow clamps to the first bucket, overflow to the last.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1e12),
+            LatencyHistogram::kBucketCount - 1);
+}
+
+TEST(LatencyHistogramTest, QuantilesWithinBucketResolution) {
+  LatencyHistogram hist;
+  // 100 samples spread uniformly over [1, 100] ms.
+  for (int i = 1; i <= 100; ++i) hist.Record(static_cast<double>(i));
+  EXPECT_EQ(hist.count(), 100u);
+  EXPECT_DOUBLE_EQ(hist.min_ms(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.max_ms(), 100.0);
+  // Quarter-octave buckets bound the relative error at 2^(1/4) ≈ 1.19;
+  // allow a full bucket either side.
+  const double p50 = hist.QuantileMs(0.5);
+  EXPECT_GE(p50, 50.0 / 1.2);
+  EXPECT_LE(p50, 50.0 * 1.2);
+  const double p99 = hist.QuantileMs(0.99);
+  EXPECT_GE(p99, 99.0 / 1.2);
+  EXPECT_LE(p99, 100.0);  // clamped to the observed max
+  // Quantiles never leave the observed range.
+  EXPECT_GE(hist.QuantileMs(0.0), 1.0);
+  EXPECT_LE(hist.QuantileMs(1.0), 100.0);
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.QuantileMs(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist.min_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.max_ms(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleQuantileIsThatSample) {
+  LatencyHistogram hist;
+  hist.Record(3.7);
+  // Clamping to observed min/max beats the bucket midpoint here.
+  EXPECT_DOUBLE_EQ(hist.QuantileMs(0.5), 3.7);
+  EXPECT_DOUBLE_EQ(hist.QuantileMs(0.99), 3.7);
+}
+
+TEST(VerbMetricsTest, SnapshotPartitionsByVerbAndCountsErrors) {
+  VerbMetrics metrics;
+  metrics.Record("motifs", 10.0, true);
+  metrics.Record("motifs", 20.0, true);
+  metrics.Record("motifs", 30.0, false);
+  metrics.Record("stats", 0.5, true);
+  const auto snapshot = metrics.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  // Sorted by verb name.
+  EXPECT_EQ(snapshot[0].verb, "motifs");
+  EXPECT_EQ(snapshot[1].verb, "stats");
+  EXPECT_EQ(snapshot[0].count, 3u);
+  EXPECT_EQ(snapshot[0].errors, 1u);  // latency recorded either way
+  EXPECT_DOUBLE_EQ(snapshot[0].mean_ms, 20.0);
+  EXPECT_DOUBLE_EQ(snapshot[0].min_ms, 10.0);
+  EXPECT_DOUBLE_EQ(snapshot[0].max_ms, 30.0);
+  EXPECT_GT(snapshot[0].p50_ms, 0.0);
+  EXPECT_GE(snapshot[0].p99_ms, snapshot[0].p50_ms);
+  EXPECT_EQ(snapshot[1].count, 1u);
+  EXPECT_EQ(snapshot[1].errors, 0u);
+  EXPECT_GT(snapshot[0].requests_per_second, 0.0);
+  EXPECT_GT(metrics.UptimeSeconds(), 0.0);
+}
+
+TEST(VerbMetricsTest, ConcurrentRecordsAreSafeAndComplete) {
+  VerbMetrics metrics;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&metrics, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        metrics.Record(t % 2 == 0 ? "a" : "b", 1.0 + i, i % 10 == 0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto snapshot = metrics.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].count + snapshot[1].count,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace valmod::service

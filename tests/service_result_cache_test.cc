@@ -88,6 +88,136 @@ TEST(ResultCacheTest, GenerationChangesMissNaturally) {
   EXPECT_EQ(cache.Get(recal_key), nullptr);
 }
 
+// --- In-flight coalescing (the flight protocol) -------------------------
+
+/// Builds a waiter whose callbacks record what happened into the given
+/// slots (delivered payload, promotion count).
+ResultCache::InFlightWaiter RecordingWaiter(std::string* delivered,
+                                            int* promoted) {
+  ResultCache::InFlightWaiter waiter;
+  waiter.deliver = [delivered](std::shared_ptr<const std::string> value) {
+    *delivered = value == nullptr ? "<null>" : *value;
+  };
+  waiter.promote = [promoted] { ++*promoted; };
+  return waiter;
+}
+
+TEST(ResultCacheFlightTest, FirstMissLeadsSecondJoinsCompleteFansOut) {
+  ResultCache cache(4);
+  std::string delivered;
+  int promoted = 0;
+
+  auto first = cache.GetOrJoin("k", RecordingWaiter(&delivered, &promoted));
+  EXPECT_EQ(first.state, ResultCache::FlightState::kLeader);
+  auto second = cache.GetOrJoin("k", RecordingWaiter(&delivered, &promoted));
+  EXPECT_EQ(second.state, ResultCache::FlightState::kJoined);
+  EXPECT_EQ(cache.stats().inflight, 1u);
+  EXPECT_EQ(cache.stats().coalesced, 1u);
+
+  auto waiters = cache.CompleteFlight("k", Payload("v"), /*cache_value=*/true);
+  ASSERT_EQ(waiters.size(), 1u);
+  waiters[0].deliver(Payload("v"));
+  EXPECT_EQ(delivered, "v");
+  EXPECT_EQ(promoted, 0);
+  EXPECT_EQ(cache.stats().inflight, 0u);
+
+  // The completed value was stored: the next lookup is a plain hit.
+  auto third = cache.GetOrJoin("k", RecordingWaiter(&delivered, &promoted));
+  EXPECT_EQ(third.state, ResultCache::FlightState::kHit);
+  ASSERT_NE(third.value, nullptr);
+  EXPECT_EQ(*third.value, "v");
+}
+
+TEST(ResultCacheFlightTest, CompleteWithoutCachingFansOutButStoresNothing) {
+  ResultCache cache(4);
+  std::string delivered;
+  int promoted = 0;
+  ASSERT_EQ(cache.GetOrJoin("k", RecordingWaiter(&delivered, &promoted)).state,
+            ResultCache::FlightState::kLeader);
+  ASSERT_EQ(cache.GetOrJoin("k", RecordingWaiter(&delivered, &promoted)).state,
+            ResultCache::FlightState::kJoined);
+  auto waiters =
+      cache.CompleteFlight("k", Payload("v"), /*cache_value=*/false);
+  EXPECT_EQ(waiters.size(), 1u);
+  EXPECT_EQ(cache.Get("k"), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCacheFlightTest, FailFlightPromotesWaitersInArrivalOrder) {
+  ResultCache cache(4);
+  std::string delivered_a, delivered_b;
+  int promoted_a = 0, promoted_b = 0;
+  ASSERT_EQ(
+      cache.GetOrJoin("k", RecordingWaiter(&delivered_a, &promoted_a)).state,
+      ResultCache::FlightState::kLeader);
+  // Leader's own waiter was discarded; park two more.
+  ASSERT_EQ(
+      cache.GetOrJoin("k", RecordingWaiter(&delivered_a, &promoted_a)).state,
+      ResultCache::FlightState::kJoined);
+  ASSERT_EQ(
+      cache.GetOrJoin("k", RecordingWaiter(&delivered_b, &promoted_b)).state,
+      ResultCache::FlightState::kJoined);
+
+  // Leader fails: the FIRST waiter is promoted, the flight stays open.
+  auto next = cache.FailFlight("k");
+  ASSERT_TRUE(next.has_value());
+  next->promote();
+  EXPECT_EQ(promoted_a, 1);
+  EXPECT_EQ(promoted_b, 0);
+  EXPECT_EQ(cache.stats().failovers, 1u);
+  EXPECT_EQ(cache.stats().inflight, 1u);
+
+  // A new arrival still joins the open flight behind waiter b.
+  std::string delivered_c;
+  int promoted_c = 0;
+  ASSERT_EQ(
+      cache.GetOrJoin("k", RecordingWaiter(&delivered_c, &promoted_c)).state,
+      ResultCache::FlightState::kJoined);
+
+  // The promoted leader completes: both remaining waiters fan out.
+  auto waiters = cache.CompleteFlight("k", Payload("v"), /*cache_value=*/true);
+  EXPECT_EQ(waiters.size(), 2u);
+  EXPECT_EQ(cache.stats().inflight, 0u);
+}
+
+TEST(ResultCacheFlightTest, FailFlightWithNoWaitersClosesTheFlight) {
+  ResultCache cache(4);
+  std::string delivered;
+  int promoted = 0;
+  ASSERT_EQ(cache.GetOrJoin("k", RecordingWaiter(&delivered, &promoted)).state,
+            ResultCache::FlightState::kLeader);
+  EXPECT_FALSE(cache.FailFlight("k").has_value());
+  EXPECT_EQ(cache.stats().inflight, 0u);
+  // The key is free again: the next miss opens a fresh flight.
+  EXPECT_EQ(cache.GetOrJoin("k", RecordingWaiter(&delivered, &promoted)).state,
+            ResultCache::FlightState::kLeader);
+}
+
+TEST(ResultCacheFlightTest, FlightsCoalesceEvenAtZeroCapacity) {
+  ResultCache cache(0);  // caching disabled; coalescing must still work
+  std::string delivered;
+  int promoted = 0;
+  ASSERT_EQ(cache.GetOrJoin("k", RecordingWaiter(&delivered, &promoted)).state,
+            ResultCache::FlightState::kLeader);
+  ASSERT_EQ(cache.GetOrJoin("k", RecordingWaiter(&delivered, &promoted)).state,
+            ResultCache::FlightState::kJoined);
+  auto waiters = cache.CompleteFlight("k", Payload("v"), /*cache_value=*/true);
+  EXPECT_EQ(waiters.size(), 1u);
+  // cache_value was true but capacity 0 stores nothing.
+  EXPECT_EQ(cache.Get("k"), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCacheFlightTest, CompleteWithoutOpenFlightBehavesLikePut) {
+  ResultCache cache(4);
+  auto waiters = cache.CompleteFlight("k", Payload("v"), /*cache_value=*/true);
+  EXPECT_TRUE(waiters.empty());
+  auto hit = cache.Get("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "v");
+  EXPECT_FALSE(cache.FailFlight("absent").has_value());
+}
+
 TEST(ResultCacheTest, ConcurrentGetPutIsSafe) {
   ResultCache cache(16);
   std::vector<std::thread> threads;

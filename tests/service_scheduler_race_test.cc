@@ -10,7 +10,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -229,6 +231,94 @@ TEST(SchedulerRaceTest, StatsRacingExecutionSeesTheStalledJob) {
   EXPECT_EQ(after.stalled, 0u);
   EXPECT_EQ(after.overruns, 1u);
   EXPECT_EQ(after.completed, 6u);
+}
+
+// The async completion callback (the event loop's path into the
+// scheduler) must fire exactly once per ticket, off every terminal
+// transition — normal completion, cancellation, and shutdown orphaning —
+// and never for a never-admitted submission.
+TEST(SchedulerRaceTest, CompletionFiresExactlyOncePerTerminalTicket) {
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    constexpr int kJobs = 12;
+    std::atomic<int> completions{0};
+    std::vector<std::shared_ptr<QueryScheduler::Ticket>> tickets;
+    {
+      SchedulerOptions options;
+      options.num_workers = 2;
+      options.queue_capacity = 64;
+      QueryScheduler scheduler(options);
+      for (int i = 0; i < kJobs; ++i) {
+        auto ticket = scheduler.Submit(
+            [](const Deadline&) {
+              std::this_thread::sleep_for(1ms);
+              return Result<std::string>(std::string("ok"));
+            },
+            /*priority=*/0, Deadline(),
+            [&completions](const Result<std::string>& result) {
+              // Completed normally or orphaned by shutdown; both are
+              // terminal and both must invoke the callback.
+              EXPECT_TRUE(result.ok() || result.status().code() ==
+                                             StatusCode::kDeadlineExceeded);
+              completions.fetch_add(1, std::memory_order_relaxed);
+            });
+        ASSERT_TRUE(ticket.ok());
+        tickets.push_back(*ticket);
+      }
+      // Cancel a few tickets concurrently with execution and destruction.
+      std::thread canceller([&tickets] {
+        for (std::size_t i = 0; i < tickets.size(); i += 3) {
+          tickets[i]->Cancel();
+        }
+      });
+      canceller.join();
+      // Scheduler destructor races the in-flight jobs here.
+    }
+    EXPECT_EQ(completions.load(), kJobs)
+        << "every admitted ticket fires its completion exactly once";
+    // The latched result a Wait() observes matches what the completion
+    // already saw — the callback is not a second result channel.
+    for (const auto& ticket : tickets) {
+      EXPECT_TRUE(ticket->Done());
+    }
+  }
+}
+
+// A completion that re-enters the scheduler (the fail-over path: a failed
+// leader's completion promotes a waiter, which submits a fresh job) must
+// not deadlock or tear state.
+TEST(SchedulerRaceTest, CompletionMayReenterScheduler) {
+  SchedulerOptions options;
+  options.num_workers = 2;
+  QueryScheduler scheduler(options);
+  std::atomic<int> chained{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+
+  auto chain = scheduler.Submit(
+      [](const Deadline&) { return Result<std::string>(std::string("a")); },
+      /*priority=*/0, Deadline(),
+      [&](const Result<std::string>& result) {
+        ASSERT_TRUE(result.ok());
+        chained.fetch_add(1, std::memory_order_relaxed);
+        auto second = scheduler.Submit(
+            [](const Deadline&) {
+              return Result<std::string>(std::string("b"));
+            },
+            /*priority=*/0, Deadline(),
+            [&](const Result<std::string>& inner) {
+              ASSERT_TRUE(inner.ok());
+              chained.fetch_add(1, std::memory_order_relaxed);
+              std::lock_guard<std::mutex> lock(mutex);
+              done = true;
+              cv.notify_all();
+            });
+        EXPECT_TRUE(second.ok());
+      });
+  ASSERT_TRUE(chain.ok());
+  std::unique_lock<std::mutex> lock(mutex);
+  ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return done; }));
+  EXPECT_EQ(chained.load(), 2);
 }
 
 }  // namespace

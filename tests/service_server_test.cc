@@ -285,6 +285,135 @@ TEST(ServiceProtocolTest, StreamingAppendFlowsThroughGenerations) {
             "FailedPrecondition");
 }
 
+// HandleRequest (the paged entry point the TCP transports and --stdio
+// share) splits a large result into bounded chunk lines whose fragments
+// concatenate back to the exact unpaged payload.
+TEST(ServiceProtocolTest, HandleRequestPagesLargeResults) {
+  ServiceOptions options;
+  options.page_bytes = 512;
+  Service service(options);
+  ASSERT_TRUE(Ok(Roundtrip(service,
+      R"({"verb":"load","dataset":"d",)"
+      R"("params":{"generator":"sine","n":2048,"seed":5}})")));
+
+  const std::string request =
+      R"({"id":7,"verb":"profile","dataset":"d","params":{"l":64}})";
+  const std::string wire = service.HandleRequest(request);
+  ASSERT_FALSE(wire.empty());
+  ASSERT_EQ(wire.back(), '\n');
+
+  // Parse every line; reassemble the chunk fragments in seq order.
+  std::vector<Value> pages;
+  std::string payload;
+  std::size_t start = 0;
+  while (start < wire.size()) {
+    const std::size_t end = wire.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    auto page = json::Parse(wire.substr(start, end - start));
+    ASSERT_TRUE(page.ok());
+    pages.push_back(*page);
+    start = end + 1;
+  }
+  ASSERT_GT(pages.size(), 1u) << "a ~2000-row profile must page at 512 B";
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    const Value& page = pages[i];
+    EXPECT_TRUE(page.GetBool("ok", false));
+    EXPECT_DOUBLE_EQ(page.GetNumber("id", -1), 7.0);
+    EXPECT_EQ(page.GetString("verb", ""), "profile");
+    EXPECT_DOUBLE_EQ(page.GetNumber("seq", -1),
+                     static_cast<double>(i));
+    const bool last = i + 1 == pages.size();
+    EXPECT_EQ(page.GetBool("partial", last), !last);
+    if (last) {
+      EXPECT_DOUBLE_EQ(page.GetNumber("pages", 0),
+                       static_cast<double>(pages.size()));
+    }
+    const Value* chunk = page.Find("chunk");
+    ASSERT_NE(chunk, nullptr);
+    ASSERT_TRUE(chunk->is_string());
+    EXPECT_LE(chunk->AsString().size(), 512u);
+    payload += chunk->AsString();
+  }
+  // The reassembled payload is the legacy single-line response's result.
+  auto unpaged = json::Parse(service.HandleRequestLine(request));
+  ASSERT_TRUE(unpaged.ok());
+  EXPECT_TRUE(unpaged->GetBool("cached", false));
+  auto result = json::Parse(payload);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Serialize(), unpaged->Find("result")->Serialize());
+
+  // Errors are never paged: one line, no chunk field.
+  const std::string error_wire = service.HandleRequest(
+      R"({"verb":"profile","dataset":"absent","params":{"l":64}})");
+  EXPECT_EQ(error_wire.find('\n'), error_wire.size() - 1);
+  auto error = json::Parse(error_wire);
+  ASSERT_TRUE(error.ok());
+  EXPECT_FALSE(error->GetBool("ok", true));
+  EXPECT_EQ(error->Find("chunk"), nullptr);
+}
+
+// The profile verb's algo param: "stamp" computes through the snapshot's
+// shared MassEngine, agrees with the default STOMP result numerically,
+// and caches under its own key (the two algorithms never alias).
+TEST(ServiceProtocolTest, ProfileAlgoStampMatchesStomp) {
+  Service service;
+  ASSERT_TRUE(Ok(Roundtrip(service,
+      R"({"verb":"load","dataset":"d",)"
+      R"("params":{"generator":"ecg","n":1024,"seed":11}})")));
+
+  Value stomp = Roundtrip(service,
+      R"({"verb":"profile","dataset":"d","params":{"l":64}})");
+  ASSERT_TRUE(Ok(stomp)) << stomp.Serialize();
+  Value stamp = Roundtrip(service,
+      R"({"verb":"profile","dataset":"d",)"
+      R"("params":{"l":64,"algo":"stamp"}})");
+  ASSERT_TRUE(Ok(stamp)) << stamp.Serialize();
+  // Distinct cache keys: the stamp request is a miss, not a hit on the
+  // stomp entry.
+  EXPECT_FALSE(stamp.GetBool("cached", true));
+  EXPECT_EQ(stamp.Find("result")->GetString("algo", ""), "stamp");
+
+  const auto& stomp_distances =
+      stomp.Find("result")->Find("distances")->AsArray();
+  const auto& stamp_distances =
+      stamp.Find("result")->Find("distances")->AsArray();
+  ASSERT_EQ(stomp_distances.size(), stamp_distances.size());
+  for (std::size_t i = 0; i < stomp_distances.size(); ++i) {
+    EXPECT_NEAR(stamp_distances[i].AsDouble(), stomp_distances[i].AsDouble(),
+                2e-6)
+        << i;
+  }
+
+  // Repeating the stamp request hits its own cache entry.
+  Value again = Roundtrip(service,
+      R"({"verb":"profile","dataset":"d",)"
+      R"("params":{"l":64,"algo":"stamp"}})");
+  ASSERT_TRUE(Ok(again));
+  EXPECT_TRUE(again.GetBool("cached", false));
+
+  // An explicit default is accepted and shares the stomp entry.
+  Value explicit_stomp = Roundtrip(service,
+      R"({"verb":"profile","dataset":"d",)"
+      R"("params":{"l":64,"algo":"stomp"}})");
+  ASSERT_TRUE(Ok(explicit_stomp));
+  EXPECT_TRUE(explicit_stomp.GetBool("cached", false));
+
+  // Unknown algos are structured errors.
+  EXPECT_EQ(ErrorCode(Roundtrip(service,
+                R"({"verb":"profile","dataset":"d",)"
+                R"("params":{"l":64,"algo":"brute"}})")),
+            "InvalidArgument");
+
+  // algo does not apply to streaming datasets (their profile is
+  // maintained incrementally, not recomputed).
+  ASSERT_TRUE(Ok(Roundtrip(service,
+      R"({"verb":"load","dataset":"s","params":{"streaming_length":8}})")));
+  EXPECT_EQ(ErrorCode(Roundtrip(service,
+                R"({"verb":"profile","dataset":"s",)"
+                R"("params":{"algo":"stamp"}})")),
+            "InvalidArgument");
+}
+
 TEST(ServiceProtocolTest, AdmissionQueueFullIsAStructuredError) {
   ServiceOptions options;
   options.workers = 1;

@@ -81,7 +81,7 @@ inline constexpr std::string_view kGenerateFlags[] = {
 inline constexpr std::string_view kServerFlags[] = {
     "input", "column", "generate", "n", "seed", "allow-nonfinite",
     "stdio", "port", "workers", "queue", "cache", "timeout-s", "preload",
-    "calibrate",
+    "calibrate", "event-loop", "max-inflight", "page-bytes",
 };
 
 }  // namespace valmod::tools

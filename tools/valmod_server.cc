@@ -1,25 +1,28 @@
 // valmod_server — long-lived serving front end to the VALMOD suite.
 //
-// Speaks newline-delimited JSON (one request per line, one response line
-// back; protocol reference in README "Serving") over either:
+// Speaks newline-delimited JSON (one request per line; large results are
+// paged as bounded chunk lines — protocol reference in README "Serving")
+// over either:
 //
 //   --stdio        stdin/stdout — the zero-networking mode CI and scripts
 //                  drive; exits on EOF or the `shutdown` verb.
 //   --port=P       a localhost TCP socket (127.0.0.1 only — the server
 //                  executes file loads and unbounded compute on behalf of
-//                  clients, so it is strictly a local tool); one thread
-//                  per connection, each connection a serial request
-//                  stream, concurrency across connections bounded by the
-//                  scheduler's admission queue.
+//                  clients, so it is strictly a local tool). The default
+//                  transport is a single-threaded epoll event loop;
+//                  --event-loop=threads selects the legacy blocking
+//                  thread-per-connection transport for comparison.
 //
 // Serving state (dataset registry, shared MASS engines, result cache)
 // lives for the process: every request against a loaded dataset reuses
-// the engine's cached spectra, and repeated identical requests are O(1)
-// result-cache hits — the whole point versus one-shot valmod_cli runs.
+// the engine's cached spectra, repeated identical requests are O(1)
+// result-cache hits, and identical *concurrent* misses are coalesced
+// into one computation — the whole point versus one-shot valmod_cli runs.
 //
 // Examples:
 //   valmod_server --stdio
 //   valmod_server --port=7731 --workers=8 --queue=128 --cache=256
+//   valmod_server --port=0 --event-loop=threads --max-inflight=16
 //   valmod_server --stdio --preload=ecg --generate=ecg --n=20000
 //
 //   $ printf '%s\n' \
@@ -27,27 +30,17 @@
 //       '{"id":2,"verb":"motifs","dataset":"ecg","params":{"lmin":100,"lmax":110}}' \
 //     | valmod_server --stdio
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <atomic>
 #include <csignal>
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <memory>
-#include <mutex>
-#include <span>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "common/fault.h"
 #include "common/flags.h"
 #include "mass/backend.h"
 #include "service/server.h"
+#include "service/tcp_server.h"
 #include "tool_flags.h"
 
 namespace {
@@ -59,6 +52,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: valmod_server (--stdio | --port=<p, 0=ephemeral>) "
                "[--workers=4] [--queue=64] [--cache=128]\n"
+               "       [--event-loop=epoll|threads] [--max-inflight=64] "
+               "[--page-bytes=1048576]\n"
                "       [--timeout-s=<default deadline>] [--calibrate]\n"
                "       [--preload=<name> (--input=<csv> [--column=0] "
                "[--allow-nonfinite] | --generate=<gen> [--n] [--seed])]\n"
@@ -94,199 +89,12 @@ int RunStdio(Service& service) {
   std::string line;
   while (!service.shutdown_requested() && std::getline(std::cin, line)) {
     if (line.empty()) continue;
-    const std::string response = service.HandleRequestLine(line);
+    // HandleRequest shares the paged-response encoder with the TCP
+    // transports; the returned bytes are already '\n'-terminated.
+    const std::string response = service.HandleRequest(line);
     std::fputs(response.c_str(), stdout);
-    std::fputc('\n', stdout);
     std::fflush(stdout);
   }
-  return 0;
-}
-
-/// Live-connection bookkeeping shared by the accept loop and the
-/// per-connection threads. Two jobs:
-///  - shutdown: a `shutdown` verb must end the process even while other
-///    clients sit idle in read(); Wake() shutdown(2)s every live socket
-///    (including the listener — close() alone does not reliably wake a
-///    thread blocked in accept()/read() on the same fd, shutdown() does).
-///  - reaping: finished connection threads are joined from the accept
-///    loop, so a long-lived server does not accumulate one dead
-///    std::thread per connection ever served.
-class ConnectionSet {
- public:
-  explicit ConnectionSet(int listen_fd) : listen_fd_(listen_fd) {}
-
-  void Add(Service& service, int client_fd) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto conn = std::make_unique<Connection>();
-    conn->fd = client_fd;
-    Connection* raw = conn.get();
-    conn->thread = std::thread([this, &service, raw] {
-      ServeConnection(service, raw->fd, *this);
-      raw->done.store(true, std::memory_order_release);
-    });
-    connections_.push_back(std::move(conn));
-  }
-
-  /// Joins threads whose connections have finished. Called between
-  /// accepts; O(live connections).
-  void Reap() {
-    std::vector<std::unique_ptr<Connection>> finished;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      auto it = connections_.begin();
-      while (it != connections_.end()) {
-        if ((*it)->done.load(std::memory_order_acquire)) {
-          finished.push_back(std::move(*it));
-          it = connections_.erase(it);
-        } else {
-          ++it;
-        }
-      }
-    }
-    for (auto& conn : finished) conn->thread.join();  // finished: no block
-  }
-
-  /// Forces every blocked accept()/read() to return so the process can
-  /// exit. Idempotent.
-  void Wake() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    for (const auto& conn : connections_) {
-      ::shutdown(conn->fd, SHUT_RDWR);
-    }
-  }
-
-  /// Joins and closes everything still live (listener already closed by
-  /// the caller).
-  void JoinAll() {
-    std::vector<std::unique_ptr<Connection>> remaining;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      remaining.swap(connections_);
-    }
-    for (auto& conn : remaining) conn->thread.join();
-  }
-
- private:
-  struct Connection {
-    int fd = -1;
-    std::thread thread;
-    std::atomic<bool> done{false};
-  };
-
-  static void ServeConnection(Service& service, int fd, ConnectionSet& set);
-
-  const int listen_fd_;
-  std::mutex mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
-};
-
-/// Longest accepted request line. Generous (a 1M-point append of
-/// full-precision doubles fits), but bounded: a client streaming bytes
-/// with no newline must produce a structured error and a dropped
-/// connection, not unbounded buffer growth until the process is killed.
-constexpr std::size_t kMaxRequestLineBytes = 32u << 20;  // 32 MiB
-
-/// Writes the whole buffer to a client socket. MSG_NOSIGNAL (belt to the
-/// SIG_IGN braces in main): a client that closed its socket mid-response
-/// must surface as a failed send on this connection, never as a SIGPIPE
-/// that kills the process — and with it every other client's datasets.
-bool SendAll(int fd, const char* data, std::size_t size) {
-  std::size_t written = 0;
-  while (written < size) {
-    const ssize_t w = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
-    if (w <= 0) return false;
-    written += static_cast<std::size_t>(w);
-  }
-  return true;
-}
-
-/// One connection: a serial newline-delimited request stream.
-void ConnectionSet::ServeConnection(Service& service, int fd,
-                                    ConnectionSet& set) {
-  std::string buffer;
-  char chunk[4096];
-  for (;;) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    if (buffer.size() > kMaxRequestLineBytes &&
-        buffer.find('\n') == std::string::npos) {
-      const char* error =
-          "{\"id\":null,\"ok\":false,\"error\":{\"code\":\"InvalidArgument\","
-          "\"message\":\"request line exceeds 32 MiB\"}}\n";
-      (void)SendAll(fd, error, std::strlen(error));
-      break;
-    }
-    std::size_t newline;
-    while ((newline = buffer.find('\n')) != std::string::npos) {
-      std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      std::string response = service.HandleRequestLine(line);
-      response.push_back('\n');
-      // Chaos hook: a fired "server.write" fault stands in for the client
-      // vanishing mid-response — drop the connection exactly as a failed
-      // send would.
-      if (!VALMOD_FAULT_POINT("server.write").ok() ||
-          !SendAll(fd, response.data(), response.size())) {
-        ::close(fd);
-        return;
-      }
-      if (service.shutdown_requested()) {
-        set.Wake();  // unblocks the accept loop and every idle client
-        ::close(fd);
-        return;
-      }
-    }
-  }
-  ::close(fd);
-}
-
-int RunTcp(Service& service, int port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("socket");
-    return 1;
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
-    std::perror("bind");
-    ::close(fd);
-    return 1;
-  }
-  if (::listen(fd, 16) < 0) {
-    std::perror("listen");
-    ::close(fd);
-    return 1;
-  }
-  // --port=0 binds an ephemeral port; report the real one so scripts and
-  // tests can parse it from stderr instead of racing for a fixed port.
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
-      0) {
-    port = static_cast<int>(ntohs(bound.sin_port));
-  }
-  std::fprintf(stderr, "valmod_server listening on 127.0.0.1:%d\n", port);
-  std::fflush(stderr);
-
-  ConnectionSet connections(fd);
-  for (;;) {
-    const int client = ::accept(fd, nullptr, nullptr);
-    if (client < 0) break;  // listener shut down by the shutdown verb
-    connections.Reap();
-    connections.Add(service, client);
-  }
-  connections.Wake();  // shutdown also any clients idle in read()
-  connections.JoinAll();
-  ::close(fd);
   return 0;
 }
 
@@ -294,8 +102,9 @@ int RunTcp(Service& service, int port) {
 
 int main(int argc, char** argv) {
   // A client disconnecting mid-write must error that one send(), not
-  // deliver a process-killing SIGPIPE (SendAll's MSG_NOSIGNAL covers the
-  // sockets; this covers any stray write to a closed stdio pipe).
+  // deliver a process-killing SIGPIPE (the transports' MSG_NOSIGNAL
+  // covers the sockets; this covers any stray write to a closed stdio
+  // pipe).
   std::signal(SIGPIPE, SIG_IGN);
   // Instantiating the injector up front applies VALMOD_FAULTS directives
   // at startup, so a chaos harness sees its faults listed by the `faults`
@@ -321,6 +130,17 @@ int main(int argc, char** argv) {
                          "ephemeral port)\n");
     return 2;
   }
+  const std::string event_loop = flags.GetString("event-loop", "epoll");
+  if (event_loop != "epoll" && event_loop != "threads") {
+    std::fprintf(stderr,
+                 "error: --event-loop must be 'epoll' or 'threads'\n");
+    return 2;
+  }
+  const int max_inflight = static_cast<int>(flags.GetInt("max-inflight", 64));
+  if (max_inflight < 1) {
+    std::fprintf(stderr, "error: --max-inflight must be >= 1\n");
+    return 2;
+  }
 
   if (flags.Has("calibrate")) {
     (void)valmod::mass::CalibrateBackendCostModel();
@@ -336,8 +156,29 @@ int main(int argc, char** argv) {
   options.cache_capacity =
       static_cast<std::size_t>(flags.GetInt("cache", 128));
   options.default_timeout_seconds = flags.GetDouble("timeout-s", 0.0);
+  options.page_bytes =
+      static_cast<std::size_t>(flags.GetInt("page-bytes", 1 << 20));
 
   Service service(options);
   if (!Preload(service, flags)) return 1;
-  return stdio ? RunStdio(service) : RunTcp(service, port);
+  if (stdio) return RunStdio(service);
+
+  valmod::service::TcpServerOptions tcp_options;
+  tcp_options.port = port;
+  tcp_options.max_inflight = max_inflight;
+  auto server =
+      event_loop == "threads"
+          ? valmod::service::MakeThreadedServer(service, tcp_options)
+          : valmod::service::MakeEpollServer(service, tcp_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  // --port=0 binds an ephemeral port; report the real one so scripts and
+  // tests can parse it from stderr instead of racing for a fixed port.
+  std::fprintf(stderr, "valmod_server listening on 127.0.0.1:%d\n",
+               (*server)->port());
+  std::fflush(stderr);
+  return (*server)->Serve();
 }
