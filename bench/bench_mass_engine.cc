@@ -52,6 +52,7 @@
 #include "mass/mass.h"
 #include "series/data_series.h"
 #include "series/generators.h"
+#include "simd/dispatch.h"
 
 namespace {
 
@@ -432,6 +433,78 @@ BoundaryResult RunBoundaryPoint(std::size_t n, std::size_t length,
   return result;
 }
 
+/// One SIMD dispatch target's timings over the engine hot paths. The
+/// kernels are bit-identical across targets (checksums must agree), so
+/// these rows measure pure instruction-level speedup.
+struct SimdSweepResult {
+  valmod::simd::Target target = valmod::simd::Target::kScalar;
+  double overlap_save_seconds = 0.0;  // chunk FFTs + spectrum products
+  double direct_seconds = 0.0;        // sliding-dot four-accumulator loop
+  double total_seconds = 0.0;
+};
+
+/// Times the overlap-save chunk pipeline and the direct sliding-dot path
+/// under every supported SIMD target (forced via simd::SetTarget), then
+/// restores the entry target. Plans and cached spectra are warmed before
+/// the loop — they are byte-identical across targets, so sharing them is
+/// sound and keeps the comparison about the kernels.
+std::vector<SimdSweepResult> RunSimdTargetSweep(double* checksum) {
+  using valmod::mass::ConvolutionBackend;
+  auto series_result = valmod::synth::ByName("ecg", std::size_t{1} << 16, 11);
+  if (!series_result.ok()) {
+    std::fprintf(stderr, "series generation failed: %s\n",
+                 series_result.status().ToString().c_str());
+    std::exit(1);
+  }
+  const DataSeries& series = *series_result;
+  const std::size_t ols_length = 512;   // FFT-dominated configuration
+  const std::size_t direct_length = 128;  // dot-product-dominated
+  const std::size_t repetitions = 8;    // even: pair paths pack 2 per FFT
+  const auto make_rows = [&](std::size_t length) {
+    const std::size_t count = series.NumSubsequences(length);
+    const std::size_t stride = count / repetitions;
+    std::vector<std::size_t> rows(repetitions);
+    for (std::size_t r = 0; r < repetitions; ++r) rows[r] = r * stride;
+    return rows;
+  };
+  const std::vector<std::size_t> ols_rows = make_rows(ols_length);
+  const std::vector<std::size_t> direct_rows = make_rows(direct_length);
+
+  valmod::mass::MassEngine engine(series);
+  (void)engine.ComputeRowProfiles({ols_rows.data(), 2}, ols_length, 1,
+                                  ConvolutionBackend::kOverlapSave);
+  (void)engine.ComputeRowProfiles({direct_rows.data(), 2}, direct_length, 1,
+                                  ConvolutionBackend::kDirect);
+
+  const valmod::simd::Target entry_target = valmod::simd::ActiveTarget();
+  std::vector<SimdSweepResult> results;
+  for (const valmod::simd::Target target : valmod::simd::SupportedTargets()) {
+    if (!valmod::simd::SetTarget(target).ok()) continue;
+    SimdSweepResult r;
+    r.target = target;
+    r.overlap_save_seconds = std::numeric_limits<double>::infinity();
+    r.direct_seconds = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {  // keep the fastest of three
+      WallTimer timer;
+      auto ols = engine.ComputeRowProfiles(ols_rows, ols_length, 1,
+                                           ConvolutionBackend::kOverlapSave);
+      const double ols_elapsed = timer.ElapsedSeconds();
+      for (const auto& row : *ols) *checksum += Checksum(row.distances);
+      timer.Restart();
+      auto direct = engine.ComputeRowProfiles(direct_rows, direct_length, 1,
+                                              ConvolutionBackend::kDirect);
+      const double direct_elapsed = timer.ElapsedSeconds();
+      for (const auto& row : *direct) *checksum += Checksum(row.distances);
+      r.overlap_save_seconds = std::min(r.overlap_save_seconds, ols_elapsed);
+      r.direct_seconds = std::min(r.direct_seconds, direct_elapsed);
+    }
+    r.total_seconds = r.overlap_save_seconds + r.direct_seconds;
+    results.push_back(r);
+  }
+  (void)valmod::simd::SetTarget(entry_target);
+  return results;
+}
+
 void AppendFormat(std::string* out, const char* format, ...) {
   va_list args;
   va_start(args, format);
@@ -561,6 +634,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  // SIMD target sweep: the same engine hot paths under every dispatch
+  // target this build+machine supports, so the JSON records the measured
+  // vector speedup (speedup_simd_vs_scalar_* rows).
+  const std::vector<SimdSweepResult> simd_sweep =
+      RunSimdTargetSweep(&checksum);
+  double simd_scalar_total = 0.0;
+  for (const SimdSweepResult& r : simd_sweep) {
+    if (r.target == valmod::simd::Target::kScalar) {
+      simd_scalar_total = r.total_seconds;
+    }
+  }
+
   // --- ParallelFor dispatch: spawn-per-call vs persistent pool ----------
   const int threads = 4;
   const std::size_t rounds = 200;
@@ -653,6 +738,28 @@ int main(int argc, char** argv) {
       cached_seconds / pair_batched_seconds,
       pair_batched_seconds / overlap_save_batched_seconds,
       sweep_json.c_str());
+  std::string simd_json;
+  for (std::size_t s = 0; s < simd_sweep.size(); ++s) {
+    const SimdSweepResult& r = simd_sweep[s];
+    AppendFormat(&simd_json,
+                 "%s{\"target\":\"%s\",\"overlap_save_seconds\":%.6f,"
+                 "\"direct_seconds\":%.6f,\"total_seconds\":%.6f,"
+                 "\"speedup_vs_scalar\":%.3f}",
+                 s == 0 ? "" : ",", valmod::simd::TargetName(r.target),
+                 r.overlap_save_seconds, r.direct_seconds, r.total_seconds,
+                 simd_scalar_total / r.total_seconds);
+  }
+  AppendFormat(&json,
+               "\"simd_target\":\"%s\",\"cpu_features\":\"%s\","
+               "\"simd_sweep\":[%s],",
+               valmod::simd::TargetName(valmod::simd::ActiveTarget()),
+               valmod::simd::CpuFeatureString().c_str(), simd_json.c_str());
+  for (const SimdSweepResult& r : simd_sweep) {
+    if (r.target == valmod::simd::Target::kScalar) continue;
+    AppendFormat(&json, "\"speedup_simd_vs_scalar_%s\":%.3f,",
+                 valmod::simd::TargetName(r.target),
+                 simd_scalar_total / r.total_seconds);
+  }
   AppendFormat(
       &json,
       "\"results_version\":%d,"

@@ -33,6 +33,7 @@
 #include "service/client.h"
 #include "service/server.h"
 #include "service/tcp_server.h"
+#include "simd/dispatch.h"
 
 namespace {
 
@@ -504,6 +505,10 @@ int main(int argc, char** argv) {
 
   Value::Object doc;
   doc.emplace("bench", Value("service"));
+  doc.emplace("simd_target",
+              Value(std::string(valmod::simd::TargetName(
+                  valmod::simd::ActiveTarget()))));
+  doc.emplace("cpu_features", Value(valmod::simd::CpuFeatureString()));
   doc.emplace("n", Value(n));
   doc.emplace("requests", Value(requests));
   doc.emplace("length", Value(length));

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "fft/plan.h"
+#include "simd/dispatch.h"
 
 namespace valmod::fft {
 
@@ -48,7 +49,10 @@ Result<std::vector<double>> Convolve(std::span<const double> a,
   std::vector<std::complex<double>> fa(bins), fb(bins);
   plan->RealForward(a, fa);
   plan->RealForward(b, fb);
-  for (std::size_t i = 0; i < bins; ++i) fa[i] *= fb[i];
+  simd::ActiveKernels().complex_multiply(
+      reinterpret_cast<const double*>(fa.data()),
+      reinterpret_cast<const double*>(fb.data()),
+      reinterpret_cast<double*>(fa.data()), bins);
 
   std::vector<double> padded(fft_size);
   plan->RealInverse(fa, padded);
@@ -94,7 +98,10 @@ Result<std::vector<double>> OverlapSaveConvolve(std::span<const double> a,
       chunk[i] = (u >= m - 1 && u - (m - 1) < n) ? a[u - (m - 1)] : 0.0;
     }
     plan->RealForward(chunk, product);
-    for (std::size_t k = 0; k < bins; ++k) product[k] *= filter[k];
+    simd::ActiveKernels().complex_multiply(
+        reinterpret_cast<const double*>(product.data()),
+        reinterpret_cast<const double*>(filter.data()),
+        reinterpret_cast<double*>(product.data()), bins);
     plan->RealInverse(product, conv);
     const std::size_t emit = std::min(hop, out_size - t);
     for (std::size_t i = 0; i < emit; ++i) out[t + i] = conv[m - 1 + i];

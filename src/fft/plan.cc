@@ -10,6 +10,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "simd/dispatch.h"
+
 namespace valmod::fft {
 
 FftPlan::FftPlan(std::size_t n) : n_(n) {
@@ -36,153 +38,24 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
   if (n_ >= 4) half_ = GetPlan(n_ / 2);
 }
 
-void FftPlan::Radix2Pass(double* d) const {
-  // Span-2 butterflies have a unit twiddle, so the pass is pure adds over
-  // contiguous 4-double blocks — the vectorizer's favorite shape.
-  for (std::size_t i = 0; i < 2 * n_; i += 4) {
-    const double ar = d[i], ai = d[i + 1];
-    const double br = d[i + 2], bi = d[i + 3];
-    d[i] = ar + br;
-    d[i + 1] = ai + bi;
-    d[i + 2] = ar - br;
-    d[i + 3] = ai - bi;
-  }
-}
-
-void FftPlan::FusedRadix4Pass(double* d, std::size_t len, bool forward) const {
-  // Two consecutive radix-2 stages (spans `len` and `2*len`) fused into one
-  // sweep: each element is read and written once per *pair* of stages, which
-  // halves the number of passes over the (out-of-cache, for large sizes)
-  // data array. Within a 2*len block the four participating streams are
-  // contiguous runs, and all complex arithmetic is spelled out on doubles so
-  // the compiler can vectorize the inner loop without needing to reason
-  // about std::complex.
-  //
-  // Derivation: with A = x[start+k], B = x[start+k+len/2], C = x[start+k+len],
-  // D = x[start+k+3*len/2], the span-`len` stage computes a0/b0 = A +- w1*B
-  // and c0/d0 = C +- w1*D with w1 = tw[k * n/len]; the span-`2*len` stage
-  // then pairs (a0, c0) with w2 = tw[k * n/(2*len)] and (b0, d0) with
-  // w3 = tw[k * n/(2*len) + n/4] (the second pair sits half a block deeper,
-  // which shifts the twiddle index by n/4). Inverse transforms conjugate
-  // every twiddle.
-  const std::size_t half = len / 2;
-  const std::size_t s1 = n_ / len;
-  const std::size_t s2 = s1 / 2;
-  const std::size_t quarter = n_ / 4;
-  const double sign = forward ? 1.0 : -1.0;
-  const double* tw = reinterpret_cast<const double*>(twiddles_.data());
-
-  for (std::size_t start = 0; start < n_; start += 2 * len) {
-    double* pa = d + 2 * start;
-    double* pb = pa + len;
-    double* pc = pa + 2 * len;
-    double* pd = pa + 3 * len;
-    for (std::size_t k = 0; k < half; ++k) {
-      const double w1r = tw[2 * k * s1];
-      const double w1i = sign * tw[2 * k * s1 + 1];
-      const double w2r = tw[2 * k * s2];
-      const double w2i = sign * tw[2 * k * s2 + 1];
-      const double w3r = tw[2 * (k * s2 + quarter)];
-      const double w3i = sign * tw[2 * (k * s2 + quarter) + 1];
-
-      const double br = pb[2 * k], bi = pb[2 * k + 1];
-      const double t1r = w1r * br - w1i * bi;
-      const double t1i = w1r * bi + w1i * br;
-      const double ar = pa[2 * k], ai = pa[2 * k + 1];
-      const double a0r = ar + t1r, a0i = ai + t1i;
-      const double b0r = ar - t1r, b0i = ai - t1i;
-
-      const double dr = pd[2 * k], di = pd[2 * k + 1];
-      const double t2r = w1r * dr - w1i * di;
-      const double t2i = w1r * di + w1i * dr;
-      const double cr = pc[2 * k], ci = pc[2 * k + 1];
-      const double c0r = cr + t2r, c0i = ci + t2i;
-      const double d0r = cr - t2r, d0i = ci - t2i;
-
-      const double t3r = w2r * c0r - w2i * c0i;
-      const double t3i = w2r * c0i + w2i * c0r;
-      pa[2 * k] = a0r + t3r;
-      pa[2 * k + 1] = a0i + t3i;
-      pc[2 * k] = a0r - t3r;
-      pc[2 * k + 1] = a0i - t3i;
-
-      const double t4r = w3r * d0r - w3i * d0i;
-      const double t4i = w3r * d0i + w3i * d0r;
-      pb[2 * k] = b0r + t4r;
-      pb[2 * k + 1] = b0i + t4i;
-      pd[2 * k] = b0r - t4r;
-      pd[2 * k + 1] = b0i - t4i;
-    }
-  }
-}
-
-void FftPlan::FusedRadix4PassDif(double* d, std::size_t len,
-                                 bool forward) const {
-  // Mirror image of FusedRadix4Pass for the decimation-in-frequency
-  // schedule: the span-`2*len` stage runs first and its twiddles apply
-  // *after* the butterfly, so with A = x[start+k], B = x[start+k+len/2],
-  // C = x[start+k+len], D = x[start+k+3*len/2]:
-  //   a1 = A + C,  c1 = (A - C) * w2        w2 = tw[k * n/(2*len)]
-  //   b1 = B + D,  d1 = (B - D) * w3        w3 = tw[k * n/(2*len) + n/4]
-  // followed by the span-`len` stage on (a1, b1) and (c1, d1) with
-  // w1 = tw[k * n/len]. Inverse transforms conjugate every twiddle.
-  const std::size_t half = len / 2;
-  const std::size_t s1 = n_ / len;
-  const std::size_t s2 = s1 / 2;
-  const std::size_t quarter = n_ / 4;
-  const double sign = forward ? 1.0 : -1.0;
-  const double* tw = reinterpret_cast<const double*>(twiddles_.data());
-
-  for (std::size_t start = 0; start < n_; start += 2 * len) {
-    double* pa = d + 2 * start;
-    double* pb = pa + len;
-    double* pc = pa + 2 * len;
-    double* pd = pa + 3 * len;
-    for (std::size_t k = 0; k < half; ++k) {
-      const double w1r = tw[2 * k * s1];
-      const double w1i = sign * tw[2 * k * s1 + 1];
-      const double w2r = tw[2 * k * s2];
-      const double w2i = sign * tw[2 * k * s2 + 1];
-      const double w3r = tw[2 * (k * s2 + quarter)];
-      const double w3i = sign * tw[2 * (k * s2 + quarter) + 1];
-
-      const double ar = pa[2 * k], ai = pa[2 * k + 1];
-      const double cr = pc[2 * k], ci = pc[2 * k + 1];
-      const double a1r = ar + cr, a1i = ai + ci;
-      const double cdr = ar - cr, cdi = ai - ci;
-      const double c1r = w2r * cdr - w2i * cdi;
-      const double c1i = w2r * cdi + w2i * cdr;
-
-      const double br = pb[2 * k], bi = pb[2 * k + 1];
-      const double dr = pd[2 * k], di = pd[2 * k + 1];
-      const double b1r = br + dr, b1i = bi + di;
-      const double ddr = br - dr, ddi = bi - di;
-      const double d1r = w3r * ddr - w3i * ddi;
-      const double d1i = w3r * ddi + w3i * ddr;
-
-      pa[2 * k] = a1r + b1r;
-      pa[2 * k + 1] = a1i + b1i;
-      const double abr = a1r - b1r, abi = a1i - b1i;
-      pb[2 * k] = w1r * abr - w1i * abi;
-      pb[2 * k + 1] = w1r * abi + w1i * abr;
-
-      pc[2 * k] = c1r + d1r;
-      pc[2 * k + 1] = c1i + d1i;
-      const double cdr2 = c1r - d1r, cdi2 = c1i - d1i;
-      pd[2 * k] = w1r * cdr2 - w1i * cdi2;
-      pd[2 * k + 1] = w1r * cdi2 + w1i * cdr2;
-    }
-  }
-}
+// The butterfly kernels (span-2 pass, fused radix-2^2 DIT/DIF passes — see
+// src/simd/kernels_scalar_inl.h for the loop bodies and derivation
+// comments) are runtime-dispatched: simd::ActiveKernels() resolves to the
+// best vector target the CPU supports, and every target is bit-identical
+// to the scalar oracle. The schedule below stays here; only the dense
+// inner sweeps moved.
 
 void FftPlan::DitPasses(double* d, bool forward) const {
+  const simd::Kernels& kernels = simd::ActiveKernels();
+  const double sign = forward ? 1.0 : -1.0;
+  const double* tw = reinterpret_cast<const double*>(twiddles_.data());
   std::size_t len = 2;
   if (std::countr_zero(n_) % 2 == 1) {
-    Radix2Pass(d);
+    kernels.radix2_pass(d, n_);
     len = 4;
   }
   for (; len <= n_ / 2; len <<= 2) {
-    FusedRadix4Pass(d, len, forward);
+    kernels.fused_radix4_dit(d, n_, len, tw, sign);
   }
 }
 
@@ -214,10 +87,12 @@ void FftPlan::ForwardBitrev(std::span<std::complex<double>> data) const {
   // Decimation in frequency: spans shrink from n to 2, output lands in
   // bit-reversed order with no permutation pass. An odd log2(n) leaves the
   // (twiddle-free) span-2 stage for the end.
+  const simd::Kernels& kernels = simd::ActiveKernels();
+  const double* tw = reinterpret_cast<const double*>(twiddles_.data());
   for (std::size_t len = n_ / 2; len >= 2; len >>= 2) {
-    FusedRadix4PassDif(d, len, /*forward=*/true);
+    kernels.fused_radix4_dif(d, n_, len, tw, /*sign=*/1.0);
   }
-  if (std::countr_zero(n_) % 2 == 1) Radix2Pass(d);
+  if (std::countr_zero(n_) % 2 == 1) kernels.radix2_pass(d, n_);
 }
 
 void FftPlan::InverseBitrev(std::span<std::complex<double>> data) const {
@@ -356,9 +231,12 @@ void FftPlan::MultiplyPairByRealSpectrum(
 
   // Both spectra carry the same bit-reversal, so the product is a pure
   // elementwise sweep; conjugate symmetry never needs to be spelled out.
-  for (std::size_t k = 0; k < n_; ++k) {
-    pair_spectrum[k] *= real_spectrum[k];
-  }
+  // std::complex<double> has array-compatible layout, so the dispatched
+  // kernel works on the interleaved doubles directly.
+  simd::ActiveKernels().complex_multiply(
+      reinterpret_cast<const double*>(pair_spectrum.data()),
+      reinterpret_cast<const double*>(real_spectrum.data()),
+      reinterpret_cast<double*>(pair_spectrum.data()), n_);
 }
 
 void FftPlan::MultiplyPairByRealSpectrumInto(
@@ -369,9 +247,10 @@ void FftPlan::MultiplyPairByRealSpectrumInto(
   assert(pair_spectrum.size() == n_);
   assert(product.size() == n_);
 
-  for (std::size_t k = 0; k < n_; ++k) {
-    product[k] = pair_spectrum[k] * real_spectrum[k];
-  }
+  simd::ActiveKernels().complex_multiply(
+      reinterpret_cast<const double*>(pair_spectrum.data()),
+      reinterpret_cast<const double*>(real_spectrum.data()),
+      reinterpret_cast<double*>(product.data()), n_);
 }
 
 void FftPlan::RealInversePair(std::span<std::complex<double>> spectrum,

@@ -122,14 +122,10 @@ class FftPlan {
   void TransformImpl(std::span<std::complex<double>> data,
                      bool forward) const;
   /// Decimation-in-time butterfly schedule over bit-reversed data (the body
-  /// of TransformImpl after the permutation), without the 1/n scaling.
+  /// of TransformImpl after the permutation), without the 1/n scaling. The
+  /// butterfly kernels themselves (span-2 and fused radix-2^2 passes) come
+  /// from simd::ActiveKernels(), dispatched once per schedule.
   void DitPasses(double* d, bool forward) const;
-  /// One twiddle-free radix-2 pass (span 2).
-  void Radix2Pass(double* d) const;
-  /// Two fused radix-2 DIT passes (spans `len` and `2 * len`) in one sweep.
-  void FusedRadix4Pass(double* d, std::size_t len, bool forward) const;
-  /// Two fused radix-2 DIF passes (spans `2 * len` and `len`) in one sweep.
-  void FusedRadix4PassDif(double* d, std::size_t len, bool forward) const;
 
   std::size_t n_;
   /// Input permutation: element i swaps into bit_reverse_[i].

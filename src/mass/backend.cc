@@ -29,9 +29,24 @@ std::mutex& ModelMutex() {
   return mutex;
 }
 
-BackendCostModel& ModelStorage() {
-  static BackendCostModel model;  // the static fit from BackendCostModel{}
-  return model;
+/// The active model plus the key that scopes it: `installed` marks a model
+/// set through SetBackendCostModel (calibration or tests), and
+/// `fitted_target` records the SIMD dispatch target that was active when it
+/// was installed. A model is only trusted while that target stays active.
+struct ModelState {
+  BackendCostModel model;  // defaults to the static fit
+  bool installed = false;
+  simd::Target fitted_target = simd::Target::kScalar;
+};
+
+ModelState& ModelStorage() {
+  static ModelState state;
+  return state;
+}
+
+std::atomic<std::uint64_t>& ModelGenerationStorage() {
+  static std::atomic<std::uint64_t> generation{0};
+  return generation;
 }
 
 }  // namespace
@@ -88,22 +103,31 @@ double OverlapSaveSlidingDotsCost(const BackendCostModel& model,
 }
 
 BackendCostModel ActiveBackendCostModel() {
+  const simd::Target current = simd::ActiveTarget();
   std::lock_guard<std::mutex> lock(ModelMutex());
-  return ModelStorage();
+  ModelState& state = ModelStorage();
+  if (state.installed && state.fitted_target != current) {
+    // The dispatch target changed under an installed (calibrated) model:
+    // its weights priced kernels that are no longer running, so fall back
+    // to the static fit and bump the generation so memoized kAuto results
+    // are invalidated rather than served under stale weights.
+    state.model = BackendCostModel{};
+    state.installed = false;
+    ModelGenerationStorage().fetch_add(1, std::memory_order_relaxed);
+  }
+  BackendCostModel model = state.model;
+  model.simd_target = current;
+  return model;
 }
-
-namespace {
-
-std::atomic<std::uint64_t>& ModelGenerationStorage() {
-  static std::atomic<std::uint64_t> generation{0};
-  return generation;
-}
-
-}  // namespace
 
 void SetBackendCostModel(const BackendCostModel& model) {
+  const simd::Target current = simd::ActiveTarget();
   std::lock_guard<std::mutex> lock(ModelMutex());
-  ModelStorage() = model;
+  ModelState& state = ModelStorage();
+  state.model = model;
+  state.model.simd_target = current;
+  state.installed = true;
+  state.fitted_target = current;
   ModelGenerationStorage().fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -266,20 +290,24 @@ BackendCostModel CalibrateBackendCostModel() {
   };
   const std::size_t k_small = 8;
   const std::size_t k_large = 64;
+  // The K = 0 run is the lone filter transform, a * units_chunk, measured
+  // directly. (An earlier version extrapolated it as the intercept of the
+  // two chunked runs; with vectorized butterflies the transform term is
+  // small enough that measurement noise routinely drove the extrapolated
+  // intercept — and with it the overlap_save weight — to zero.)
+  const double ols_filter = TimeSeconds(32, [&] { ols_pipeline(0); });
   const double ols_small = TimeSeconds(16, [&] { ols_pipeline(k_small); });
   const double ols_large = TimeSeconds(4, [&] { ols_pipeline(k_large); });
 
   const double units_full = ButterflyUnits(full_size);
   const double units_chunk = ButterflyUnits(chunk_size);
-  // Solve the 2x2 system for a (per butterfly unit) and b (per chunk point).
+  // Per-chunk increment: a*units + b*C. Two chunked runs give the slope,
+  // the measured filter transform gives `a` on its own.
   const double dk = static_cast<double>(k_large - k_small);
   const double slope = (ols_large - ols_small) / dk;  // a*units + b*C
-  // The K = 0 intercept is the lone filter transform, a * units_chunk.
-  const double intercept =
-      ols_small - slope * static_cast<double>(k_small);
-  // Guard against noise driving either weight negative.
-  double a = std::max(0.0, intercept / units_chunk);
-  double b = (slope - a * units_chunk) / static_cast<double>(chunk_size);
+  double a = ols_filter / units_chunk;
+  double b =
+      (slope - a * units_chunk) / static_cast<double>(chunk_size);
   if (b < 0.0) {
     // Degenerate fit (noise): fall back to pricing everything into the
     // transform weight.

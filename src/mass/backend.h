@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "simd/dispatch.h"
+
 namespace valmod::mass {
 
 /// Version of the numerical results the library produces under automatic
@@ -111,6 +113,16 @@ struct BackendCostModel {
   /// Cost per chunk point of the per-chunk pointwise product + unload sweep
   /// (the O(C) work between the cached chunk spectrum and the output dots).
   double overlap_save_chunk = 2.0;
+  /// The SIMD dispatch target the weights apply to. Calibrated weights are
+  /// keyed by the target that was active when they were measured: the
+  /// relative price of a butterfly unit versus a direct multiply-add shifts
+  /// with the vector width, so weights fitted under avx512 must not steer
+  /// the chooser after a switch to scalar (VALMOD_SIMD / --simd). When
+  /// ActiveBackendCostModel() detects a target change it resets to the
+  /// static fit and bumps the model generation (invalidating memoized kAuto
+  /// results). For the static fit this field reports the currently active
+  /// target.
+  simd::Target simd_target = simd::Target::kScalar;
 };
 
 /// Predicted cost of one row of sliding dot products, per backend family.

@@ -6,6 +6,7 @@
 #include "common/parallel.h"
 #include "fft/fft.h"
 #include "series/znorm.h"
+#include "simd/dispatch.h"
 #include "stats/moving_stats.h"
 
 namespace valmod::mass {
@@ -139,9 +140,10 @@ void MassEngine::CachedSlidingDots(std::span<const double> query,
   const std::size_t bins = spectrum.plan->half_spectrum_size();
   scratch->bins.resize(bins);
   spectrum.plan->RealForward(scratch->reversed_query, scratch->bins);
-  for (std::size_t i = 0; i < bins; ++i) {
-    scratch->bins[i] = spectrum.bins[i] * scratch->bins[i];
-  }
+  simd::ActiveKernels().complex_multiply(
+      reinterpret_cast<const double*>(spectrum.bins.data()),
+      reinterpret_cast<const double*>(scratch->bins.data()),
+      reinterpret_cast<double*>(scratch->bins.data()), bins);
   scratch->conv.resize(fft_size);
   spectrum.plan->RealInverse(scratch->bins, scratch->conv);
 

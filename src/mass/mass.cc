@@ -7,6 +7,7 @@
 #include "fft/fft.h"
 #include "mass/engine.h"
 #include "series/znorm.h"
+#include "simd/dispatch.h"
 #include "stats/moving_stats.h"
 
 namespace valmod::mass {
@@ -69,10 +70,12 @@ std::vector<double> DirectExternalSlidingDots(
     std::span<const double> centered_series,
     std::span<const double> centered_query, std::size_t count) {
   std::vector<double> dots(count);
+  // Hoist the dispatched kernel out of the loop: one atomic load for the
+  // whole sweep instead of one per window.
+  const auto dot = simd::ActiveKernels().dot_product;
   for (std::size_t j = 0; j < count; ++j) {
-    dots[j] = series::DotProduct(centered_query.data(),
-                                 centered_series.data() + j,
-                                 centered_query.size());
+    dots[j] = dot(centered_query.data(), centered_series.data() + j,
+                  centered_query.size());
   }
   return dots;
 }

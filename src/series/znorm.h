@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "series/data_series.h"
+#include "simd/dispatch.h"
 #include "stats/moving_stats.h"
 
 namespace valmod::series {
@@ -25,21 +26,16 @@ namespace valmod::series {
 /// STOMP, the VALMOD update loop, and the baselines all call them so the
 /// conventions cannot drift apart.
 
-/// Dot product with four independent accumulators. Strict IEEE semantics
-/// forbid the compiler from reassociating a single-accumulator reduction, so
-/// the naive loop cannot vectorize; this formulation keeps the FMA units
-/// busy and is the kernel behind every direct distance computation here.
+/// Dot product with the engine's canonical four-accumulator reduction,
+/// runtime-dispatched to the best SIMD target (src/simd/dispatch.h). Every
+/// target — scalar included — preserves the exact same partial-sum
+/// grouping (lane j accumulates elements j, j+4, ...; tail into lane 0;
+/// final sum (acc0 + acc1) + (acc2 + acc3)), so results are bit-identical
+/// across targets. This is the kernel behind every direct distance
+/// computation: STOMP diagonals, AB-joins, streaming updates, lower
+/// bounds, and the direct sliding-dot backend.
 inline double DotProduct(const double* a, const double* b, std::size_t n) {
-  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-  std::size_t t = 0;
-  for (; t + 4 <= n; t += 4) {
-    acc0 += a[t] * b[t];
-    acc1 += a[t + 1] * b[t + 1];
-    acc2 += a[t + 2] * b[t + 2];
-    acc3 += a[t + 3] * b[t + 3];
-  }
-  for (; t < n; ++t) acc0 += a[t] * b[t];
-  return (acc0 + acc1) + (acc2 + acc3);
+  return simd::ActiveKernels().dot_product(a, b, n);
 }
 
 /// Pearson correlation from a *centered* dot product and *centered* window

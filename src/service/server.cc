@@ -26,6 +26,7 @@
 #include "series/generators.h"
 #include "series/io.h"
 #include "series/znorm.h"
+#include "simd/dispatch.h"
 
 namespace valmod::service {
 
@@ -741,6 +742,9 @@ Result<std::string> DoStats(Service& service) {
   payload.emplace("cost_model_generation",
                   Value(mass::BackendCostModelGeneration()));
   payload.emplace("default_results_version", Value(mass::kResultsVersion));
+  payload.emplace("simd_target",
+                  Value(std::string(simd::TargetName(simd::ActiveTarget()))));
+  payload.emplace("cpu_features", Value(simd::CpuFeatureString()));
   return Value(std::move(payload)).Serialize();
 }
 
@@ -837,6 +841,8 @@ Result<std::string> DoHealth(Service& service) {
   payload.emplace("queue_capacity", Value(service.options().queue_capacity));
   payload.emplace("datasets", Value(service.registry().List().size()));
   payload.emplace("faults_armed", Value(faults_armed));
+  payload.emplace("simd_target",
+                  Value(std::string(simd::TargetName(simd::ActiveTarget()))));
   return Value(std::move(payload)).Serialize();
 }
 
@@ -850,6 +856,8 @@ Result<std::string> DoCalibrate() {
   weights.emplace("overlap_save_chunk", Value(model.overlap_save_chunk));
   Value::Object payload;
   payload.emplace("model", Value(std::move(weights)));
+  payload.emplace("simd_target",
+                  Value(std::string(simd::TargetName(model.simd_target))));
   payload.emplace("cost_model_generation",
                   Value(mass::BackendCostModelGeneration()));
   return Value(std::move(payload)).Serialize();

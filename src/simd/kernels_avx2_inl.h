@@ -1,0 +1,240 @@
+#ifndef VALMOD_SIMD_KERNELS_AVX2_INL_H_
+#define VALMOD_SIMD_KERNELS_AVX2_INL_H_
+
+// 256-bit (AVX2) kernel bodies, shared by kernels_avx2.cc and — for the
+// sub-512-bit tails — kernels_avx512.cc (GCC's -mavx512f implies AVX2, so
+// both TUs can emit these). Everything here is designed for bit-identity
+// with the scalar oracle in kernels_scalar_inl.h:
+//
+//   * no FMA intrinsics, and the TUs compile with -ffp-contract=off, so
+//     every product and sum rounds exactly like the scalar code;
+//   * complex products use vaddsubpd on plain products, which computes the
+//     same a*c - b*d / a*d + b*c expressions lane-for-lane (the odd lane
+//     sums the two cross products in the opposite order, which is exact by
+//     commutativity of IEEE addition);
+//   * the dot product keeps one 4-lane accumulator vector whose lane j is
+//     exactly the scalar kernel's acc_j.
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "simd/kernels_scalar_inl.h"
+
+namespace valmod::simd::avx2_kernel {
+
+/// Two (re, im) pairs gathered from tw + i0 and tw + i1.
+inline __m256d LoadTwiddlePair(const double* tw, std::size_t i0,
+                               std::size_t i1) {
+  return _mm256_insertf128_pd(_mm256_castpd128_pd256(_mm_loadu_pd(tw + i0)),
+                              _mm_loadu_pd(tw + i1), 1);
+}
+
+/// Complex product of two packed complexes against duplicated twiddle
+/// components: even lane wr*vr - wi*vi, odd lane wr*vi + wi*vr.
+inline __m256d ComplexMulByDup(__m256d wr, __m256d wi, __m256d v) {
+  const __m256d swapped = _mm256_permute_pd(v, 0x5);  // (im, re) per complex
+  return _mm256_addsub_pd(_mm256_mul_pd(wr, v), _mm256_mul_pd(wi, swapped));
+}
+
+struct TwiddleDup {
+  __m256d r;
+  __m256d i;
+};
+
+/// Loads twiddles k and k+1 at stride `s` (plus `offset`) and splits into
+/// duplicated real/imag vectors, with `sign` folded into the imaginary part
+/// exactly like the scalar kernel's `sign * tw[...]`.
+inline TwiddleDup LoadTwiddleDup(const double* tw, std::size_t k,
+                                 std::size_t s, std::size_t offset,
+                                 __m256d sign) {
+  const __m256d w = LoadTwiddlePair(tw, 2 * (k * s + offset),
+                                    2 * ((k + 1) * s + offset));
+  return {_mm256_permute_pd(w, 0x0),
+          _mm256_mul_pd(_mm256_permute_pd(w, 0xF), sign)};
+}
+
+inline void Radix2Pass(double* d, std::size_t n) {
+  const std::size_t total = 2 * n;
+  std::size_t i = 0;
+  for (; i + 8 <= total; i += 8) {
+    const __m256d v0 = _mm256_loadu_pd(d + i);
+    const __m256d v1 = _mm256_loadu_pd(d + i + 4);
+    const __m256d a = _mm256_permute2f128_pd(v0, v1, 0x20);
+    const __m256d b = _mm256_permute2f128_pd(v0, v1, 0x31);
+    const __m256d s = _mm256_add_pd(a, b);
+    const __m256d t = _mm256_sub_pd(a, b);
+    _mm256_storeu_pd(d + i, _mm256_permute2f128_pd(s, t, 0x20));
+    _mm256_storeu_pd(d + i + 4, _mm256_permute2f128_pd(s, t, 0x31));
+  }
+  for (; i < total; i += 4) scalar_kernel::Radix2Butterfly(d, i);
+}
+
+/// The 2-complex-wide fused DIT inner body at index k.
+inline void FusedDitPair(double* pa, double* pb, double* pc, double* pd,
+                         std::size_t k, const double* tw, std::size_t s1,
+                         std::size_t s2, std::size_t quarter, __m256d sign) {
+  const TwiddleDup w1 = LoadTwiddleDup(tw, k, s1, 0, sign);
+  const TwiddleDup w2 = LoadTwiddleDup(tw, k, s2, 0, sign);
+  const TwiddleDup w3 = LoadTwiddleDup(tw, k, s2, quarter, sign);
+
+  const __m256d vb = _mm256_loadu_pd(pb + 2 * k);
+  const __m256d t1 = ComplexMulByDup(w1.r, w1.i, vb);
+  const __m256d va = _mm256_loadu_pd(pa + 2 * k);
+  const __m256d a0 = _mm256_add_pd(va, t1);
+  const __m256d b0 = _mm256_sub_pd(va, t1);
+
+  const __m256d vd = _mm256_loadu_pd(pd + 2 * k);
+  const __m256d t2 = ComplexMulByDup(w1.r, w1.i, vd);
+  const __m256d vc = _mm256_loadu_pd(pc + 2 * k);
+  const __m256d c0 = _mm256_add_pd(vc, t2);
+  const __m256d d0 = _mm256_sub_pd(vc, t2);
+
+  const __m256d t3 = ComplexMulByDup(w2.r, w2.i, c0);
+  _mm256_storeu_pd(pa + 2 * k, _mm256_add_pd(a0, t3));
+  _mm256_storeu_pd(pc + 2 * k, _mm256_sub_pd(a0, t3));
+
+  const __m256d t4 = ComplexMulByDup(w3.r, w3.i, d0);
+  _mm256_storeu_pd(pb + 2 * k, _mm256_add_pd(b0, t4));
+  _mm256_storeu_pd(pd + 2 * k, _mm256_sub_pd(b0, t4));
+}
+
+/// The 2-complex-wide fused DIF inner body at index k.
+inline void FusedDifPair(double* pa, double* pb, double* pc, double* pd,
+                         std::size_t k, const double* tw, std::size_t s1,
+                         std::size_t s2, std::size_t quarter, __m256d sign) {
+  const TwiddleDup w1 = LoadTwiddleDup(tw, k, s1, 0, sign);
+  const TwiddleDup w2 = LoadTwiddleDup(tw, k, s2, 0, sign);
+  const TwiddleDup w3 = LoadTwiddleDup(tw, k, s2, quarter, sign);
+
+  const __m256d va = _mm256_loadu_pd(pa + 2 * k);
+  const __m256d vc = _mm256_loadu_pd(pc + 2 * k);
+  const __m256d a1 = _mm256_add_pd(va, vc);
+  const __m256d cd = _mm256_sub_pd(va, vc);
+  const __m256d c1 = ComplexMulByDup(w2.r, w2.i, cd);
+
+  const __m256d vb = _mm256_loadu_pd(pb + 2 * k);
+  const __m256d vd = _mm256_loadu_pd(pd + 2 * k);
+  const __m256d b1 = _mm256_add_pd(vb, vd);
+  const __m256d dd = _mm256_sub_pd(vb, vd);
+  const __m256d d1 = ComplexMulByDup(w3.r, w3.i, dd);
+
+  _mm256_storeu_pd(pa + 2 * k, _mm256_add_pd(a1, b1));
+  const __m256d ab = _mm256_sub_pd(a1, b1);
+  _mm256_storeu_pd(pb + 2 * k, ComplexMulByDup(w1.r, w1.i, ab));
+
+  _mm256_storeu_pd(pc + 2 * k, _mm256_add_pd(c1, d1));
+  const __m256d cd2 = _mm256_sub_pd(c1, d1);
+  _mm256_storeu_pd(pd + 2 * k, ComplexMulByDup(w1.r, w1.i, cd2));
+}
+
+inline void FusedRadix4Dit(double* d, std::size_t n, std::size_t len,
+                           const double* tw, double sign) {
+  const std::size_t half = len / 2;
+  const std::size_t s1 = n / len;
+  const std::size_t s2 = s1 / 2;
+  const std::size_t quarter = n / 4;
+  const __m256d vsign = _mm256_set1_pd(sign);
+  for (std::size_t start = 0; start < n; start += 2 * len) {
+    double* pa = d + 2 * start;
+    double* pb = pa + len;
+    double* pc = pa + 2 * len;
+    double* pd = pa + 3 * len;
+    std::size_t k = 0;
+    for (; k + 2 <= half; k += 2) {
+      FusedDitPair(pa, pb, pc, pd, k, tw, s1, s2, quarter, vsign);
+    }
+    for (; k < half; ++k) {
+      scalar_kernel::FusedDitButterfly(pa, pb, pc, pd, k, tw, s1, s2, quarter,
+                                       sign);
+    }
+  }
+}
+
+inline void FusedRadix4Dif(double* d, std::size_t n, std::size_t len,
+                           const double* tw, double sign) {
+  const std::size_t half = len / 2;
+  const std::size_t s1 = n / len;
+  const std::size_t s2 = s1 / 2;
+  const std::size_t quarter = n / 4;
+  const __m256d vsign = _mm256_set1_pd(sign);
+  for (std::size_t start = 0; start < n; start += 2 * len) {
+    double* pa = d + 2 * start;
+    double* pb = pa + len;
+    double* pc = pa + 2 * len;
+    double* pd = pa + 3 * len;
+    std::size_t k = 0;
+    for (; k + 2 <= half; k += 2) {
+      FusedDifPair(pa, pb, pc, pd, k, tw, s1, s2, quarter, vsign);
+    }
+    for (; k < half; ++k) {
+      scalar_kernel::FusedDifButterfly(pa, pb, pc, pd, k, tw, s1, s2, quarter,
+                                       sign);
+    }
+  }
+}
+
+inline void ComplexMultiply(const double* a, const double* b, double* out,
+                            std::size_t n) {
+  std::size_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    const __m256d va = _mm256_loadu_pd(a + 2 * k);
+    const __m256d vb = _mm256_loadu_pd(b + 2 * k);
+    const __m256d br = _mm256_permute_pd(vb, 0x0);
+    const __m256d bi = _mm256_permute_pd(vb, 0xF);
+    const __m256d swapped = _mm256_permute_pd(va, 0x5);
+    _mm256_storeu_pd(out + 2 * k,
+                     _mm256_addsub_pd(_mm256_mul_pd(va, br),
+                                      _mm256_mul_pd(swapped, bi)));
+  }
+  for (; k < n; ++k) scalar_kernel::ComplexMultiplyBin(a, b, out, k);
+}
+
+inline double DotProduct(const double* a, const double* b, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t t = 0;
+  for (; t + 4 <= n; t += 4) {
+    acc = _mm256_add_pd(acc,
+                        _mm256_mul_pd(_mm256_loadu_pd(a + t),
+                                      _mm256_loadu_pd(b + t)));
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  double acc0 = lanes[0];
+  for (; t < n; ++t) acc0 += a[t] * b[t];
+  return (acc0 + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+inline void WindowStats(const double* prefix, const double* prefix_sq,
+                        std::size_t count, std::size_t length,
+                        double global_mean, double* means, double* std_devs) {
+  const double dlen = static_cast<double>(length);
+  const double inv_len = 1.0 / dlen;
+  const __m256d vlen = _mm256_set1_pd(dlen);
+  const __m256d vinv = _mm256_set1_pd(inv_len);
+  const __m256d vgm = _mm256_set1_pd(global_mean);
+  const __m256d vzero = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d diff = _mm256_sub_pd(_mm256_loadu_pd(prefix + i + length),
+                                       _mm256_loadu_pd(prefix + i));
+    _mm256_storeu_pd(means + i,
+                     _mm256_add_pd(_mm256_div_pd(diff, vlen), vgm));
+    const __m256d cm = _mm256_mul_pd(diff, vinv);
+    const __m256d mean_sq =
+        _mm256_mul_pd(_mm256_sub_pd(_mm256_loadu_pd(prefix_sq + i + length),
+                                    _mm256_loadu_pd(prefix_sq + i)),
+                      vinv);
+    const __m256d var = _mm256_sub_pd(mean_sq, _mm256_mul_pd(cm, cm));
+    _mm256_storeu_pd(std_devs + i,
+                     _mm256_sqrt_pd(_mm256_max_pd(var, vzero)));
+  }
+  for (; i < count; ++i) {
+    scalar_kernel::WindowStatsAt(prefix, prefix_sq, i, length, dlen, inv_len,
+                                 global_mean, means, std_devs);
+  }
+}
+
+}  // namespace valmod::simd::avx2_kernel
+
+#endif  // VALMOD_SIMD_KERNELS_AVX2_INL_H_

@@ -1,0 +1,136 @@
+#ifndef VALMOD_SIMD_KERNELS_SCALAR_INL_H_
+#define VALMOD_SIMD_KERNELS_SCALAR_INL_H_
+
+// Per-element scalar kernel bodies, shared by the scalar kernel table and by
+// every vector translation unit (which uses them for remainder lanes the
+// vector width doesn't cover). Keeping the remainder code literally the
+// same inline functions as the scalar oracle is what makes the bit-identity
+// guarantee hold at every size, not just multiples of the vector width.
+//
+// All kernels_*.cc are compiled with -ffp-contract=off, so these bodies
+// never turn into FMAs even on ISAs that have them.
+
+#include <cmath>
+#include <cstddef>
+
+namespace valmod::simd::scalar_kernel {
+
+/// One span-2 butterfly over the 4 doubles at d + i.
+inline void Radix2Butterfly(double* d, std::size_t i) {
+  const double ar = d[i], ai = d[i + 1];
+  const double br = d[i + 2], bi = d[i + 3];
+  d[i] = ar + br;
+  d[i + 1] = ai + bi;
+  d[i + 2] = ar - br;
+  d[i + 3] = ai - bi;
+}
+
+/// One fused radix-2^2 DIT butterfly at inner index k (see fft/plan.cc for
+/// the derivation; this is that loop body, moved verbatim).
+inline void FusedDitButterfly(double* pa, double* pb, double* pc, double* pd,
+                              std::size_t k, const double* tw, std::size_t s1,
+                              std::size_t s2, std::size_t quarter,
+                              double sign) {
+  const double w1r = tw[2 * k * s1];
+  const double w1i = sign * tw[2 * k * s1 + 1];
+  const double w2r = tw[2 * k * s2];
+  const double w2i = sign * tw[2 * k * s2 + 1];
+  const double w3r = tw[2 * (k * s2 + quarter)];
+  const double w3i = sign * tw[2 * (k * s2 + quarter) + 1];
+
+  const double br = pb[2 * k], bi = pb[2 * k + 1];
+  const double t1r = w1r * br - w1i * bi;
+  const double t1i = w1r * bi + w1i * br;
+  const double ar = pa[2 * k], ai = pa[2 * k + 1];
+  const double a0r = ar + t1r, a0i = ai + t1i;
+  const double b0r = ar - t1r, b0i = ai - t1i;
+
+  const double dr = pd[2 * k], di = pd[2 * k + 1];
+  const double t2r = w1r * dr - w1i * di;
+  const double t2i = w1r * di + w1i * dr;
+  const double cr = pc[2 * k], ci = pc[2 * k + 1];
+  const double c0r = cr + t2r, c0i = ci + t2i;
+  const double d0r = cr - t2r, d0i = ci - t2i;
+
+  const double t3r = w2r * c0r - w2i * c0i;
+  const double t3i = w2r * c0i + w2i * c0r;
+  pa[2 * k] = a0r + t3r;
+  pa[2 * k + 1] = a0i + t3i;
+  pc[2 * k] = a0r - t3r;
+  pc[2 * k + 1] = a0i - t3i;
+
+  const double t4r = w3r * d0r - w3i * d0i;
+  const double t4i = w3r * d0i + w3i * d0r;
+  pb[2 * k] = b0r + t4r;
+  pb[2 * k + 1] = b0i + t4i;
+  pd[2 * k] = b0r - t4r;
+  pd[2 * k + 1] = b0i - t4i;
+}
+
+/// One fused radix-2^2 DIF butterfly at inner index k (twiddles applied
+/// after the butterfly).
+inline void FusedDifButterfly(double* pa, double* pb, double* pc, double* pd,
+                              std::size_t k, const double* tw, std::size_t s1,
+                              std::size_t s2, std::size_t quarter,
+                              double sign) {
+  const double w1r = tw[2 * k * s1];
+  const double w1i = sign * tw[2 * k * s1 + 1];
+  const double w2r = tw[2 * k * s2];
+  const double w2i = sign * tw[2 * k * s2 + 1];
+  const double w3r = tw[2 * (k * s2 + quarter)];
+  const double w3i = sign * tw[2 * (k * s2 + quarter) + 1];
+
+  const double ar = pa[2 * k], ai = pa[2 * k + 1];
+  const double cr = pc[2 * k], ci = pc[2 * k + 1];
+  const double a1r = ar + cr, a1i = ai + ci;
+  const double cdr = ar - cr, cdi = ai - ci;
+  const double c1r = w2r * cdr - w2i * cdi;
+  const double c1i = w2r * cdi + w2i * cdr;
+
+  const double br = pb[2 * k], bi = pb[2 * k + 1];
+  const double dr = pd[2 * k], di = pd[2 * k + 1];
+  const double b1r = br + dr, b1i = bi + di;
+  const double ddr = br - dr, ddi = bi - di;
+  const double d1r = w3r * ddr - w3i * ddi;
+  const double d1i = w3r * ddi + w3i * ddr;
+
+  pa[2 * k] = a1r + b1r;
+  pa[2 * k + 1] = a1i + b1i;
+  const double abr = a1r - b1r, abi = a1i - b1i;
+  pb[2 * k] = w1r * abr - w1i * abi;
+  pb[2 * k + 1] = w1r * abi + w1i * abr;
+
+  pc[2 * k] = c1r + d1r;
+  pc[2 * k + 1] = c1i + d1i;
+  const double cdr2 = c1r - d1r, cdi2 = c1i - d1i;
+  pd[2 * k] = w1r * cdr2 - w1i * cdi2;
+  pd[2 * k + 1] = w1r * cdi2 + w1i * cdr2;
+}
+
+/// out[k] = a[k] * b[k] for one complex bin (the libstdc++ finite-math
+/// std::complex<double> product, spelled out on doubles).
+inline void ComplexMultiplyBin(const double* a, const double* b, double* out,
+                               std::size_t k) {
+  const double ar = a[2 * k], ai = a[2 * k + 1];
+  const double br = b[2 * k], bi = b[2 * k + 1];
+  out[2 * k] = ar * br - ai * bi;
+  out[2 * k + 1] = ar * bi + ai * br;
+}
+
+/// One window of the moving mean/std sweep (stats::MovingStats::Mean /
+/// Variance bodies for length >= 2, moved verbatim).
+inline void WindowStatsAt(const double* prefix, const double* prefix_sq,
+                          std::size_t i, std::size_t length, double dlen,
+                          double inv_len, double global_mean, double* means,
+                          double* std_devs) {
+  const double diff = prefix[i + length] - prefix[i];
+  means[i] = diff / dlen + global_mean;
+  const double cm = diff * inv_len;
+  const double mean_sq = (prefix_sq[i + length] - prefix_sq[i]) * inv_len;
+  const double var = mean_sq - cm * cm;
+  std_devs[i] = std::sqrt(var > 0.0 ? var : 0.0);
+}
+
+}  // namespace valmod::simd::scalar_kernel
+
+#endif  // VALMOD_SIMD_KERNELS_SCALAR_INL_H_

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <string>
 
+#include "simd/dispatch.h"
+
 namespace valmod::stats {
 
 Result<MovingStats> MovingStats::Create(std::span<const double> data) {
@@ -98,10 +100,18 @@ Status MovingStats::WindowStats(std::size_t length, std::vector<double>* means,
   const std::size_t count = n_ - length + 1;
   means->resize(count);
   std_devs->resize(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    (*means)[i] = Mean(i, length);
-    (*std_devs)[i] = StdDev(i, length);
+  if (length == 1) {
+    // Variance(i, 1) is exactly 0 (see Variance's early return); the
+    // dispatched sweep kernel assumes length >= 2.
+    for (std::size_t i = 0; i < count; ++i) (*means)[i] = Mean(i, length);
+    std::fill(std_devs->begin(), std_devs->end(), 0.0);
+    return Status::Ok();
   }
+  // One dense sweep over the prefix arrays, runtime-dispatched to the best
+  // SIMD target; bit-identical to the per-window Mean/StdDev loop.
+  simd::ActiveKernels().window_stats(prefix_.data(), prefix_sq_.data(), count,
+                                     length, global_mean_, means->data(),
+                                     std_devs->data());
   return Status::Ok();
 }
 

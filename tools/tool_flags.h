@@ -18,6 +18,7 @@
 #include "series/data_series.h"
 #include "series/generators.h"
 #include "series/io.h"
+#include "simd/dispatch.h"
 
 namespace valmod::tools {
 
@@ -46,34 +47,56 @@ inline Result<series::DataSeries> LoadSeriesFromFlags(const Flags& flags) {
                        static_cast<std::uint64_t>(flags.GetInt("seed", 1)));
 }
 
+/// Applies the shared `--simd=<scalar|avx2|avx512|neon>` flag: forces the
+/// runtime SIMD dispatch target, exactly like the VALMOD_SIMD environment
+/// variable (the flag wins over the env var because it is applied after
+/// startup resolution). Unlike the env var — which only warns, so a bad
+/// ops-side value cannot take down a server — the flag is a hard usage
+/// error on unknown or unsupported targets. Apply *before* --calibrate so
+/// calibration prices the kernels that will actually run.
+inline Status ApplySimdFlag(const Flags& flags) {
+  if (!flags.Has("simd")) return Status::Ok();
+  VALMOD_ASSIGN_OR_RETURN(simd::Target target,
+                          simd::ParseTarget(flags.GetString("simd", "")));
+  return simd::SetTarget(target);
+}
+
 inline constexpr std::string_view kMotifsFlags[] = {
     "input", "column", "generate", "n", "seed", "allow-nonfinite",
     "lmin", "lmax", "k", "p", "threads", "results-version", "calibrate",
+    "simd",
 };
 
 inline constexpr std::string_view kDiscordsFlags[] = {
     "input", "column", "generate", "n", "seed", "allow-nonfinite",
-    "lmin", "lmax", "k", "threads",
+    "lmin", "lmax", "k", "threads", "simd",
 };
 
 inline constexpr std::string_view kValmapFlags[] = {
     "input", "column", "generate", "n", "seed", "allow-nonfinite",
     "lmin", "lmax", "k", "p", "threads", "results-version", "calibrate",
-    "output",
+    "output", "simd",
 };
 
 inline constexpr std::string_view kProfileFlags[] = {
     "input", "column", "generate", "n", "seed", "allow-nonfinite",
-    "l", "k", "threads", "results-version", "calibrate", "output",
+    "l", "k", "threads", "results-version", "calibrate", "output", "simd",
 };
 
 inline constexpr std::string_view kQueryFlags[] = {
     "input", "column", "generate", "n", "seed", "allow-nonfinite",
-    "query", "k", "results-version", "calibrate",
+    "query", "k", "results-version", "calibrate", "simd",
 };
 
 inline constexpr std::string_view kGenerateFlags[] = {
     "input", "column", "generate", "n", "seed", "allow-nonfinite", "output",
+};
+
+/// The `version` subcommand reports build/runtime facts; it takes no flags
+/// but keeps a (closed, empty-but-for-help) table so a typo is still
+/// rejected like everywhere else.
+inline constexpr std::string_view kVersionFlags[] = {
+    "version",
 };
 
 /// valmod_server accepts its serving knobs plus the same source flags (for
@@ -81,7 +104,7 @@ inline constexpr std::string_view kGenerateFlags[] = {
 inline constexpr std::string_view kServerFlags[] = {
     "input", "column", "generate", "n", "seed", "allow-nonfinite",
     "stdio", "port", "workers", "queue", "cache", "timeout-s", "preload",
-    "calibrate", "event-loop", "max-inflight", "page-bytes",
+    "calibrate", "event-loop", "max-inflight", "page-bytes", "simd",
 };
 
 }  // namespace valmod::tools

@@ -7,6 +7,7 @@
 //   profile   fixed-length matrix profile (--l) to CSV
 //   query     best matches of a query file inside the series
 //   generate  write a synthetic dataset to CSV
+//   version   report results version, SIMD dispatch target, CPU features
 //
 // Input comes from --input=<csv> (one value per line, or --column=<c>) or a
 // synthetic source via --generate=<name> --n=<points> --seed=<s>.
@@ -36,6 +37,7 @@
 #include "series/generators.h"
 #include "series/io.h"
 #include "series/znorm.h"
+#include "simd/dispatch.h"
 
 namespace {
 
@@ -51,7 +53,7 @@ int Fail(const valmod::Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: valmod_cli <motifs|discords|valmap|profile|query|"
-               "generate> [flags]\n"
+               "generate|version> [flags]\n"
                "  common: --input=<csv> [--column=0] [--allow-nonfinite] | "
                "--generate=<name> --n=<points> [--seed=1]\n"
                "          (loads reject nan/inf samples unless "
@@ -65,7 +67,13 @@ int Usage() {
                "  discords: --lmin --lmax [--k=1] [--threads=1]\n"
                "  profile: --l [--output=profile.csv]\n"
                "  query: --query=<csv> [--k=1]\n"
-               "  generate: --output=<csv>\n",
+               "  generate: --output=<csv>\n"
+               "  version: report results version, SIMD dispatch target, "
+               "and CPU features\n"
+               "  all but generate: [--simd=scalar|avx2|avx512|neon] "
+               "(force kernel dispatch;\n"
+               "          same values as VALMOD_SIMD, but a bad flag value "
+               "is a hard error)\n",
                valmod::mass::kResultsVersion, valmod::mass::kResultsVersion,
                valmod::mass::kLegacyResultsVersion);
   return 2;
@@ -267,6 +275,30 @@ int RunQuery(const Flags& flags) {
   return 0;
 }
 
+/// `valmod_cli version` (also reachable as `valmod_cli --version`): build
+/// and runtime facts, one `key: value` per line so scripts — including the
+/// CI per-target loop — can `sed` out a field without parsing JSON.
+/// `simd_supported` lists every dispatch target this build can run on this
+/// machine, best first; `simd_target` is the one currently active (after
+/// VALMOD_SIMD / --simd resolution).
+int RunVersion(const Flags&) {
+  std::printf("results_version: %d\n", valmod::mass::kResultsVersion);
+  std::printf("results_versions_supported: %d %d\n",
+              valmod::mass::kLegacyResultsVersion,
+              valmod::mass::kResultsVersion);
+  std::printf("simd_target: %s\n",
+              valmod::simd::TargetName(valmod::simd::ActiveTarget()));
+  std::string supported;
+  for (const valmod::simd::Target target : valmod::simd::SupportedTargets()) {
+    if (!supported.empty()) supported += ' ';
+    supported += valmod::simd::TargetName(target);
+  }
+  std::printf("simd_supported: %s\n", supported.c_str());
+  std::printf("cpu_features: %s\n",
+              valmod::simd::CpuFeatureString().c_str());
+  return 0;
+}
+
 int RunGenerate(const Flags& flags) {
   auto series = LoadSeries(flags);
   if (!series.ok()) return Fail(series.status());
@@ -281,7 +313,12 @@ int RunGenerate(const Flags& flags) {
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc, argv);
-  if (flags.positional().empty()) return Usage();
+  // `valmod_cli --version` is the conventional spelling; it aliases the
+  // `version` subcommand.
+  if (flags.positional().empty()) {
+    if (flags.Has("version")) return RunVersion(flags);
+    return Usage();
+  }
   const std::string command = flags.positional()[0];
 
   // Every subcommand has a closed flag table (tools/tool_flags.h, shared
@@ -295,6 +332,7 @@ int main(int argc, char** argv) {
   else if (command == "profile") known = valmod::tools::kProfileFlags;
   else if (command == "query") known = valmod::tools::kQueryFlags;
   else if (command == "generate") known = valmod::tools::kGenerateFlags;
+  else if (command == "version") known = valmod::tools::kVersionFlags;
   else return Usage();
   if (valmod::Status status = flags.RejectUnknown(known); !status.ok()) {
     std::fprintf(stderr, "error: %s: %s\n", command.c_str(),
@@ -302,6 +340,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Force the SIMD dispatch target before anything computes — in
+  // particular before --calibrate, so calibration prices the kernels that
+  // will actually run under the forced target.
+  if (valmod::Status status = valmod::tools::ApplySimdFlag(flags);
+      !status.ok()) {
+    std::fprintf(stderr, "error: --simd: %s\n", status.message().c_str());
+    return 2;
+  }
+
+  if (command == "version") return RunVersion(flags);
   if (command == "motifs") return RunMotifs(flags);
   if (command == "discords") return RunDiscords(flags);
   if (command == "valmap") return RunValmapCommand(flags);

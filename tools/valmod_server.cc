@@ -54,7 +54,8 @@ int Usage() {
                "[--workers=4] [--queue=64] [--cache=128]\n"
                "       [--event-loop=epoll|threads] [--max-inflight=64] "
                "[--page-bytes=1048576]\n"
-               "       [--timeout-s=<default deadline>] [--calibrate]\n"
+               "       [--timeout-s=<default deadline>] [--calibrate] "
+               "[--simd=scalar|avx2|avx512|neon]\n"
                "       [--preload=<name> (--input=<csv> [--column=0] "
                "[--allow-nonfinite] | --generate=<gen> [--n] [--seed])]\n"
                "newline-delimited JSON protocol; see README \"Serving\"\n"
@@ -139,6 +140,16 @@ int main(int argc, char** argv) {
   const int max_inflight = static_cast<int>(flags.GetInt("max-inflight", 64));
   if (max_inflight < 1) {
     std::fprintf(stderr, "error: --max-inflight must be >= 1\n");
+    return 2;
+  }
+
+  // Force the SIMD dispatch target before --calibrate (and before any
+  // request computes), so calibration prices the kernels that will
+  // actually serve. The env-var spelling (VALMOD_SIMD) only warns on a bad
+  // value; the flag is a hard startup error.
+  if (valmod::Status status = valmod::tools::ApplySimdFlag(flags);
+      !status.ok()) {
+    std::fprintf(stderr, "error: --simd: %s\n", status.message().c_str());
     return 2;
   }
 
