@@ -131,12 +131,56 @@ void BM_StreamingAppend(benchmark::State& state) {
   for (auto _ : state) {
     auto stream = valmod::mp::StreamingProfile::Create(64);
     (void)stream->AppendAll(series.values());
-    benchmark::DoNotOptimize(stream->profile().distances.data());
+    benchmark::DoNotOptimize(stream->ProfileSnapshot().distances.data());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
 }
 BENCHMARK(BM_StreamingAppend)->Arg(1 << 11)->Arg(1 << 13)
+    ->Unit(benchmark::kMillisecond);
+
+// Per-point Append over the same stream: the baseline BM_StreamingAppend's
+// AppendAll amortizes validation and reserves capacity for the whole batch
+// up front, so items/s here vs there is the batch-path delta.
+void BM_StreamingAppendPerPoint(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const DataSeries series = MakeSeries(n);
+  for (auto _ : state) {
+    auto stream = valmod::mp::StreamingProfile::Create(64);
+    for (const double value : series.values()) {
+      (void)stream->Append(value);
+    }
+    benchmark::DoNotOptimize(stream->ProfileSnapshot().distances.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_StreamingAppendPerPoint)->Arg(1 << 11)->Arg(1 << 13)
+    ->Unit(benchmark::kMillisecond);
+
+// Windowed maintenance at steady state: the window is full, so every
+// appended point also evicts one and occasionally repairs rows whose
+// nearest neighbor fell out. items/s is the sustained bounded-memory
+// ingest rate at that window size.
+void BM_StreamingWindowedSteadyState(benchmark::State& state) {
+  const std::size_t window = static_cast<std::size_t>(state.range(0));
+  const DataSeries series = MakeSeries(4 * window);
+  valmod::mp::StreamingOptions options;
+  options.max_points = window;
+  auto stream = valmod::mp::StreamingProfile::Create(64, options);
+  (void)stream->AppendAll(series.values().subspan(0, window));
+  std::size_t cursor = window;
+  std::int64_t points = 0;
+  for (auto _ : state) {
+    if (cursor + 256 > series.size()) cursor = 0;  // re-feed, stays steady
+    (void)stream->AppendAll(series.values().subspan(cursor, 256));
+    cursor += 256;
+    points += 256;
+  }
+  benchmark::DoNotOptimize(stream->ProfileSnapshot().distances.data());
+  state.SetItemsProcessed(points);
+}
+BENCHMARK(BM_StreamingWindowedSteadyState)->Arg(1 << 10)->Arg(1 << 12)
     ->Unit(benchmark::kMillisecond);
 
 void BM_ValmodEndToEnd(benchmark::State& state) {

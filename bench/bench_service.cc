@@ -465,6 +465,185 @@ Value RunMissStorm(const DataSeries& series, std::size_t length) {
   return Value(std::move(o));
 }
 
+std::string AppendRequest(const double* values, std::size_t count) {
+  std::string request =
+      "{\"verb\":\"append\",\"dataset\":\"stream\",\"params\":{\"values\":[";
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i > 0) request += ',';
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", values[i]);
+    request += buffer;
+  }
+  request += "]}}";
+  return request;
+}
+
+/// Windowed streaming ingestion through the serving stack. Two claims:
+///
+///   flatness — per-append latency must not grow with total history. The
+///              window bounds the maintained state, so a batch appended
+///              after 100x-window of churn must cost what a batch at
+///              2x-window cost. Reported as p50(late epoch)/p50(mid
+///              epoch); a leaky O(history) implementation grows ~50x here.
+///   memory   — a 1M-point append-then-query run must end with the
+///              dataset's `stats`-reported footprint reflecting the
+///              window, not the million points.
+///
+/// Requests are built before each timer starts, so the measured cost is
+/// the serving stack (parse, registry, maintained profile), not snprintf.
+Value RunStreamingIngest(std::size_t length) {
+  Value::Object doc;
+
+  // --- Flatness sweep: history grows to 100x the window. ---
+  // Window sizes here trade CI wall time against realism: per-append cost
+  // is O(window) (the update pass plus the occasional repair rescan after
+  // an eviction), so 2048/1024 keep the whole section under ~1 minute
+  // while still streaming 100x the window / a million points.
+  {
+    const std::size_t window = 2048;
+    const std::size_t batch = 128;
+    const std::size_t total_points = 100 * window;
+    auto source = valmod::synth::ByName("random_walk", total_points, 77);
+    if (!source.ok()) return Value(std::move(doc));
+    const auto raw = source->values();
+
+    ServiceOptions options;
+    options.workers = 2;
+    Service service(options);
+    if (!ResponseOk(service.HandleRequestLine(
+            "{\"verb\":\"load\",\"dataset\":\"stream\",\"params\":{"
+            "\"streaming_length\":" + std::to_string(length) +
+            ",\"window\":" + std::to_string(window) + "}}"))) {
+      return Value(std::move(doc));
+    }
+
+    const std::size_t batches = total_points / batch;
+    std::vector<double> batch_ms;
+    batch_ms.reserve(batches);
+    std::size_t errors = 0;
+    WallTimer total;
+    for (std::size_t b = 0; b < batches; ++b) {
+      const std::string request = AppendRequest(raw.data() + b * batch, batch);
+      WallTimer timer;
+      if (!ResponseOk(service.HandleRequestLine(request))) ++errors;
+      batch_ms.push_back(timer.ElapsedMillis());
+    }
+    const double seconds = total.ElapsedSeconds();
+
+    // Mid epoch: steady state just after the window first filled (history
+    // 2x..3x window). Late epoch: the last window's worth of batches, with
+    // history at 100x. Flat means late/mid ~= 1.
+    const std::size_t per_epoch = window / batch;
+    std::vector<double> mid(batch_ms.begin() + 2 * per_epoch,
+                            batch_ms.begin() + 3 * per_epoch);
+    std::vector<double> late(batch_ms.end() - per_epoch, batch_ms.end());
+    std::sort(mid.begin(), mid.end());
+    std::sort(late.begin(), late.end());
+    std::sort(batch_ms.begin(), batch_ms.end());
+    const double mid_p50 = Percentile(mid, 0.50);
+    const double late_p50 = Percentile(late, 0.50);
+    const double flatness = mid_p50 > 0.0 ? late_p50 / mid_p50 : 0.0;
+    const double appends_per_sec =
+        seconds > 0.0 ? static_cast<double>(total_points) / seconds : 0.0;
+    const double p99_us = Percentile(batch_ms, 0.99) * 1000.0;
+
+    std::fprintf(stderr,
+                 "stream ingest : %8.0f points/s  batch p50 %6.3f ms  "
+                 "p99 %8.1f us  flatness(100x/2x) %.2fx%s\n",
+                 appends_per_sec, Percentile(batch_ms, 0.50), p99_us, flatness,
+                 errors > 0 ? "  [errors!]" : "");
+
+    Value::Object o;
+    o.emplace("window", Value(window));
+    o.emplace("length", Value(length));
+    o.emplace("batch_points", Value(batch));
+    o.emplace("total_points", Value(total_points));
+    o.emplace("seconds", Value(seconds));
+    o.emplace("appends_per_sec", Value(appends_per_sec));
+    o.emplace("p50_append_latency_ms", Value(Percentile(batch_ms, 0.50)));
+    o.emplace("p99_append_latency_us", Value(p99_us));
+    o.emplace("append_latency_flatness_100x_vs_2x", Value(flatness));
+    o.emplace("errors", Value(errors));
+    doc.emplace("flatness", Value(std::move(o)));
+  }
+
+  // --- 1M-point append-then-query within the window memory bound. ---
+  {
+    const std::size_t window = 1024;
+    const std::size_t length = 32;  // shadows the sweep length: see above
+    const std::size_t total_points = 1'000'000;
+    const std::size_t batch = 1024;
+    auto source = valmod::synth::ByName("random_walk", total_points, 79);
+    if (!source.ok()) return Value(std::move(doc));
+    const auto raw = source->values();
+
+    ServiceOptions options;
+    options.workers = 2;
+    Service service(options);
+    if (!ResponseOk(service.HandleRequestLine(
+            "{\"verb\":\"load\",\"dataset\":\"stream\",\"params\":{"
+            "\"streaming_length\":" + std::to_string(length) +
+            ",\"max_points\":" + std::to_string(window) + "}}"))) {
+      return Value(std::move(doc));
+    }
+
+    std::size_t errors = 0;
+    WallTimer ingest_timer;
+    for (std::size_t begin = 0; begin < total_points; begin += batch) {
+      const std::size_t count = std::min(batch, total_points - begin);
+      const std::string request = AppendRequest(raw.data() + begin, count);
+      if (!ResponseOk(service.HandleRequestLine(request))) ++errors;
+    }
+    const double ingest_seconds = ingest_timer.ElapsedSeconds();
+
+    WallTimer profile_timer;
+    const bool profile_ok = ResponseOk(service.HandleRequestLine(
+        "{\"verb\":\"profile\",\"dataset\":\"stream\"}"));
+    const double profile_ms = profile_timer.ElapsedMillis();
+    WallTimer motifs_timer;
+    const bool motifs_ok = ResponseOk(service.HandleRequestLine(
+        "{\"verb\":\"motifs\",\"dataset\":\"stream\",\"params\":{\"k\":3}}"));
+    const double motifs_ms = motifs_timer.ElapsedMillis();
+
+    double memory_bytes = 0.0;
+    auto stats = valmod::json::Parse(
+        service.HandleRequestLine("{\"verb\":\"stats\"}"));
+    if (stats.ok()) {
+      if (const Value* datasets = stats->Find("result")->Find("datasets")) {
+        if (!datasets->AsArray().empty()) {
+          memory_bytes = datasets->AsArray()[0].GetNumber("memory_bytes", 0);
+        }
+      }
+    }
+
+    std::fprintf(stderr,
+                 "stream 1M     : ingest %5.2f s (%8.0f points/s)  "
+                 "profile %6.2f ms  motifs %6.2f ms  memory %.2f MiB%s\n",
+                 ingest_seconds,
+                 ingest_seconds > 0.0 ? total_points / ingest_seconds : 0.0,
+                 profile_ms, motifs_ms, memory_bytes / (1024.0 * 1024.0),
+                 (errors > 0 || !profile_ok || !motifs_ok) ? "  [errors!]"
+                                                           : "");
+
+    Value::Object o;
+    o.emplace("window", Value(window));
+    o.emplace("length", Value(length));
+    o.emplace("total_points", Value(total_points));
+    o.emplace("ingest_seconds", Value(ingest_seconds));
+    o.emplace("appends_per_sec",
+              Value(ingest_seconds > 0.0 ? total_points / ingest_seconds
+                                         : 0.0));
+    o.emplace("profile_ms", Value(profile_ms));
+    o.emplace("motifs_ms", Value(motifs_ms));
+    o.emplace("memory_bytes", Value(memory_bytes));
+    o.emplace("errors",
+              Value(errors + (profile_ok ? 0u : 1u) + (motifs_ok ? 0u : 1u)));
+    doc.emplace("million_point", Value(std::move(o)));
+  }
+
+  return Value(std::move(doc));
+}
+
 Value RunValue(const RunResult& run) {
   Value::Object o;
   o.emplace("seconds", Value(run.seconds));
@@ -560,6 +739,9 @@ int main(int argc, char** argv) {
 
   doc.emplace("overload", RunOverload(*series, length));
   doc.emplace("miss_storm", RunMissStorm(*series, length));
+  doc.emplace("streaming_ingest",
+              RunStreamingIngest(static_cast<std::size_t>(
+                  flags.GetInt("stream-length", 64))));
 
   // TCP transport sweep at 64..tcp-clients connections, epoll vs the
   // legacy thread-per-connection transport, over cache-hot requests.

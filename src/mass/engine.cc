@@ -1,5 +1,6 @@
 #include "mass/engine.h"
 
+#include <cstring>
 #include <string>
 #include <utility>
 
@@ -71,24 +72,118 @@ std::shared_ptr<const MassEngine::ChunkSpectra> MassEngine::ChunkSpectraFor(
     spectra->last_used = ++chunk_spectra_clock_;
     std::shared_ptr<const ChunkSpectra> handle = spectra;
     chunk_spectra_.emplace(chunk_fft_size, std::move(spectra));
-    // At ~32 bytes per series point per entry, stale sizes from a wide
-    // length sweep are too big to keep forever: evict least-recently-used
-    // beyond the cap. In-flight callers hold shared_ptrs, so eviction only
-    // drops the cache's reference.
-    while (chunk_spectra_.size() > kMaxChunkSpectraSizes) {
-      auto victim = chunk_spectra_.begin();
-      for (auto cand = chunk_spectra_.begin(); cand != chunk_spectra_.end();
-           ++cand) {
-        if (cand->second->last_used < victim->second->last_used) {
-          victim = cand;
-        }
-      }
-      chunk_spectra_.erase(victim);
-    }
+    TrimChunkSpectraLocked();
     return handle;
   }
   it->second->last_used = ++chunk_spectra_clock_;
   return it->second;
+}
+
+void MassEngine::TrimChunkSpectraLocked() {
+  // At ~32 bytes per series point per entry, stale sizes from a wide
+  // length sweep are too big to keep forever: evict least-recently-used
+  // beyond the cap. In-flight callers hold shared_ptrs, so eviction only
+  // drops the cache's reference.
+  while (chunk_spectra_.size() > kMaxChunkSpectraSizes) {
+    auto victim = chunk_spectra_.begin();
+    for (auto cand = chunk_spectra_.begin(); cand != chunk_spectra_.end();
+         ++cand) {
+      if (cand->second->last_used < victim->second->last_used) {
+        victim = cand;
+      }
+    }
+    chunk_spectra_.erase(victim);
+  }
+}
+
+std::size_t MassEngine::AdoptChunkSpectraFrom(MassEngine& previous,
+                                              std::size_t unchanged_prefix) {
+  const auto centered = series_.centered();
+  const auto prev_centered = previous.series_.centered();
+  if (unchanged_prefix == 0 || unchanged_prefix > centered.size() ||
+      unchanged_prefix > prev_centered.size()) {
+    return 0;
+  }
+  // Adoption is only sound when a fresh build would transform the exact
+  // same chunk bytes, so verify the prefix bitwise. One O(prefix) memcmp
+  // per snapshot generation is noise next to the O(n) stats build that
+  // accompanies it, and it turns a subtle caller mistake (re-anchored or
+  // slid values) into a clean "nothing adopted".
+  if (std::memcmp(centered.data(), prev_centered.data(),
+                  unchanged_prefix * sizeof(double)) != 0) {
+    return 0;
+  }
+
+  // Snapshot the previous engine's entries under its lock; the shared_ptr
+  // handles keep them alive even if that engine concurrently evicts.
+  std::vector<std::shared_ptr<const ChunkSpectra>> sources;
+  {
+    std::lock_guard<std::mutex> lock(previous.mutex_);
+    sources.reserve(previous.chunk_spectra_.size());
+    for (const auto& entry : previous.chunk_spectra_) {
+      sources.push_back(entry.second);
+    }
+  }
+
+  const std::size_t n = centered.size();
+  std::size_t copied = 0;
+  for (const std::shared_ptr<const ChunkSpectra>& source : sources) {
+    const std::size_t chunk_fft_size = source->plan->size();
+    const std::size_t hop = source->hop;
+    auto spectra = std::make_shared<ChunkSpectra>();
+    spectra->plan = source->plan;
+    spectra->hop = hop;
+    const std::size_t num_chunks = (n + hop - 1) / hop;
+    spectra->chunks.resize(num_chunks);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t begin = c * hop;
+      // A chunk is copyable only when the previous build read a full,
+      // unpadded chunk entirely inside the unchanged prefix; a chunk that
+      // was zero-padded at the old series end now reads appended data and
+      // must be recomputed.
+      if (begin + chunk_fft_size <= unchanged_prefix &&
+          c < source->chunks.size()) {
+        spectra->chunks[c] = source->chunks[c];
+        ++copied;
+        continue;
+      }
+      const std::size_t len = std::min(chunk_fft_size, n - begin);
+      std::vector<std::complex<double>>& bins = spectra->chunks[c];
+      bins.resize(chunk_fft_size);
+      spectra->plan->RealForwardPair(centered.subspan(begin, len), {}, bins);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (chunk_spectra_.count(chunk_fft_size) > 0) continue;  // lost the race
+    spectra->last_used = ++chunk_spectra_clock_;
+    chunk_spectra_.emplace(chunk_fft_size, std::move(spectra));
+    TrimChunkSpectraLocked();
+  }
+  return copied;
+}
+
+std::size_t MassEngine::CacheMemoryBytes() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  constexpr std::size_t kComplexBytes = sizeof(std::complex<double>);
+  std::size_t bytes = 0;
+  for (const auto& entry : spectra_) {
+    bytes += entry.second->bins.capacity() * kComplexBytes;
+    bytes += entry.second->pair_bins.capacity() * kComplexBytes;
+  }
+  for (const auto& entry : chunk_spectra_) {
+    for (const auto& chunk : entry.second->chunks) {
+      bytes += chunk.capacity() * kComplexBytes;
+    }
+  }
+  for (const auto& scratch : free_scratch_) {
+    bytes += scratch->reversed_query.capacity() * sizeof(double);
+    bytes += scratch->bins.capacity() * kComplexBytes;
+    bytes += scratch->conv.capacity() * sizeof(double);
+    bytes += scratch->pair_bins.capacity() * kComplexBytes;
+    bytes += scratch->reversed_query_b.capacity() * sizeof(double);
+    bytes += scratch->ols_filter.capacity() * kComplexBytes;
+    bytes += scratch->ols_work.capacity() * kComplexBytes;
+  }
+  return bytes;
 }
 
 std::size_t MassEngine::ChunkSpectraCacheSizeForTesting() {

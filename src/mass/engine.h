@@ -93,6 +93,31 @@ class MassEngine {
       std::span<const double> query,
       ConvolutionBackend backend = ConvolutionBackend::kAuto);
 
+  /// Streaming-append cache carry-over: seeds this engine's overlap-save
+  /// chunk-spectra cache from `previous` (the engine of the prior snapshot
+  /// generation of the same growing series), given that the first
+  /// `unchanged_prefix` *centered* values of both series are bit-identical.
+  /// For every chunk size `previous` had cached, chunks lying entirely
+  /// inside the unchanged prefix are copied verbatim (they are bit-identical
+  /// to what a fresh build would produce — same input, same plan) and only
+  /// the suffix chunks the appended points touch (including the previously
+  /// zero-padded tail chunk) are recomputed. Returns the number of chunks
+  /// copied; 0 — and no cache changes — when the prefix check fails.
+  ///
+  /// The full-size series spectra are deliberately *not* carried over:
+  /// appending changes the padded FFT size and every bin, so there is
+  /// nothing reusable there.
+  ///
+  /// Thread-safe against concurrent use of both engines, but intended to be
+  /// called once, right after construction, before this engine is hot.
+  std::size_t AdoptChunkSpectraFrom(MassEngine& previous,
+                                    std::size_t unchanged_prefix);
+
+  /// Approximate heap footprint of the engine's caches (spectra, chunk
+  /// spectra, scratch free list), for the `stats` verb's per-dataset
+  /// memory reporting.
+  std::size_t CacheMemoryBytes();
+
  private:
   /// The forward spectra of the series zero-padded to one FFT size: the
   /// half spectrum driving the single-query path, plus (built lazily, only
@@ -151,6 +176,10 @@ class MassEngine {
   /// keeps an evicted entry alive for callers mid-computation.
   std::shared_ptr<const ChunkSpectra> ChunkSpectraFor(
       std::size_t chunk_fft_size);
+
+  /// Evicts least-recently-used chunk-spectra entries beyond the cap.
+  /// Caller holds mutex_.
+  void TrimChunkSpectraLocked();
 
   std::unique_ptr<Scratch> AcquireScratch();
   void ReleaseScratch(std::unique_ptr<Scratch> scratch);

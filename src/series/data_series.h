@@ -25,6 +25,13 @@ class DataSeries {
   /// entries. Cost: O(n) to build prefix statistics.
   static Result<DataSeries> Create(std::vector<double> values);
 
+  /// Like Create, but centers the stats at `center` instead of the series'
+  /// global mean (see stats::MovingStats::CreateWithCenter). Streaming
+  /// snapshots pass 0.0 over anchor-shifted values so `centered()` — and
+  /// with it every cached spectrum — is bit-stable while the window grows.
+  static Result<DataSeries> CreateWithCenter(std::vector<double> values,
+                                             double center);
+
   DataSeries(DataSeries&&) = default;
   DataSeries& operator=(DataSeries&&) = default;
   DataSeries(const DataSeries&) = delete;
@@ -61,6 +68,11 @@ class DataSeries {
   /// Fails when the window falls outside the series.
   Result<std::vector<double>> Subsequence(std::size_t offset,
                                           std::size_t length) const;
+
+  /// Heap footprint: the raw values plus the stats arrays.
+  std::size_t MemoryBytes() const {
+    return values_.capacity() * sizeof(double) + stats_.MemoryBytes();
+  }
 
  private:
   DataSeries(std::vector<double> values, stats::MovingStats stats)

@@ -30,14 +30,18 @@ std::shared_ptr<Dataset> Dataset::CreateStatic(std::string name,
 
 Result<std::shared_ptr<Dataset>> Dataset::CreateStreaming(
     std::string name, std::size_t subsequence_length,
-    double exclusion_fraction) {
+    double exclusion_fraction, std::size_t max_points) {
+  mp::StreamingOptions options;
+  options.exclusion_fraction = exclusion_fraction;
+  options.max_points = max_points;
   VALMOD_ASSIGN_OR_RETURN(
       mp::StreamingProfile profile,
-      mp::StreamingProfile::Create(subsequence_length, exclusion_fraction));
+      mp::StreamingProfile::Create(subsequence_length, options));
   auto dataset = std::shared_ptr<Dataset>(new Dataset());
   dataset->name_ = std::move(name);
   dataset->uid_ = NextDatasetUid();
   dataset->streaming_length_ = subsequence_length;
+  dataset->max_points_ = max_points;
   dataset->streaming_.emplace(std::move(profile));
   return dataset;
 }
@@ -72,10 +76,33 @@ Result<std::shared_ptr<const DatasetSnapshot>> Dataset::Snapshot() {
   // its appended values and the next query retries the build.
   VALMOD_RETURN_IF_ERROR(VALMOD_FAULT_POINT("registry.snapshot.alloc"));
   const auto values = streaming_->values();
+  // The stats are centered at 0 over the anchor-shifted values rather than
+  // at the materialized window's own mean: z-normalized queries cannot tell
+  // the difference, but it makes `centered()` bit-stable while the window
+  // grows in place, which is what lets the new engine adopt the previous
+  // generation's overlap-save chunk spectra below.
   VALMOD_ASSIGN_OR_RETURN(
       series::DataSeries series,
-      series::DataSeries::Create({values.begin(), values.end()}));
-  snapshot_ = std::make_shared<DatasetSnapshot>(std::move(series), generation_);
+      series::DataSeries::CreateWithCenter({values.begin(), values.end()},
+                                           /*center=*/0.0));
+  auto next =
+      std::make_shared<DatasetSnapshot>(std::move(series), generation_);
+  // Pure-extension fast path: if the retained values are the previous
+  // snapshot's values plus appended points (same anchor epoch, same window
+  // start, grew), seed the new engine's chunk-spectra cache from the old
+  // one so only the chunks the new points touch are recomputed —
+  // O(new points), not O(n), per generation.
+  if (snapshot_ && snapshot_points_ > 0 &&
+      snapshot_anchor_epoch_ == streaming_->anchor_epoch() &&
+      snapshot_window_start_ == streaming_->window_start() &&
+      snapshot_points_ <= values.size()) {
+    next->engine().AdoptChunkSpectraFrom(snapshot_->engine(),
+                                         snapshot_points_);
+  }
+  snapshot_ = std::move(next);
+  snapshot_points_ = values.size();
+  snapshot_anchor_epoch_ = streaming_->anchor_epoch();
+  snapshot_window_start_ = streaming_->window_start();
   return snapshot_;
 }
 
@@ -94,6 +121,9 @@ Result<Dataset::AppendResult> Dataset::Append(std::span<const double> values) {
   result.points = streaming_->size();
   result.subsequences = streaming_->NumSubsequences();
   result.generation = generation_;
+  result.window_start = streaming_->window_start();
+  result.evicted = streaming_->window_start();
+  result.total_appended = streaming_->total_appended();
   return result;
 }
 
@@ -105,10 +135,48 @@ Result<Dataset::StreamingState> Dataset::StreamingProfileSnapshot() {
         "profile (use the profile verb with a length instead)");
   }
   StreamingState state;
-  state.profile = streaming_->profile();  // deep copy under the lock
+  state.profile = streaming_->ProfileSnapshot();  // copy under the lock
   state.generation = generation_;
   state.points = streaming_->size();
+  state.window_start = streaming_->window_start();
   return state;
+}
+
+Result<Dataset::StreamingTopK> Dataset::StreamingTopKSnapshot(
+    std::size_t k_motifs, std::size_t k_discords) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!streaming_) {
+    return Status::FailedPrecondition(
+        "dataset '" + name_ + "' is not streaming; it has no maintained "
+        "top-k (use the motifs/discords verbs with a length range instead)");
+  }
+  StreamingTopK top;
+  top.motifs = streaming_->TopMotifs(k_motifs);
+  top.discords = streaming_->TopDiscords(k_discords);
+  top.generation = generation_;
+  top.points = streaming_->size();
+  top.window_start = streaming_->window_start();
+  return top;
+}
+
+Dataset::MemoryInfo Dataset::Memory() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MemoryInfo info;
+  if (streaming_) {
+    info.memory_bytes = streaming_->MemoryBytes();
+    info.retained = streaming_->size();
+    info.max_points = max_points_;
+    info.evicted_total = streaming_->window_start();
+    info.total_appended = streaming_->total_appended();
+  } else if (snapshot_) {
+    info.retained = snapshot_->series().size();
+    info.total_appended = info.retained;
+  }
+  if (snapshot_) {
+    info.memory_bytes += snapshot_->series().MemoryBytes() +
+                         snapshot_->engine().CacheMemoryBytes();
+  }
+  return info;
 }
 
 Result<std::shared_ptr<Dataset>> DatasetRegistry::LoadSeries(
@@ -132,7 +200,7 @@ Result<std::shared_ptr<Dataset>> DatasetRegistry::LoadSeries(
 
 Result<std::shared_ptr<Dataset>> DatasetRegistry::CreateStreaming(
     const std::string& name, std::size_t subsequence_length,
-    double exclusion_fraction) {
+    double exclusion_fraction, std::size_t max_points) {
   if (name.empty()) {
     return Status::InvalidArgument("dataset name must be non-empty");
   }
@@ -143,7 +211,8 @@ Result<std::shared_ptr<Dataset>> DatasetRegistry::CreateStreaming(
   }
   VALMOD_ASSIGN_OR_RETURN(
       std::shared_ptr<Dataset> dataset,
-      Dataset::CreateStreaming(name, subsequence_length, exclusion_fraction));
+      Dataset::CreateStreaming(name, subsequence_length, exclusion_fraction,
+                               max_points));
   datasets_.emplace(name, dataset);
   return dataset;
 }
@@ -180,6 +249,11 @@ std::vector<DatasetRegistry::Info> DatasetRegistry::List() const {
     info.generation = dataset->generation();
     info.streaming = dataset->streaming();
     info.streaming_length = dataset->streaming_length();
+    info.max_points = dataset->max_points();
+    const Dataset::MemoryInfo memory = dataset->Memory();
+    info.evicted = memory.evicted_total;
+    info.total_appended = memory.total_appended;
+    info.memory_bytes = memory.memory_bytes;
     infos.push_back(std::move(info));
   }
   return infos;

@@ -67,9 +67,11 @@ class Dataset {
   /// Registry-internal constructors; use DatasetRegistry to create these.
   static std::shared_ptr<Dataset> CreateStatic(std::string name,
                                                series::DataSeries series);
+  /// `max_points == 0` means unbounded (append-only); a bound turns the
+  /// dataset into a sliding window (see mp::StreamingOptions::max_points).
   static Result<std::shared_ptr<Dataset>> CreateStreaming(
       std::string name, std::size_t subsequence_length,
-      double exclusion_fraction = 0.5);
+      double exclusion_fraction = 0.5, std::size_t max_points = 0);
 
   const std::string& name() const { return name_; }
   /// Process-unique id, distinct across every dataset ever created — in
@@ -83,6 +85,9 @@ class Dataset {
 
   /// The streaming profile's subsequence length (0 for static datasets).
   std::size_t streaming_length() const { return streaming_length_; }
+
+  /// The streaming window bound (0 for static or unbounded datasets).
+  std::size_t max_points() const { return max_points_; }
 
   /// The current (series, engine) snapshot. For a static dataset this is
   /// always the same object; for a streaming dataset the snapshot is
@@ -100,9 +105,14 @@ class Dataset {
   /// dataset lock: a concurrent append can never make a response report a
   /// (points, generation) pair this append did not itself create.
   struct AppendResult {
-    std::size_t points = 0;
+    std::size_t points = 0;  // retained after the append
     std::size_t subsequences = 0;
     std::uint64_t generation = 0;
+    /// Points evicted by this append (windowed datasets only).
+    std::size_t evicted = 0;
+    /// Global stream position of the first retained point.
+    std::size_t window_start = 0;
+    std::size_t total_appended = 0;
   };
 
   /// Appends points to a streaming dataset (O(m + l) each) and bumps the
@@ -118,8 +128,33 @@ class Dataset {
     mp::MatrixProfile profile;
     std::uint64_t generation = 0;
     std::size_t points = 0;
+    /// Global stream position of window offset 0 in `profile`.
+    std::size_t window_start = 0;
   };
   Result<StreamingState> StreamingProfileSnapshot();
+
+  /// Incrementally maintained top-k motifs/discords (streaming only), read
+  /// from the maintained profile under the dataset lock — O(W), no batch
+  /// recomputation, consistent with the generation it reports.
+  struct StreamingTopK {
+    std::vector<mp::MotifEntry> motifs;
+    std::vector<mp::DiscordEntry> discords;
+    std::uint64_t generation = 0;
+    std::size_t points = 0;
+    std::size_t window_start = 0;
+  };
+  Result<StreamingTopK> StreamingTopKSnapshot(std::size_t k_motifs,
+                                              std::size_t k_discords);
+
+  /// Occupancy and footprint of the dataset, for the `stats` verb.
+  struct MemoryInfo {
+    std::size_t memory_bytes = 0;  // profile state + snapshot + engine caches
+    std::size_t retained = 0;
+    std::size_t max_points = 0;     // 0 = unbounded
+    std::size_t evicted_total = 0;  // == window start
+    std::size_t total_appended = 0;
+  };
+  MemoryInfo Memory() const;
 
  private:
   Dataset() = default;
@@ -127,6 +162,7 @@ class Dataset {
   std::string name_;
   std::uint64_t uid_ = 0;
   std::size_t streaming_length_ = 0;
+  std::size_t max_points_ = 0;
 
   mutable std::mutex mutex_;
   std::uint64_t generation_ = 1;
@@ -134,6 +170,13 @@ class Dataset {
   /// Cached snapshot; for streaming datasets its generation may trail
   /// generation_ until the next Snapshot() call re-materializes.
   std::shared_ptr<const DatasetSnapshot> snapshot_;
+  /// Provenance of the streaming snapshot_, used to decide whether the next
+  /// materialization is a pure extension of the previous one (same anchor,
+  /// same window start, grew) — in which case the new engine adopts the old
+  /// engine's chunk spectra and the append path stays O(new points).
+  std::size_t snapshot_points_ = 0;
+  std::uint64_t snapshot_anchor_epoch_ = 0;
+  std::size_t snapshot_window_start_ = 0;
 };
 
 /// Named, ref-counted registry of long-lived datasets — the serving
@@ -148,6 +191,10 @@ class DatasetRegistry {
     std::uint64_t generation = 0;
     bool streaming = false;
     std::size_t streaming_length = 0;
+    std::size_t max_points = 0;      // 0 = unbounded / static
+    std::size_t evicted = 0;         // total points aged out of the window
+    std::size_t total_appended = 0;  // streaming only; == points for static
+    std::size_t memory_bytes = 0;    // series + profile + engine caches
   };
 
   /// Registers a static dataset under `name`. Fails if the name is taken
@@ -157,10 +204,10 @@ class DatasetRegistry {
                                               series::DataSeries series);
 
   /// Registers an empty streaming dataset maintaining a profile at
-  /// `subsequence_length`.
+  /// `subsequence_length`; `max_points > 0` bounds the retained window.
   Result<std::shared_ptr<Dataset>> CreateStreaming(
       const std::string& name, std::size_t subsequence_length,
-      double exclusion_fraction = 0.5);
+      double exclusion_fraction = 0.5, std::size_t max_points = 0);
 
   /// Looks up a dataset. NotFound when absent.
   Result<std::shared_ptr<Dataset>> Get(const std::string& name) const;

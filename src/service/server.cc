@@ -308,6 +308,114 @@ std::string CacheKey(const Dataset& dataset, std::uint64_t generation,
   return key;
 }
 
+/// The maintained-top-k fast path for streaming datasets: when the request
+/// targets exactly the maintained subsequence length, motifs/discords are
+/// read from the incrementally maintained profile (O(W) under the dataset
+/// lock, cached per generation) instead of recomputing a batch profile.
+/// A nullopt return means "not eligible, use the batch path".
+std::optional<QueryPlan> PlanMaintainedMotifs(
+    const std::shared_ptr<Dataset>& dataset, std::size_t lmin,
+    std::size_t lmax, std::size_t k) {
+  const std::size_t native = dataset->streaming_length();
+  if (!dataset->streaming()) return std::nullopt;
+  if ((lmin != 0 && lmin != native) || (lmax != 0 && lmax != native)) {
+    return std::nullopt;
+  }
+  QueryPlan plan;
+  // Generation-keyed like the streaming profile verb: the O(W) maintained
+  // read happens only on a cache miss (see PlanProfile for the benign
+  // key-races-append note).
+  plan.cache_key = CacheKey(*dataset, dataset->generation(), "motifs",
+                            "maintained,l=" + std::to_string(native) +
+                                ",k=" + std::to_string(k),
+                            mass::kResultsVersion, /*engine_backed=*/false);
+  plan.job = [dataset, k, native](const Deadline& deadline)
+      -> Result<std::string> {
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("motifs deadline expired");
+    }
+    VALMOD_ASSIGN_OR_RETURN(Dataset::StreamingTopK top,
+                            dataset->StreamingTopKSnapshot(k, 0));
+    Value::Object payload;
+    payload.emplace("generation", Value(top.generation));
+    payload.emplace("streaming", Value(true));
+    payload.emplace("maintained", Value(true));
+    payload.emplace("points", Value(top.points));
+    payload.emplace("window_start", Value(top.window_start));
+    Value::Array ranked;
+    ranked.reserve(top.motifs.size());
+    for (std::size_t r = 0; r < top.motifs.size(); ++r) {
+      mp::MotifPair pair;
+      pair.offset_a = static_cast<std::int64_t>(top.motifs[r].offset_a);
+      pair.offset_b = static_cast<std::int64_t>(top.motifs[r].offset_b);
+      pair.length = native;
+      pair.distance = top.motifs[r].distance;
+      pair.normalized_distance =
+          series::LengthNormalizedDistance(top.motifs[r].distance, native);
+      ranked.push_back(MotifPairValue(pair, r));
+    }
+    Value::Object entry;
+    entry.emplace("length", Value(native));
+    entry.emplace("motifs", Value(ranked));
+    Value::Array per_length;
+    per_length.push_back(Value(std::move(entry)));
+    payload.emplace("per_length", Value(std::move(per_length)));
+    payload.emplace("ranked", Value(std::move(ranked)));
+    return Value(std::move(payload)).Serialize();
+  };
+  return plan;
+}
+
+std::optional<QueryPlan> PlanMaintainedDiscords(
+    const std::shared_ptr<Dataset>& dataset, std::size_t lmin,
+    std::size_t lmax, std::size_t k) {
+  const std::size_t native = dataset->streaming_length();
+  if (!dataset->streaming()) return std::nullopt;
+  if ((lmin != 0 && lmin != native) || (lmax != 0 && lmax != native)) {
+    return std::nullopt;
+  }
+  QueryPlan plan;
+  plan.cache_key = CacheKey(*dataset, dataset->generation(), "discords",
+                            "maintained,l=" + std::to_string(native) +
+                                ",k=" + std::to_string(k),
+                            mass::kResultsVersion, /*engine_backed=*/false);
+  plan.job = [dataset, k, native](const Deadline& deadline)
+      -> Result<std::string> {
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("discords deadline expired");
+    }
+    VALMOD_ASSIGN_OR_RETURN(Dataset::StreamingTopK top,
+                            dataset->StreamingTopKSnapshot(0, k));
+    Value::Object payload;
+    payload.emplace("generation", Value(top.generation));
+    payload.emplace("streaming", Value(true));
+    payload.emplace("maintained", Value(true));
+    payload.emplace("points", Value(top.points));
+    payload.emplace("window_start", Value(top.window_start));
+    Value::Array discords;
+    discords.reserve(top.discords.size());
+    for (std::size_t r = 0; r < top.discords.size(); ++r) {
+      const mp::DiscordEntry& d = top.discords[r];
+      Value::Object out;
+      out.emplace("rank", Value(r + 1));
+      out.emplace("offset", Value(static_cast<long long>(d.offset)));
+      out.emplace("neighbor", Value(static_cast<long long>(d.neighbor)));
+      out.emplace("distance", Value(d.distance));
+      out.emplace("normalized",
+                  Value(series::LengthNormalizedDistance(d.distance, native)));
+      discords.push_back(Value(std::move(out)));
+    }
+    Value::Object entry;
+    entry.emplace("length", Value(native));
+    entry.emplace("discords", Value(std::move(discords)));
+    Value::Array per_length;
+    per_length.push_back(Value(std::move(entry)));
+    payload.emplace("per_length", Value(std::move(per_length)));
+    return Value(std::move(payload)).Serialize();
+  };
+  return plan;
+}
+
 Result<QueryPlan> PlanValmod(const std::shared_ptr<Dataset>& dataset,
                              const Value& params, bool build_valmap) {
   VALMOD_RETURN_IF_ERROR(RejectUnknownParams(
@@ -318,6 +426,14 @@ Result<QueryPlan> PlanValmod(const std::shared_ptr<Dataset>& dataset,
   VALMOD_ASSIGN_OR_RETURN(options.max_length, SizeParam(params, "lmax", 0));
   VALMOD_ASSIGN_OR_RETURN(options.k,
                           SizeParam(params, "k", build_valmap ? 4 : 1));
+  if (!build_valmap) {
+    // Streaming datasets answer same-length motif requests from the
+    // maintained profile — no batch recomputation, no snapshot build.
+    if (std::optional<QueryPlan> maintained = PlanMaintainedMotifs(
+            dataset, options.min_length, options.max_length, options.k)) {
+      return *std::move(maintained);
+    }
+  }
   VALMOD_ASSIGN_OR_RETURN(options.p, SizeParam(params, "p", 10));
   VALMOD_ASSIGN_OR_RETURN(options.num_threads, IntParam(params, "threads", 1));
   VALMOD_ASSIGN_OR_RETURN(options.results_version,
@@ -443,6 +559,7 @@ Result<QueryPlan> PlanProfile(const std::shared_ptr<Dataset>& dataset,
       payload.AsObject().emplace("generation", Value(state.generation));
       payload.AsObject().emplace("streaming", Value(true));
       payload.AsObject().emplace("points", Value(state.points));
+      payload.AsObject().emplace("window_start", Value(state.window_start));
       return payload.Serialize();
     };
     return plan;
@@ -545,6 +662,12 @@ Result<QueryPlan> PlanDiscords(const std::shared_ptr<Dataset>& dataset,
   VALMOD_ASSIGN_OR_RETURN(options.max_length, SizeParam(params, "lmax", 0));
   VALMOD_ASSIGN_OR_RETURN(options.k, SizeParam(params, "k", 1));
   VALMOD_ASSIGN_OR_RETURN(options.num_threads, IntParam(params, "threads", 1));
+  // Same-length requests against a streaming dataset read the maintained
+  // profile instead of recomputing (see PlanMaintainedMotifs).
+  if (std::optional<QueryPlan> maintained = PlanMaintainedDiscords(
+          dataset, options.min_length, options.max_length, options.k)) {
+    return *std::move(maintained);
+  }
   VALMOD_ASSIGN_OR_RETURN(std::shared_ptr<const DatasetSnapshot> snapshot,
                           dataset->Snapshot());
   std::string params_key = "lmin=" + std::to_string(options.min_length) +
@@ -605,7 +728,16 @@ Value DatasetInfoValue(const DatasetRegistry::Info& info) {
   o.emplace("streaming", Value(info.streaming));
   if (info.streaming) {
     o.emplace("streaming_length", Value(info.streaming_length));
+    o.emplace("max_points", Value(info.max_points));
+    o.emplace("evicted", Value(info.evicted));
+    o.emplace("total_appended", Value(info.total_appended));
+    if (info.max_points > 0) {
+      o.emplace("window_occupancy",
+                Value(static_cast<double>(info.points) /
+                      static_cast<double>(info.max_points)));
+    }
   }
+  o.emplace("memory_bytes", Value(info.memory_bytes));
   return Value(std::move(o));
 }
 
@@ -615,15 +747,29 @@ Result<std::string> DoLoad(DatasetRegistry& registry, const std::string& name,
     return Status::InvalidArgument("load requires a 'dataset' name");
   }
   VALMOD_RETURN_IF_ERROR(RejectUnknownParams(
-      params, {"streaming_length", "exclusion_fraction", "path", "column",
-               "generator", "n", "seed", "allow_nonfinite"}));
+      params, {"streaming_length", "exclusion_fraction", "max_points",
+               "window", "path", "column", "generator", "n", "seed",
+               "allow_nonfinite"}));
   std::shared_ptr<Dataset> dataset;
   if (params.Find("streaming_length") != nullptr) {
     VALMOD_ASSIGN_OR_RETURN(std::size_t length,
                             SizeParam(params, "streaming_length", 0));
     const double exclusion = params.GetNumber("exclusion_fraction", 0.5);
+    // `window` is an alias for `max_points` (0 = unbounded). Both are
+    // accepted for protocol symmetry with the docs; disagreeing values are
+    // an error rather than a silent precedence rule.
+    VALMOD_ASSIGN_OR_RETURN(std::size_t max_points,
+                            SizeParam(params, "max_points", 0));
+    VALMOD_ASSIGN_OR_RETURN(std::size_t window, SizeParam(params, "window", 0));
+    if (max_points != 0 && window != 0 && max_points != window) {
+      return Status::InvalidArgument(
+          "params 'max_points' and 'window' are aliases and disagree (" +
+          std::to_string(max_points) + " vs " + std::to_string(window) + ")");
+    }
+    if (max_points == 0) max_points = window;
     VALMOD_ASSIGN_OR_RETURN(
-        dataset, registry.CreateStreaming(name, length, exclusion));
+        dataset,
+        registry.CreateStreaming(name, length, exclusion, max_points));
   } else if (params.Find("path") != nullptr) {
     VALMOD_ASSIGN_OR_RETURN(std::size_t column, SizeParam(params, "column", 0));
     series::ReadOptions read_options;
@@ -658,6 +804,9 @@ Result<std::string> DoLoad(DatasetRegistry& registry, const std::string& name,
   payload.emplace("points", Value(dataset->size()));
   payload.emplace("generation", Value(dataset->generation()));
   payload.emplace("streaming", Value(dataset->streaming()));
+  if (dataset->streaming()) {
+    payload.emplace("max_points", Value(dataset->max_points()));
+  }
   return Value(std::move(payload)).Serialize();
 }
 
@@ -677,6 +826,9 @@ Result<std::string> DoAppend(DatasetRegistry& registry,
   payload.emplace("points", Value(appended.points));
   payload.emplace("subsequences", Value(appended.subsequences));
   payload.emplace("generation", Value(appended.generation));
+  payload.emplace("window_start", Value(appended.window_start));
+  payload.emplace("evicted", Value(appended.evicted));
+  payload.emplace("total_appended", Value(appended.total_appended));
   return Value(std::move(payload)).Serialize();
 }
 

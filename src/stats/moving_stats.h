@@ -33,6 +33,18 @@ class MovingStats {
   /// values.
   static Result<MovingStats> Create(std::span<const double> data);
 
+  /// Like Create, but centers at the caller-supplied `center` instead of
+  /// the computed global mean. The streaming path passes 0.0 over values
+  /// that are already anchor-shifted: because the center then never moves
+  /// with new appends, `centered()` is bit-stable across successive
+  /// materializations of a growing window — which is what lets the MASS
+  /// engine's chunk spectra carry over from one snapshot generation to the
+  /// next (see MassEngine::AdoptChunkSpectraFrom). Conditioning is the
+  /// caller's responsibility: the values must already be moderate around
+  /// `center` (StreamingProfile's re-anchoring guarantees this).
+  static Result<MovingStats> CreateWithCenter(std::span<const double> data,
+                                              double center);
+
   /// Number of points in the underlying series.
   std::size_t size() const { return n_; }
 
@@ -90,8 +102,18 @@ class MovingStats {
   /// The global mean subtracted from the input during construction.
   double global_mean() const { return global_mean_; }
 
+  /// Heap footprint of the stats arrays (centered copy + two prefix sums).
+  std::size_t MemoryBytes() const {
+    return (centered_.capacity() + prefix_.capacity() +
+            prefix_sq_.capacity()) *
+           sizeof(double);
+  }
+
  private:
   MovingStats() = default;
+
+  static Result<MovingStats> CreateImpl(std::span<const double> data,
+                                        double center);
 
   std::size_t n_ = 0;
   double global_mean_ = 0.0;

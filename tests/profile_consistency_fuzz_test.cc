@@ -52,12 +52,12 @@ TEST_P(ProfileConsistencyFuzzTest, AllImplementationsAgree) {
 
   ASSERT_EQ(stomp->size(), brute->size());
   ASSERT_EQ(stamp->size(), brute->size());
-  ASSERT_EQ(stream->profile().size(), brute->size());
+  ASSERT_EQ(stream->ProfileSnapshot().size(), brute->size());
   for (std::size_t i = 0; i < brute->size(); ++i) {
     EXPECT_NEAR(stomp->distances[i], brute->distances[i], 3e-5) << i;
     EXPECT_DOUBLE_EQ(stomp_mt->distances[i], stomp->distances[i]) << i;
     EXPECT_NEAR(stamp->distances[i], brute->distances[i], 3e-5) << i;
-    EXPECT_NEAR(stream->profile().distances[i], brute->distances[i], 3e-5)
+    EXPECT_NEAR(stream->ProfileSnapshot().distances[i], brute->distances[i], 3e-5)
         << i;
   }
 }

@@ -12,6 +12,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -21,6 +22,8 @@
 
 #include "common/fault.h"
 #include "common/json.h"
+#include "mp/stomp.h"
+#include "series/generators.h"
 #include "service/client.h"
 #include "service/server.h"
 
@@ -301,6 +304,125 @@ TEST_F(ChaosTest, HealthReportsDegradedWhileFaultsArmed) {
       R"({"verb":"faults","params":{"disarm_all":true}})")));
   Value recovered = Roundtrip(service, R"({"verb":"health"})");
   EXPECT_EQ(recovered.Find("result")->GetString("status", ""), "ok");
+}
+
+// Sustained windowed ingestion under chaos: two appender threads stream
+// into a bounded dataset while query threads hammer the maintained verbs
+// and batch snapshots, with append/snapshot allocation faults firing
+// probabilistically throughout. Asserts the streaming contract end to end:
+// every append eventually lands (atomically — a faulted batch appends
+// nothing), the retained window and memory stay bounded while total
+// history grows, and the maintained profile still equals a batch STOMP of
+// the final retained window.
+TEST_F(ChaosTest, SustainedWindowedAppendSoak) {
+  const std::size_t length = 32;
+  const std::size_t window = 1024;
+  const std::size_t batch_points = 64;
+  const std::size_t batches_per_thread = 150;
+  const std::size_t num_appenders = 2;
+
+  Service service;
+  ASSERT_TRUE(Ok(Roundtrip(service,
+      R"({"verb":"load","dataset":"s",)"
+      R"("params":{"streaming_length":32,"max_points":1024}})")));
+  ASSERT_TRUE(fault::FaultInjector::Global()
+                  .ArmFromString(
+                      "streaming.append.alloc=error:code=Unavailable:"
+                      "p=0.15:seed=11")
+                  .ok());
+  ASSERT_TRUE(fault::FaultInjector::Global()
+                  .ArmFromString(
+                      "registry.snapshot.alloc=error:code=Unavailable:"
+                      "p=0.10:seed=13")
+                  .ok());
+
+  auto source = synth::ByName(
+      "random_walk", num_appenders * batches_per_thread * batch_points, 21);
+  ASSERT_TRUE(source.ok());
+  const auto values = source->values();
+
+  std::atomic<std::size_t> appends_ok{0};
+  std::vector<std::thread> appenders;
+  for (std::size_t t = 0; t < num_appenders; ++t) {
+    appenders.emplace_back([&, t] {
+      CallbackTransport transport([&service](const std::string& line) {
+        return service.HandleRequestLine(line);
+      });
+      RetryClient client(transport, FastRetry());
+      const std::size_t offset = t * batches_per_thread * batch_points;
+      for (std::size_t b = 0; b < batches_per_thread; ++b) {
+        std::string request =
+            R"({"verb":"append","dataset":"s","params":{"values":[)";
+        for (std::size_t i = 0; i < batch_points; ++i) {
+          if (i > 0) request += ',';
+          request += std::to_string(values[offset + b * batch_points + i]);
+        }
+        request += "]}}";
+        auto response = client.Call(request);
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+        ASSERT_TRUE(Ok(*response)) << response->Serialize();
+        appends_ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::atomic<bool> done{false};
+  std::thread querier([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      // Maintained verbs + batch snapshot materialization racing appends
+      // and the armed snapshot fault; any failure must be structured.
+      for (const char* request :
+           {R"({"verb":"profile","dataset":"s"})",
+            R"({"verb":"motifs","dataset":"s","params":{"k":3}})",
+            R"({"verb":"discords","dataset":"s","params":{"k":2}})",
+            R"({"verb":"stats"})"}) {
+        Value response = Roundtrip(service, request);
+        if (!Ok(response)) {
+          EXPECT_NE(ErrorCode(response), "") << response.Serialize();
+        }
+      }
+    }
+  });
+
+  for (std::thread& appender : appenders) appender.join();
+  done.store(true, std::memory_order_relaxed);
+  querier.join();
+  fault::FaultInjector::Global().DisarmAll();
+  EXPECT_EQ(appends_ok.load(), num_appenders * batches_per_thread);
+
+  // Occupancy: the window retained exactly `window` points while the total
+  // history grew ~19x past it, and the footprint reflects the window, not
+  // the history.
+  Value stats = Roundtrip(service, R"({"verb":"stats"})");
+  ASSERT_TRUE(Ok(stats)) << stats.Serialize();
+  const Value& info = stats.Find("result")->Find("datasets")->AsArray()[0];
+  const double total = num_appenders * batches_per_thread * batch_points;
+  EXPECT_DOUBLE_EQ(info.GetNumber("points", 0), window);
+  EXPECT_DOUBLE_EQ(info.GetNumber("total_appended", 0), total);
+  EXPECT_DOUBLE_EQ(info.GetNumber("evicted", 0), total - window);
+  EXPECT_DOUBLE_EQ(info.GetNumber("window_occupancy", 0), 1.0);
+  const double memory_bytes = info.GetNumber("memory_bytes", 0);
+  EXPECT_GT(memory_bytes, 0.0);
+  // Generous absolute cap — but far below what O(total) retention of the
+  // ~19k-point history across the maintained arrays would cost.
+  EXPECT_LT(memory_bytes, 1.5e6);
+
+  // Final parity: the maintained profile equals batch STOMP of the
+  // retained window (the snapshot values are anchor-shifted, which
+  // z-normalized distances cannot observe).
+  auto dataset = service.registry().Get("s");
+  ASSERT_TRUE(dataset.ok());
+  auto state = (*dataset)->StreamingProfileSnapshot();
+  ASSERT_TRUE(state.ok());
+  auto snapshot = (*dataset)->Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  auto batch = mp::ComputeStomp((*snapshot)->series(), length);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(state->profile.size(), batch->size());
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    EXPECT_NEAR(state->profile.distances[i], batch->distances[i], 2e-5)
+        << "row " << i;
+  }
 }
 
 #ifdef VALMOD_SERVER_BINARY

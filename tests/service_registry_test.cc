@@ -173,5 +173,120 @@ TEST(DatasetRegistryTest, ListReportsAllEntries) {
   EXPECT_EQ(infos[1].points, 32u);
 }
 
+TEST(DatasetRegistryTest, WindowedStreamingEvictsAndStaysConsistent) {
+  DatasetRegistry registry;
+  auto dataset =
+      registry.CreateStreaming("win", 8, /*exclusion_fraction=*/0.5,
+                               /*max_points=*/64);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ((*dataset)->max_points(), 64u);
+
+  const series::DataSeries source = MakeSeries(256, 9);
+  const auto values = source.values();
+  ASSERT_TRUE((*dataset)->Append(values.subspan(0, 100)).ok());
+  auto appended = (*dataset)->Append(values.subspan(100));
+  ASSERT_TRUE(appended.ok());
+  EXPECT_EQ(appended->points, 64u);
+  EXPECT_EQ(appended->evicted, 192u);
+  EXPECT_EQ(appended->window_start, 192u);
+  EXPECT_EQ(appended->total_appended, 256u);
+  EXPECT_EQ((*dataset)->size(), 64u);
+
+  // Maintained profile == batch STOMP of the retained (last 64) raw values.
+  auto state = (*dataset)->StreamingProfileSnapshot();
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->window_start, 192u);
+  auto retained = series::DataSeries::Create(
+      {values.end() - 64, values.end()});
+  ASSERT_TRUE(retained.ok());
+  auto batch = mp::ComputeStomp(*retained, 8);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(state->profile.size(), batch->size());
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    EXPECT_NEAR(state->profile.distances[i], batch->distances[i], 1e-7)
+        << "row " << i;
+  }
+
+  // Maintained top-k agrees with the batch oracle ranked by the shared
+  // free functions.
+  auto top = (*dataset)->StreamingTopKSnapshot(3, 3);
+  ASSERT_TRUE(top.ok());
+  const auto batch_motifs = mp::TopKMotifs(*batch, 3);
+  ASSERT_EQ(top->motifs.size(), batch_motifs.size());
+  for (std::size_t r = 0; r < batch_motifs.size(); ++r) {
+    EXPECT_EQ(top->motifs[r].offset_a, batch_motifs[r].offset_a);
+    EXPECT_EQ(top->motifs[r].offset_b, batch_motifs[r].offset_b);
+  }
+  const auto batch_discords = mp::TopKDiscords(*batch, 3);
+  ASSERT_EQ(top->discords.size(), batch_discords.size());
+  for (std::size_t r = 0; r < batch_discords.size(); ++r) {
+    EXPECT_EQ(top->discords[r].offset, batch_discords[r].offset);
+  }
+
+  // Occupancy/footprint reporting.
+  const Dataset::MemoryInfo memory = (*dataset)->Memory();
+  EXPECT_EQ(memory.retained, 64u);
+  EXPECT_EQ(memory.max_points, 64u);
+  EXPECT_EQ(memory.evicted_total, 192u);
+  EXPECT_EQ(memory.total_appended, 256u);
+  EXPECT_GT(memory.memory_bytes, 0u);
+
+  const auto infos = registry.List();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].max_points, 64u);
+  EXPECT_EQ(infos[0].evicted, 192u);
+  EXPECT_EQ(infos[0].total_appended, 256u);
+  EXPECT_EQ(infos[0].points, 64u);
+}
+
+TEST(DatasetRegistryTest, WindowedSnapshotServesRetainedWindow) {
+  DatasetRegistry registry;
+  auto dataset =
+      registry.CreateStreaming("win", 8, /*exclusion_fraction=*/0.5,
+                               /*max_points=*/32);
+  ASSERT_TRUE(dataset.ok());
+  const series::DataSeries source = MakeSeries(80, 3);
+  ASSERT_TRUE((*dataset)->Append(source.values()).ok());
+  auto snapshot = (*dataset)->Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  // The materialized series is the retained window (anchor-shifted, which
+  // z-normalized queries cannot observe).
+  EXPECT_EQ((*snapshot)->series().size(), 32u);
+}
+
+TEST(DatasetRegistryTest, StreamingSnapshotAdoptsEngineCachesAcrossAppends) {
+  // Unbounded streaming: consecutive snapshots are pure extensions, so the
+  // new generation's engine inherits the previous one's chunk spectra
+  // (observable as a pre-warmed cache before any query runs).
+  DatasetRegistry registry;
+  auto dataset = registry.CreateStreaming("grow", 16);
+  ASSERT_TRUE(dataset.ok());
+  const series::DataSeries source = MakeSeries(3000, 11);
+  const auto values = source.values();
+  ASSERT_TRUE((*dataset)->Append(values.subspan(0, 2500)).ok());
+
+  auto first = (*dataset)->Snapshot();
+  ASSERT_TRUE(first.ok());
+  // Populate the first generation's chunk-spectra cache.
+  ASSERT_TRUE((*first)
+                  ->engine()
+                  .ComputeRowProfile(0, 16, mass::ConvolutionBackend::kOverlapSave)
+                  .ok());
+  ASSERT_EQ((*first)->engine().ChunkSpectraCacheSizeForTesting(), 1u);
+
+  ASSERT_TRUE((*dataset)->Append(values.subspan(2500)).ok());
+  auto second = (*dataset)->Snapshot();
+  ASSERT_TRUE(second.ok());
+  ASSERT_NE(second->get(), first->get());
+  // Adopted before any query touched the new engine.
+  EXPECT_EQ((*second)->engine().ChunkSpectraCacheSizeForTesting(), 1u);
+  // And the adopted state answers queries identically to a fresh compute.
+  auto row = (*second)->engine().ComputeRowProfile(
+      100, 16, mass::ConvolutionBackend::kOverlapSave);
+  ASSERT_TRUE(row.ok());
+  auto batch = mp::ComputeStomp((*second)->series(), 16);
+  ASSERT_TRUE(batch.ok());
+}
+
 }  // namespace
 }  // namespace valmod::service

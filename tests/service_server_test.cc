@@ -285,6 +285,88 @@ TEST(ServiceProtocolTest, StreamingAppendFlowsThroughGenerations) {
             "FailedPrecondition");
 }
 
+TEST(ServiceProtocolTest, WindowedStreamingIngestionAndMaintainedTopK) {
+  Service service;
+  // `window` is an alias for `max_points`; disagreeing values are an error.
+  EXPECT_EQ(ErrorCode(Roundtrip(service,
+                R"({"verb":"load","dataset":"bad",)"
+                R"("params":{"streaming_length":8,"max_points":32,)"
+                R"("window":64}})")),
+            "InvalidArgument");
+
+  Value load = Roundtrip(service,
+      R"({"verb":"load","dataset":"w",)"
+      R"("params":{"streaming_length":8,"window":32}})");
+  ASSERT_TRUE(Ok(load)) << load.Serialize();
+  EXPECT_DOUBLE_EQ(load.Find("result")->GetNumber("max_points", 0), 32.0);
+
+  // Stream 80 points in batches of 16: the window retains the last 32.
+  std::string batch = "[";
+  for (int i = 0; i < 16; ++i) {
+    batch += (i ? "," : "") + std::to_string((i * 37) % 19) + ".5";
+  }
+  batch += "]";
+  Value append;
+  for (int b = 0; b < 5; ++b) {
+    append = Roundtrip(service,
+        R"({"verb":"append","dataset":"w","params":{"values":)" + batch +
+        "}}");
+    ASSERT_TRUE(Ok(append)) << append.Serialize();
+  }
+  const Value* result = append.Find("result");
+  EXPECT_DOUBLE_EQ(result->GetNumber("points", 0), 32.0);
+  EXPECT_DOUBLE_EQ(result->GetNumber("total_appended", 0), 80.0);
+  EXPECT_DOUBLE_EQ(result->GetNumber("evicted", 0), 48.0);
+  EXPECT_DOUBLE_EQ(result->GetNumber("window_start", 0), 48.0);
+
+  // Maintained profile reports the retained window and its stream offset.
+  Value profile = Roundtrip(service, R"({"verb":"profile","dataset":"w"})");
+  ASSERT_TRUE(Ok(profile)) << profile.Serialize();
+  EXPECT_DOUBLE_EQ(profile.Find("result")->GetNumber("window_start", 0),
+                   48.0);
+  EXPECT_EQ(profile.Find("result")->Find("distances")->AsArray().size(),
+            25u);  // 32 - 8 + 1
+
+  // Motifs at the maintained length are served from the incremental state,
+  // not recomputed: the response is marked maintained and caches per
+  // generation.
+  const std::string motifs_request =
+      R"({"verb":"motifs","dataset":"w","params":{"k":3}})";
+  Value motifs = Roundtrip(service, motifs_request);
+  ASSERT_TRUE(Ok(motifs)) << motifs.Serialize();
+  EXPECT_TRUE(motifs.Find("result")->GetBool("maintained", false));
+  EXPECT_TRUE(motifs.Find("result")->GetBool("streaming", false));
+  EXPECT_DOUBLE_EQ(motifs.Find("result")->GetNumber("window_start", 0), 48.0);
+  ASSERT_NE(motifs.Find("result")->Find("ranked"), nullptr);
+  EXPECT_TRUE(Roundtrip(service, motifs_request).GetBool("cached", false));
+
+  // Same for discords; an explicit matching length also qualifies.
+  Value discords = Roundtrip(service,
+      R"({"verb":"discords","dataset":"w",)"
+      R"("params":{"lmin":8,"lmax":8,"k":2}})");
+  ASSERT_TRUE(Ok(discords)) << discords.Serialize();
+  EXPECT_TRUE(discords.Find("result")->GetBool("maintained", false));
+
+  // A different length range falls back to batch compute on the snapshot.
+  Value batch_motifs = Roundtrip(service,
+      R"({"verb":"motifs","dataset":"w","params":{"lmin":4,"lmax":6}})");
+  ASSERT_TRUE(Ok(batch_motifs)) << batch_motifs.Serialize();
+  EXPECT_FALSE(batch_motifs.Find("result")->GetBool("maintained", false));
+
+  // stats surfaces occupancy and footprint per dataset.
+  Value stats = Roundtrip(service, R"({"verb":"stats"})");
+  ASSERT_TRUE(Ok(stats)) << stats.Serialize();
+  const Value* datasets = stats.Find("result")->Find("datasets");
+  ASSERT_NE(datasets, nullptr);
+  ASSERT_EQ(datasets->AsArray().size(), 1u);
+  const Value& info = datasets->AsArray()[0];
+  EXPECT_DOUBLE_EQ(info.GetNumber("max_points", 0), 32.0);
+  EXPECT_DOUBLE_EQ(info.GetNumber("evicted", 0), 48.0);
+  EXPECT_DOUBLE_EQ(info.GetNumber("total_appended", 0), 80.0);
+  EXPECT_DOUBLE_EQ(info.GetNumber("window_occupancy", 0), 1.0);
+  EXPECT_GT(info.GetNumber("memory_bytes", 0), 0.0);
+}
+
 // HandleRequest (the paged entry point the TCP transports and --stdio
 // share) splits a large result into bounded chunk lines whose fragments
 // concatenate back to the exact unpaged payload.

@@ -32,9 +32,9 @@ TEST_P(StreamingTest, FinalProfileMatchesBatchStomp) {
 
   auto batch = ComputeStomp(*series, c.length, {});
   ASSERT_TRUE(batch.ok());
-  ASSERT_EQ(stream->profile().size(), batch->size());
+  ASSERT_EQ(stream->ProfileSnapshot().size(), batch->size());
   for (std::size_t i = 0; i < batch->size(); ++i) {
-    EXPECT_NEAR(stream->profile().distances[i], batch->distances[i], 2e-5)
+    EXPECT_NEAR(stream->ProfileSnapshot().distances[i], batch->distances[i], 2e-5)
         << "row " << i;
   }
 }
@@ -58,9 +58,9 @@ TEST_P(StreamingTest, IntermediateSnapshotsMatchPrefixes) {
       ASSERT_TRUE(prefix.ok());
       auto batch = ComputeStomp(*prefix, c.length, {});
       ASSERT_TRUE(batch.ok());
-      ASSERT_EQ(stream->profile().size(), batch->size());
+      ASSERT_EQ(stream->ProfileSnapshot().size(), batch->size());
       for (std::size_t r = 0; r < batch->size(); ++r) {
-        EXPECT_NEAR(stream->profile().distances[r], batch->distances[r],
+        EXPECT_NEAR(stream->ProfileSnapshot().distances[r], batch->distances[r],
                     2e-5)
             << "checkpoint " << i + 1 << " row " << r;
       }
@@ -80,12 +80,12 @@ TEST(StreamingProfileTest, WarmUpYieldsNoSubsequences) {
   for (int i = 0; i < 9; ++i) {
     ASSERT_TRUE(stream->Append(static_cast<double>(i)).ok());
     EXPECT_EQ(stream->NumSubsequences(), 0u);
-    EXPECT_TRUE(stream->profile().distances.empty());
+    EXPECT_TRUE(stream->ProfileSnapshot().distances.empty());
   }
   ASSERT_TRUE(stream->Append(9.0).ok());
   EXPECT_EQ(stream->NumSubsequences(), 1u);
-  EXPECT_EQ(stream->profile().distances.size(), 1u);
-  EXPECT_EQ(stream->profile().distances[0], kInfinity);
+  EXPECT_EQ(stream->ProfileSnapshot().distances.size(), 1u);
+  EXPECT_EQ(stream->ProfileSnapshot().distances[0], kInfinity);
 }
 
 TEST(StreamingProfileTest, LargeLevelOffsetHandledByAnchor) {
@@ -104,7 +104,7 @@ TEST(StreamingProfileTest, LargeLevelOffsetHandledByAnchor) {
   auto batch = ComputeStomp(*series, 24, {});
   ASSERT_TRUE(batch.ok());
   for (std::size_t i = 0; i < batch->size(); ++i) {
-    EXPECT_NEAR(stream->profile().distances[i], batch->distances[i], 1e-4)
+    EXPECT_NEAR(stream->ProfileSnapshot().distances[i], batch->distances[i], 1e-4)
         << i;
   }
 }
@@ -122,7 +122,7 @@ TEST(StreamingProfileTest, ConstantStreamAllZeros) {
   auto stream = StreamingProfile::Create(8);
   ASSERT_TRUE(stream.ok());
   for (int i = 0; i < 40; ++i) ASSERT_TRUE(stream->Append(3.5).ok());
-  const auto& profile = stream->profile();
+  const auto& profile = stream->ProfileSnapshot();
   for (std::size_t i = 0; i < profile.size(); ++i) {
     if (profile.indices[i] >= 0) {
       EXPECT_DOUBLE_EQ(profile.distances[i], 0.0) << i;
