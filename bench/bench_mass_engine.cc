@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "fft/fft.h"
@@ -718,7 +719,7 @@ int main(int argc, char** argv) {
   std::string json;
   AppendFormat(
       &json,
-      "{\"bench\":\"mass_engine\",\"series_n\":%zu,\"length\":%zu,"
+      "{%s,\"bench\":\"mass_engine\",\"series_n\":%zu,\"length\":%zu,"
       "\"repetitions\":%zu,"
       "\"seed_uncached_seconds\":%.6f,\"uncached_seconds\":%.6f,"
       "\"pr1_single_seconds\":%.6f,\"cached_seconds\":%.6f,"
@@ -730,6 +731,7 @@ int main(int argc, char** argv) {
       "\"speedup_pair_batched_vs_cached_single\":%.3f,"
       "\"speedup_overlap_save_vs_pair\":%.3f,"
       "\"sweep\":[%s],",
+      valmod::bench::RunMetadataJsonFragment().c_str(),
       n, length, repetitions, seed_seconds, uncached_seconds,
       pr1_single_seconds, cached_seconds, pair_batched_seconds,
       overlap_save_batched_seconds,

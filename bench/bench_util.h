@@ -12,10 +12,36 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/timer.h"
+#include "mass/backend.h"
 #include "series/data_series.h"
 #include "series/generators.h"
+#include "simd/dispatch.h"
 
 namespace valmod::bench {
+
+// Build provenance: CMake injects VALMOD_GIT_SHA (git rev-parse at
+// configure time) into the bench targets; "unknown" outside a checkout.
+#ifndef VALMOD_GIT_SHA
+#define VALMOD_GIT_SHA "unknown"
+#endif
+
+inline const char* GitSha() { return VALMOD_GIT_SHA; }
+
+/// Run-metadata fields every BENCH_*.json document carries, so a stored
+/// row is attributable to the exact build that produced it:
+///   "git_sha":"<sha>","run_simd_target":"<target>","run_results_version":N
+/// Returned as a raw JSON fragment (no surrounding braces, no trailing
+/// comma) so both the printf-style writers (bench_mass_engine) and the
+/// Value-based ones (bench_service) can embed it verbatim.
+inline std::string RunMetadataJsonFragment() {
+  std::string out = "\"git_sha\":\"";
+  out += GitSha();
+  out += "\",\"run_simd_target\":\"";
+  out += simd::TargetName(simd::ActiveTarget());
+  out += "\",\"run_results_version\":";
+  out += std::to_string(mass::kResultsVersion);
+  return out;
+}
 
 /// Result of one timed algorithm run.
 struct TimedRun {

@@ -1,0 +1,156 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "common/json.h"
+
+namespace valmod::log {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::kInfo)};
+std::atomic<bool> g_json{false};
+
+std::mutex& EmitMutex() {
+  static std::mutex* mutex = new std::mutex();
+  return *mutex;
+}
+
+void AppendDouble(double value, std::string* out) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  *out += buffer;
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "debug";
+    case Level::kInfo:
+      return "info";
+    case Level::kWarn:
+      return "warn";
+    case Level::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+Result<Level> ParseLevel(std::string_view name) {
+  if (name == "debug") return Level::kDebug;
+  if (name == "info") return Level::kInfo;
+  if (name == "warn") return Level::kWarn;
+  if (name == "error") return Level::kError;
+  return Status::InvalidArgument("unknown log level '" + std::string(name) +
+                                 "' (want debug|info|warn|error)");
+}
+
+void SetLevel(Level level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+Level GetLevel() {
+  return static_cast<Level>(g_level.load(std::memory_order_relaxed));
+}
+
+void SetJson(bool json) { g_json.store(json, std::memory_order_relaxed); }
+
+bool GetJson() { return g_json.load(std::memory_order_relaxed); }
+
+Event::Event(Level level, std::string_view message)
+    : enabled_(static_cast<int>(level) >=
+               g_level.load(std::memory_order_relaxed)),
+      level_(level) {
+  if (!enabled_) return;
+  if (GetJson()) {
+    line_ = "{\"level\":\"";
+    line_ += LevelName(level);
+    line_ += "\",\"msg\":";
+    json::AppendQuoted(message, &line_);
+  } else {
+    line_ = "[";
+    line_ += LevelName(level);
+    line_ += "] ";
+    line_.append(message);
+  }
+}
+
+Event::~Event() {
+  if (!enabled_) return;
+  if (GetJson()) line_ += '}';
+  line_ += '\n';
+  // One locked write per event: concurrent events interleave by whole
+  // lines, which is what log shippers (and humans tailing stderr) need.
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fputs(line_.c_str(), stderr);
+  std::fflush(stderr);
+}
+
+void Event::AppendKey(std::string_view key) {
+  if (GetJson()) {
+    line_ += ',';
+    json::AppendQuoted(key, &line_);
+    line_ += ':';
+  } else {
+    line_ += ' ';
+    line_.append(key);
+    line_ += '=';
+  }
+}
+
+Event& Event::Field(std::string_view key, std::string_view value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  if (GetJson()) {
+    json::AppendQuoted(value, &line_);
+  } else {
+    line_.append(value);
+  }
+  return *this;
+}
+
+Event& Event::Field(std::string_view key, const char* value) {
+  return Field(key, std::string_view(value));
+}
+
+Event& Event::Field(std::string_view key, const std::string& value) {
+  return Field(key, std::string_view(value));
+}
+
+Event& Event::Field(std::string_view key, double value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  AppendDouble(value, &line_);
+  return *this;
+}
+
+Event& Event::Field(std::string_view key, std::uint64_t value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  line_ += std::to_string(value);
+  return *this;
+}
+
+Event& Event::Field(std::string_view key, std::int64_t value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  line_ += std::to_string(value);
+  return *this;
+}
+
+Event& Event::Field(std::string_view key, int value) {
+  return Field(key, static_cast<std::int64_t>(value));
+}
+
+Event& Event::Field(std::string_view key, bool value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  line_ += value ? "true" : "false";
+  return *this;
+}
+
+}  // namespace valmod::log

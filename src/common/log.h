@@ -1,0 +1,98 @@
+#ifndef VALMOD_COMMON_LOG_H_
+#define VALMOD_COMMON_LOG_H_
+
+// Leveled structured logging to stderr.
+//
+// The server binaries historically logged with ad-hoc fprintf calls: no
+// levels (a preload note and a bind failure looked the same to a log
+// shipper), and free-form text a collector cannot parse. This is the
+// replacement: events carry a level, a message, and typed key/value
+// fields, and render either as human-oriented text
+//
+//   [info] preloaded dataset dataset=ecg points=20000
+//
+// or, with SetJson(true) (--log-json), as one JSON object per line
+//
+//   {"level":"info","msg":"preloaded dataset","dataset":"ecg","points":20000}
+//
+// Events below the threshold level (SetLevel / --log-level) are dropped at
+// the call site for the cost of one relaxed atomic load. Emission takes a
+// process-wide mutex so concurrent events interleave by line, never by
+// byte. This is operator logging, not request tracing — per-request timing
+// lives in common/trace.h.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace valmod::log {
+
+enum class Level {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+const char* LevelName(Level level);
+
+/// Parses "debug" | "info" | "warn" | "error" (the --log-level values).
+Result<Level> ParseLevel(std::string_view name);
+
+/// Threshold below which events are dropped. Default kInfo.
+void SetLevel(Level level);
+Level GetLevel();
+
+/// Switches emission to one-JSON-object-per-line. Default off (text).
+void SetJson(bool json);
+bool GetJson();
+
+/// One log event, built fluently and emitted on destruction:
+///
+///   log::Event(log::Level::kInfo, "preloaded dataset")
+///       .Field("dataset", name).Field("points", n);
+///
+/// Suppressed events (below threshold) skip all field formatting.
+class Event {
+ public:
+  Event(Level level, std::string_view message);
+  ~Event();
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  Event& Field(std::string_view key, std::string_view value);
+  Event& Field(std::string_view key, const char* value);
+  Event& Field(std::string_view key, const std::string& value);
+  Event& Field(std::string_view key, double value);
+  Event& Field(std::string_view key, std::uint64_t value);
+  Event& Field(std::string_view key, std::int64_t value);
+  Event& Field(std::string_view key, int value);
+  Event& Field(std::string_view key, bool value);
+
+ private:
+  void AppendKey(std::string_view key);
+
+  bool enabled_;
+  Level level_;
+  std::string line_;
+};
+
+inline Event Debug(std::string_view message) {
+  return Event(Level::kDebug, message);
+}
+inline Event Info(std::string_view message) {
+  return Event(Level::kInfo, message);
+}
+inline Event Warn(std::string_view message) {
+  return Event(Level::kWarn, message);
+}
+inline Event Error(std::string_view message) {
+  return Event(Level::kError, message);
+}
+
+}  // namespace valmod::log
+
+#endif  // VALMOD_COMMON_LOG_H_

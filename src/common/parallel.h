@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/trace.h"
 
 namespace valmod {
 
@@ -97,6 +98,7 @@ class ThreadPool {
     auto region = std::make_shared<Region>();
     region->fn = &fn;
     region->chunks = num_chunks;
+    region->binding = trace::CurrentBinding();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       EnsureWorkersLocked(std::min(num_chunks - 1, kMaxThreads));
@@ -129,6 +131,12 @@ class ThreadPool {
   struct Region {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t chunks = 0;
+    /// The dispatching thread's trace binding, re-installed on each worker
+    /// while it drains this region: spans opened inside the chunks attach
+    /// to the request that forked the region, not to whatever the worker
+    /// last ran. Safe because Run() blocks the dispatcher until the region
+    /// completes, so the bound context outlives every worker's use of it.
+    trace::Binding binding;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{0};
   };
@@ -175,6 +183,7 @@ class ThreadPool {
         seen_generation = generation_;
         region = current_;
       }
+      const trace::ScopedBinding bind(region->binding);
       Drain(*region);
     }
   }

@@ -1,0 +1,134 @@
+#include "common/trace.h"
+
+#include <atomic>
+
+namespace valmod::trace {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// splitmix64 finalizer: spreads a sequential counter over the full 64-bit
+/// space so concurrently issued ids differ in every hex digit, not just the
+/// low ones (operators eyeball-diff these in logs).
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t NextTraceId() {
+  // Seeded from the steady clock at first use so two runs of the same
+  // binary do not reuse ids; sequenced by an atomic so two concurrent
+  // requests never share one.
+  static const std::uint64_t seed = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t id =
+      Mix(seed + counter.fetch_add(1, std::memory_order_relaxed));
+  if (id == 0) id = 1;  // 0 is reserved for "no trace"
+  return id;
+}
+
+Binding& ThreadBinding() {
+  thread_local Binding binding;
+  return binding;
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+TraceContext::TraceContext()
+    : trace_id_(NextTraceId()), origin_(std::chrono::steady_clock::now()) {
+  spans_.reserve(16);
+}
+
+int TraceContext::BeginSpan(std::string_view name, int parent) {
+  const std::uint64_t start = ElapsedNs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= static_cast<std::size_t>(kMaxSpans)) {
+    ++dropped_;
+    return -1;
+  }
+  Span span;
+  span.name.assign(name);
+  span.parent = parent;
+  span.start_ns = start;
+  spans_.push_back(std::move(span));
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+void TraceContext::EndSpan(int index) {
+  if (index < 0) return;
+  const std::uint64_t now = ElapsedNs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (static_cast<std::size_t>(index) >= spans_.size()) return;
+  Span& span = spans_[static_cast<std::size_t>(index)];
+  if (span.duration_ns == 0) {
+    // A zero-length span would also store 0; recording max(delta, 1) keeps
+    // "closed" distinguishable from "still open" at nanosecond cost.
+    const std::uint64_t delta = now - span.start_ns;
+    span.duration_ns = delta > 0 ? delta : 1;
+  }
+}
+
+std::uint64_t TraceContext::ElapsedNs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+}
+
+std::vector<TraceContext::Span> TraceContext::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::uint64_t TraceContext::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::string TraceIdHex(std::uint64_t trace_id) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[trace_id & 0xF];
+    trace_id >>= 4;
+  }
+  return out;
+}
+
+Binding CurrentBinding() { return ThreadBinding(); }
+
+ScopedBinding::ScopedBinding(Binding binding) : previous_(ThreadBinding()) {
+  ThreadBinding() = binding;
+}
+
+ScopedBinding::~ScopedBinding() { ThreadBinding() = previous_; }
+
+TraceSpan::TraceSpan(const char* name) {
+  Binding& binding = ThreadBinding();
+  context_ = binding.context;
+  if (context_ == nullptr) return;
+  saved_parent_ = binding.parent;
+  index_ = context_->BeginSpan(name, binding.parent);
+  // Even a dropped span (-1) re-parents children to the dropped slot's
+  // parent rather than to itself; keeping the saved parent is correct for
+  // both outcomes.
+  if (index_ >= 0) binding.parent = index_;
+}
+
+TraceSpan::~TraceSpan() {
+  if (context_ == nullptr) return;
+  ThreadBinding().parent = saved_parent_;
+  context_->EndSpan(index_);
+}
+
+}  // namespace valmod::trace

@@ -1,0 +1,137 @@
+#ifndef VALMOD_COMMON_TRACE_H_
+#define VALMOD_COMMON_TRACE_H_
+
+// Lightweight end-to-end request tracing.
+//
+// A TraceContext is created per request at the service boundary and carries
+// a 64-bit trace id plus a bounded tree of timed spans. The context travels
+// with the request object across threads (the scheduler worker executing
+// the job is not the thread that admitted it), and a *thread-local binding*
+// makes it reachable from deep library code without threading a parameter
+// through every signature: the serving layer binds the context on whichever
+// thread is currently executing the request (ScopedBinding), library code
+// opens RAII spans against whatever is bound (TraceSpan), and the thread
+// pool forwards the dispatching thread's binding to its workers so spans
+// opened inside a fork-join region attach to the right request.
+//
+// Cost model: an unbound TraceSpan is one thread-local read and two dead
+// stores — no clock, no lock, no allocation — so library code can be
+// instrumented unconditionally. A bound span is two steady_clock reads and
+// one short mutex-protected append. The span tree is capped (kMaxSpans);
+// past the cap BeginSpan records nothing and counts the drop, so a
+// pathological per-row caller cannot bloat a request. SetEnabled(false) is
+// a process-wide kill switch that stops contexts from being handed out at
+// the service boundary (the bench uses it to measure the zero-tracing
+// baseline).
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace valmod::trace {
+
+/// Process-wide tracing switch. Defaults to enabled. When disabled the
+/// serving layer stops creating per-request contexts entirely (TraceSpan
+/// instances everywhere degrade to the unbound no-op).
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// One request's span tree. Thread-safe: spans may be opened and closed
+/// from any thread the request visits (admission thread, scheduler worker,
+/// pool workers inside a parallel region).
+class TraceContext {
+ public:
+  /// Upper bound on recorded spans per request. Generous for the intended
+  /// granularity (service stages + per-batch engine spans); a sweep that
+  /// would exceed it drops the excess instead of growing without bound.
+  static constexpr int kMaxSpans = 256;
+
+  struct Span {
+    std::string name;
+    int parent = -1;               // index into the span vector; -1 = root
+    std::uint64_t start_ns = 0;    // relative to the context's origin
+    std::uint64_t duration_ns = 0; // 0 while the span is open
+  };
+
+  TraceContext();
+
+  std::uint64_t trace_id() const { return trace_id_; }
+
+  /// Opens a span under `parent` (-1 for a root span) and returns its
+  /// index, or -1 when the context is at capacity (the caller passes -1 to
+  /// EndSpan, which ignores it).
+  int BeginSpan(std::string_view name, int parent);
+
+  /// Closes the span opened by BeginSpan. Ignores index < 0. Closing an
+  /// already-closed span keeps the first duration.
+  void EndSpan(int index);
+
+  /// Nanoseconds since the context was created.
+  std::uint64_t ElapsedNs() const;
+
+  /// Copy of the span tree (open spans have duration_ns == 0).
+  std::vector<Span> Snapshot() const;
+
+  /// Spans BeginSpan refused because the context was at capacity.
+  std::uint64_t dropped() const;
+
+ private:
+  const std::uint64_t trace_id_;
+  const std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Canonical wire spelling of a trace id: 16 lowercase hex digits.
+std::string TraceIdHex(std::uint64_t trace_id);
+
+/// What TraceSpan attaches to: the context bound to this thread and the
+/// span new children should parent under.
+struct Binding {
+  TraceContext* context = nullptr;
+  int parent = -1;
+};
+
+/// The calling thread's current binding ({nullptr, -1} when unbound).
+Binding CurrentBinding();
+
+/// Installs `binding` on this thread for the scope's lifetime, restoring
+/// the previous binding on destruction. Used at the points where a request
+/// changes threads: the service boundary, the scheduler worker about to
+/// run a job, and the thread pool's region hand-off.
+class ScopedBinding {
+ public:
+  explicit ScopedBinding(Binding binding);
+  ~ScopedBinding();
+
+  ScopedBinding(const ScopedBinding&) = delete;
+  ScopedBinding& operator=(const ScopedBinding&) = delete;
+
+ private:
+  Binding previous_;
+};
+
+/// RAII span under the thread's current binding. Unbound instances are
+/// no-ops. While alive, the thread's binding parents nested spans under
+/// this one, so plain lexical nesting produces the span tree.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceContext* context_;
+  int index_ = -1;
+  int saved_parent_ = -1;
+};
+
+}  // namespace valmod::trace
+
+#endif  // VALMOD_COMMON_TRACE_H_

@@ -12,6 +12,7 @@
 
 #include "common/parallel.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "core/lower_bound.h"
 #include "core/partial_profile.h"
 #include "mass/engine.h"
@@ -645,6 +646,7 @@ Result<ValmodResult> RunValmod(const series::DataSeries& series,
 
 Result<ValmodResult> RunValmod(mass::MassEngine& engine,
                                const ValmodOptions& options) {
+  const trace::TraceSpan span("valmod_run");
   ValmodRunner runner(engine, options);
   return runner.Run();
 }

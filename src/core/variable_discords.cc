@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/status.h"
+#include "common/trace.h"
 #include "mp/stomp.h"
 #include "series/znorm.h"
 
@@ -12,6 +13,7 @@ namespace valmod::core {
 
 Result<VariableDiscordResult> FindVariableLengthDiscords(
     const series::DataSeries& series, const VariableDiscordOptions& options) {
+  const trace::TraceSpan span("variable_discords");
   if (options.min_length < 2 || options.min_length > options.max_length) {
     return Status::InvalidArgument("need 2 <= min_length <= max_length");
   }

@@ -53,6 +53,7 @@ Result<std::vector<double>> Convolve(std::span<const double> a,
       reinterpret_cast<const double*>(fa.data()),
       reinterpret_cast<const double*>(fb.data()),
       reinterpret_cast<double*>(fa.data()), bins);
+  simd::NoteKernelCalls(simd::KernelKind::kComplexMultiply, 1);
 
   std::vector<double> padded(fft_size);
   plan->RealInverse(fa, padded);
@@ -102,6 +103,7 @@ Result<std::vector<double>> OverlapSaveConvolve(std::span<const double> a,
         reinterpret_cast<const double*>(product.data()),
         reinterpret_cast<const double*>(filter.data()),
         reinterpret_cast<double*>(product.data()), bins);
+    simd::NoteKernelCalls(simd::KernelKind::kComplexMultiply, 1);
     plan->RealInverse(product, conv);
     const std::size_t emit = std::min(hop, out_size - t);
     for (std::size_t i = 0; i < emit; ++i) out[t + i] = conv[m - 1 + i];

@@ -1,6 +1,7 @@
 #include "fft/plan.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <cmath>
@@ -50,13 +51,17 @@ void FftPlan::DitPasses(double* d, bool forward) const {
   const double sign = forward ? 1.0 : -1.0;
   const double* tw = reinterpret_cast<const double*>(twiddles_.data());
   std::size_t len = 2;
+  std::uint64_t fused = 0;
   if (std::countr_zero(n_) % 2 == 1) {
     kernels.radix2_pass(d, n_);
+    simd::NoteKernelCalls(simd::KernelKind::kRadix2Pass, 1);
     len = 4;
   }
   for (; len <= n_ / 2; len <<= 2) {
     kernels.fused_radix4_dit(d, n_, len, tw, sign);
+    ++fused;
   }
+  simd::NoteKernelCalls(simd::KernelKind::kFusedRadix4Dit, fused);
 }
 
 void FftPlan::TransformImpl(std::span<std::complex<double>> data,
@@ -89,10 +94,16 @@ void FftPlan::ForwardBitrev(std::span<std::complex<double>> data) const {
   // (twiddle-free) span-2 stage for the end.
   const simd::Kernels& kernels = simd::ActiveKernels();
   const double* tw = reinterpret_cast<const double*>(twiddles_.data());
+  std::uint64_t fused = 0;
   for (std::size_t len = n_ / 2; len >= 2; len >>= 2) {
     kernels.fused_radix4_dif(d, n_, len, tw, /*sign=*/1.0);
+    ++fused;
   }
-  if (std::countr_zero(n_) % 2 == 1) kernels.radix2_pass(d, n_);
+  simd::NoteKernelCalls(simd::KernelKind::kFusedRadix4Dif, fused);
+  if (std::countr_zero(n_) % 2 == 1) {
+    kernels.radix2_pass(d, n_);
+    simd::NoteKernelCalls(simd::KernelKind::kRadix2Pass, 1);
+  }
 }
 
 void FftPlan::InverseBitrev(std::span<std::complex<double>> data) const {
@@ -237,6 +248,7 @@ void FftPlan::MultiplyPairByRealSpectrum(
       reinterpret_cast<const double*>(pair_spectrum.data()),
       reinterpret_cast<const double*>(real_spectrum.data()),
       reinterpret_cast<double*>(pair_spectrum.data()), n_);
+  simd::NoteKernelCalls(simd::KernelKind::kComplexMultiply, 1);
 }
 
 void FftPlan::MultiplyPairByRealSpectrumInto(
@@ -251,6 +263,7 @@ void FftPlan::MultiplyPairByRealSpectrumInto(
       reinterpret_cast<const double*>(pair_spectrum.data()),
       reinterpret_cast<const double*>(real_spectrum.data()),
       reinterpret_cast<double*>(product.data()), n_);
+  simd::NoteKernelCalls(simd::KernelKind::kComplexMultiply, 1);
 }
 
 void FftPlan::RealInversePair(std::span<std::complex<double>> spectrum,
@@ -270,6 +283,10 @@ namespace {
 
 constexpr std::size_t kDefaultPlanRegistryCapacity = 32;
 
+std::atomic<std::uint64_t> g_plan_hits{0};
+std::atomic<std::uint64_t> g_plan_misses{0};
+std::atomic<std::uint64_t> g_plan_evictions{0};
+
 struct PlanRegistry {
   std::mutex mutex;
   std::size_t capacity = kDefaultPlanRegistryCapacity;
@@ -283,6 +300,7 @@ struct PlanRegistry {
     while (lru.size() > capacity) {
       index.erase(lru.back().first);
       lru.pop_back();
+      g_plan_evictions.fetch_add(1, std::memory_order_relaxed);
     }
   }
 };
@@ -324,6 +342,7 @@ std::shared_ptr<const FftPlan> GetPlan(std::size_t n) {
     auto it = registry.index.find(n);
     if (it != registry.index.end()) {
       registry.lru.splice(registry.lru.begin(), registry.lru, it->second);
+      g_plan_hits.fetch_add(1, std::memory_order_relaxed);
       return it->second->second;
     }
   }
@@ -336,13 +355,23 @@ std::shared_ptr<const FftPlan> GetPlan(std::size_t n) {
   auto it = registry.index.find(n);
   if (it != registry.index.end()) {
     registry.lru.splice(registry.lru.begin(), registry.lru, it->second);
+    g_plan_hits.fetch_add(1, std::memory_order_relaxed);
     return it->second->second;
   }
+  g_plan_misses.fetch_add(1, std::memory_order_relaxed);
   registry.lru.emplace_front(n, std::move(plan));
   registry.index.emplace(n, registry.lru.begin());
   std::shared_ptr<const FftPlan> handle = registry.lru.front().second;
   registry.TrimLocked();
   return handle;
+}
+
+PlanRegistryCounters PlanRegistryCountersSnapshot() {
+  PlanRegistryCounters out;
+  out.hits = g_plan_hits.load(std::memory_order_relaxed);
+  out.misses = g_plan_misses.load(std::memory_order_relaxed);
+  out.evictions = g_plan_evictions.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace valmod::fft

@@ -164,6 +164,18 @@ std::size_t PlanRegistrySizeForTesting();
 /// observe eviction, and restore.
 std::size_t SetPlanRegistryCapacityForTesting(std::size_t capacity);
 
+/// Cumulative process-wide registry traffic, maintained with relaxed
+/// atomics (no extra cost on the GetPlan fast path beyond one fetch_add).
+/// A `hit` is a GetPlan call served from the LRU (including the
+/// built-elsewhere-while-we-built race); a `miss` built a new plan; an
+/// `eviction` dropped the registry's reference to a plan.
+struct PlanRegistryCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+PlanRegistryCounters PlanRegistryCountersSnapshot();
+
 }  // namespace valmod::fft
 
 #endif  // VALMOD_FFT_PLAN_H_

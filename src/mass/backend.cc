@@ -49,6 +49,11 @@ std::atomic<std::uint64_t>& ModelGenerationStorage() {
   return generation;
 }
 
+std::atomic<std::uint64_t>& CalibrationRefitStorage() {
+  static std::atomic<std::uint64_t> refits{0};
+  return refits;
+}
+
 }  // namespace
 
 const char* ConvolutionBackendName(ConvolutionBackend backend) {
@@ -322,7 +327,12 @@ BackendCostModel CalibrateBackendCostModel() {
   model.overlap_save = a / sec_per_fma;
   model.overlap_save_chunk = b / sec_per_fma;
   SetBackendCostModel(model);
+  CalibrationRefitStorage().fetch_add(1, std::memory_order_relaxed);
   return model;
+}
+
+std::uint64_t CalibrationRefitCount() {
+  return CalibrationRefitStorage().load(std::memory_order_relaxed);
 }
 
 }  // namespace valmod::mass

@@ -166,6 +166,11 @@ std::uint64_t BackendCostModelGeneration();
 /// tests stay on the static fit for determinism.
 BackendCostModel CalibrateBackendCostModel();
 
+/// Number of CalibrateBackendCostModel runs this process has completed
+/// (telemetry for the `metrics` verb; distinct from the generation counter,
+/// which also counts SetBackendCostModel calls and stale-target resets).
+std::uint64_t CalibrationRefitCount();
+
 /// Resolves kAuto for one row profile: picks the backend with the smallest
 /// predicted cost under `model` (or the active model). With `batched` set
 /// the FFT family is priced pair-packed — two rows per transform, as the

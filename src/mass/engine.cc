@@ -1,5 +1,6 @@
 #include "mass/engine.h"
 
+#include <atomic>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -12,16 +13,88 @@
 
 namespace valmod::mass {
 
+namespace {
+
+struct EngineCounterStorage {
+  std::atomic<std::uint64_t> series_spectra_hits{0};
+  std::atomic<std::uint64_t> series_spectra_misses{0};
+  std::atomic<std::uint64_t> pair_spectra_builds{0};
+  std::atomic<std::uint64_t> chunk_spectra_hits{0};
+  std::atomic<std::uint64_t> chunk_spectra_misses{0};
+  std::atomic<std::uint64_t> chunk_spectra_evictions{0};
+  std::atomic<std::uint64_t> chunk_spectra_adopted{0};
+  std::atomic<std::uint64_t> rows_direct{0};
+  std::atomic<std::uint64_t> rows_fft_single{0};
+  std::atomic<std::uint64_t> rows_fft_pair{0};
+  std::atomic<std::uint64_t> rows_overlap_save{0};
+};
+
+EngineCounterStorage g_engine_counters;
+
+void Bump(std::atomic<std::uint64_t>& counter, std::uint64_t by = 1) {
+  counter.fetch_add(by, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+EngineCounters EngineCountersSnapshot() {
+  const EngineCounterStorage& c = g_engine_counters;
+  EngineCounters out;
+  out.series_spectra_hits = c.series_spectra_hits.load(std::memory_order_relaxed);
+  out.series_spectra_misses =
+      c.series_spectra_misses.load(std::memory_order_relaxed);
+  out.pair_spectra_builds =
+      c.pair_spectra_builds.load(std::memory_order_relaxed);
+  out.chunk_spectra_hits = c.chunk_spectra_hits.load(std::memory_order_relaxed);
+  out.chunk_spectra_misses =
+      c.chunk_spectra_misses.load(std::memory_order_relaxed);
+  out.chunk_spectra_evictions =
+      c.chunk_spectra_evictions.load(std::memory_order_relaxed);
+  out.chunk_spectra_adopted =
+      c.chunk_spectra_adopted.load(std::memory_order_relaxed);
+  out.rows_direct = c.rows_direct.load(std::memory_order_relaxed);
+  out.rows_fft_single = c.rows_fft_single.load(std::memory_order_relaxed);
+  out.rows_fft_pair = c.rows_fft_pair.load(std::memory_order_relaxed);
+  out.rows_overlap_save = c.rows_overlap_save.load(std::memory_order_relaxed);
+  return out;
+}
+
+void NoteEngineRows(ConvolutionBackend backend, std::uint64_t rows) {
+  if (rows == 0) return;
+  switch (backend) {
+    case ConvolutionBackend::kDirect:
+      Bump(g_engine_counters.rows_direct, rows);
+      return;
+    case ConvolutionBackend::kFftSingle:
+      Bump(g_engine_counters.rows_fft_single, rows);
+      return;
+    case ConvolutionBackend::kFftPair:
+      Bump(g_engine_counters.rows_fft_pair, rows);
+      return;
+    case ConvolutionBackend::kOverlapSave:
+      Bump(g_engine_counters.rows_overlap_save, rows);
+      return;
+    case ConvolutionBackend::kAuto:
+    case ConvolutionBackend::kAutoV1:
+      // Callers count after resolution; an unresolved backend here is a
+      // programming error, but telemetry must never crash the engine.
+      return;
+  }
+}
+
 const MassEngine::SeriesSpectrum& MassEngine::SpectrumFor(
     std::size_t fft_size) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = spectra_.find(fft_size);
   if (it == spectra_.end()) {
+    Bump(g_engine_counters.series_spectra_misses);
     auto spectrum = std::make_unique<SeriesSpectrum>();
     spectrum->plan = fft::GetPlan(fft_size);
     spectrum->bins.resize(spectrum->plan->half_spectrum_size());
     spectrum->plan->RealForward(series_.centered(), spectrum->bins);
     it = spectra_.emplace(fft_size, std::move(spectrum)).first;
+  } else {
+    Bump(g_engine_counters.series_spectra_hits);
   }
   // References stay valid: spectra are heap-allocated, and map nodes are
   // never erased, so concurrent inserts cannot move this entry.
@@ -34,6 +107,7 @@ const MassEngine::SeriesSpectrum& MassEngine::PairSpectrumFor(
   std::lock_guard<std::mutex> lock(mutex_);
   SeriesSpectrum& spectrum = *spectra_.find(fft_size)->second;
   if (spectrum.pair_bins.empty()) {
+    Bump(g_engine_counters.pair_spectra_builds);
     spectrum.pair_bins.resize(fft_size);
     // The full-size bit-reversed spectrum: RealForwardPair with an empty
     // second lane is exactly "spectrum of one real signal" in the pair
@@ -49,6 +123,7 @@ std::shared_ptr<const MassEngine::ChunkSpectra> MassEngine::ChunkSpectraFor(
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = chunk_spectra_.find(chunk_fft_size);
   if (it == chunk_spectra_.end()) {
+    Bump(g_engine_counters.chunk_spectra_misses);
     auto spectra = std::make_shared<ChunkSpectra>();
     spectra->plan = fft::GetPlan(chunk_fft_size);
     spectra->hop = chunk_fft_size / 2;
@@ -75,6 +150,7 @@ std::shared_ptr<const MassEngine::ChunkSpectra> MassEngine::ChunkSpectraFor(
     TrimChunkSpectraLocked();
     return handle;
   }
+  Bump(g_engine_counters.chunk_spectra_hits);
   it->second->last_used = ++chunk_spectra_clock_;
   return it->second;
 }
@@ -93,6 +169,7 @@ void MassEngine::TrimChunkSpectraLocked() {
       }
     }
     chunk_spectra_.erase(victim);
+    Bump(g_engine_counters.chunk_spectra_evictions);
   }
 }
 
@@ -158,6 +235,7 @@ std::size_t MassEngine::AdoptChunkSpectraFrom(MassEngine& previous,
     chunk_spectra_.emplace(chunk_fft_size, std::move(spectra));
     TrimChunkSpectraLocked();
   }
+  Bump(g_engine_counters.chunk_spectra_adopted, copied);
   return copied;
 }
 
@@ -239,6 +317,7 @@ void MassEngine::CachedSlidingDots(std::span<const double> query,
       reinterpret_cast<const double*>(spectrum.bins.data()),
       reinterpret_cast<const double*>(scratch->bins.data()),
       reinterpret_cast<double*>(scratch->bins.data()), bins);
+  simd::NoteKernelCalls(simd::KernelKind::kComplexMultiply, 1);
   scratch->conv.resize(fft_size);
   spectrum.plan->RealInverse(scratch->bins, scratch->conv);
 
@@ -429,6 +508,7 @@ Result<RowProfile> MassEngine::ComputeRowProfile(std::size_t query_offset,
     case ConvolutionBackend::kAutoV1:
       return Status::Internal("unresolved convolution backend");
   }
+  NoteEngineRows(backend, 1);
   DistancesFromDots(series_, query_offset, length, row.dots, &row.distances);
   return row;
 }
@@ -512,6 +592,9 @@ Result<std::vector<RowProfile>> MassEngine::ComputeRowProfiles(
             ComputeRowPairFft(rows[2 * t], rows[2 * t + 1], length,
                               &profiles[2 * t], &profiles[2 * t + 1]);
           }
+          // The tail (and the single-query fan-outs above) count inside
+          // ComputeRowProfile; the pair paths bypass it, so count here.
+          NoteEngineRows(backend, 2);
           return Status::Ok();
         }
         // Tail backend: overlap-save stays in its family; an auto-upgraded
@@ -574,6 +657,7 @@ Result<std::vector<double>> MassEngine::DistanceProfile(
     case ConvolutionBackend::kAutoV1:
       return Status::Internal("unresolved convolution backend");
   }
+  NoteEngineRows(backend, 1);
 
   std::vector<double> distances;
   DistancesFromExternalQueryDots(series_, centered.std_dev,

@@ -238,6 +238,38 @@ class MassEngine {
   std::size_t ChunkSpectraCacheSizeForTesting();
 };
 
+/// Process-wide engine telemetry, summed over every MassEngine instance.
+///
+/// Counters are global rather than per-engine because engines are
+/// per-snapshot and ephemeral — the serving stack rebuilds one per append
+/// generation — while the `metrics` verb needs monotone process totals that
+/// survive those rebuilds. All increments are relaxed atomics; a process
+/// that never queries pays nothing beyond the idle counters themselves.
+struct EngineCounters {
+  // Full-size series-spectra cache (SpectrumFor).
+  std::uint64_t series_spectra_hits = 0;
+  std::uint64_t series_spectra_misses = 0;
+  // Lazily-built pair spectra (PairSpectrumFor upgrade builds).
+  std::uint64_t pair_spectra_builds = 0;
+  // Overlap-save chunk-spectra cache (ChunkSpectraFor).
+  std::uint64_t chunk_spectra_hits = 0;
+  std::uint64_t chunk_spectra_misses = 0;
+  std::uint64_t chunk_spectra_evictions = 0;
+  // Chunks copied across append generations (AdoptChunkSpectraFrom).
+  std::uint64_t chunk_spectra_adopted = 0;
+  // Rows of sliding-dot work per executed backend (kAuto/kAutoV1 resolve
+  // before counting, so every row lands on a concrete backend).
+  std::uint64_t rows_direct = 0;
+  std::uint64_t rows_fft_single = 0;
+  std::uint64_t rows_fft_pair = 0;
+  std::uint64_t rows_overlap_save = 0;
+};
+EngineCounters EngineCountersSnapshot();
+
+/// Adds `rows` to the counter for concrete backend `backend` (must not be
+/// kAuto/kAutoV1). Exposed for the engine internals; relaxed atomics.
+void NoteEngineRows(ConvolutionBackend backend, std::uint64_t rows);
+
 }  // namespace valmod::mass
 
 #endif  // VALMOD_MASS_ENGINE_H_

@@ -77,6 +77,7 @@ std::vector<double> DirectExternalSlidingDots(
     dots[j] = dot(centered_query.data(), centered_series.data() + j,
                   centered_query.size());
   }
+  simd::NoteKernelCalls(simd::KernelKind::kDotProduct, count);
   return dots;
 }
 

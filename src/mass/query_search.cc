@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/status.h"
+#include "common/trace.h"
 #include "mass/mass.h"
 #include "mp/matrix_profile.h"
 
@@ -20,6 +21,7 @@ Result<std::vector<QueryMatch>> FindQueryMatches(
 Result<std::vector<QueryMatch>> FindQueryMatches(
     MassEngine& engine, std::span<const double> query,
     const QuerySearchOptions& options) {
+  const trace::TraceSpan span("query_search");
   if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
   if (options.deadline.Expired()) {
     return Status::DeadlineExceeded("query search deadline expired");

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/trace.h"
 #include "mass/engine.h"
 #include "mass/mass.h"
 
@@ -25,6 +26,7 @@ Result<MatrixProfile> ComputeStamp(const series::DataSeries& series,
 Result<MatrixProfile> ComputeStamp(mass::MassEngine& engine,
                                    std::size_t length,
                                    const ProfileOptions& options) {
+  const trace::TraceSpan trace_span("stamp_compute");
   const series::DataSeries& series = engine.series();
   const std::size_t count = series.NumSubsequences(length);
   if (count == 0) {

@@ -29,6 +29,20 @@ void LatencyHistogram::Record(double ms) {
   ++count_;
 }
 
+std::array<std::uint64_t, LatencyHistogram::kDoublings>
+LatencyHistogram::CumulativePerDoubling() const {
+  std::array<std::uint64_t, kDoublings> out{};
+  std::uint64_t cumulative = 0;
+  for (int d = 0; d < kDoublings; ++d) {
+    for (int j = 0; j < kBucketsPerDoubling; ++j) {
+      cumulative +=
+          buckets_[static_cast<std::size_t>(d * kBucketsPerDoubling + j)];
+    }
+    out[static_cast<std::size_t>(d)] = cumulative;
+  }
+  return out;
+}
+
 double LatencyHistogram::QuantileMs(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
@@ -88,8 +102,52 @@ std::vector<VerbMetrics::VerbSnapshot> VerbMetrics::Snapshot() const {
     snapshot.p99_ms = entry.histogram.QuantileMs(0.99);
     snapshot.requests_per_second =
         uptime > 0.0 ? static_cast<double>(entry.welford.n) / uptime : 0.0;
+    snapshot.sum_ms =
+        entry.welford.mean * static_cast<double>(entry.welford.n);
+    snapshot.cumulative = entry.histogram.CumulativePerDoubling();
     out.push_back(std::move(snapshot));
   }
+  return out;
+}
+
+bool SlowLog::WouldAdmit(double latency_ms) const {
+  if (capacity_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() < capacity_) return true;
+  for (const Entry& entry : entries_) {
+    if (latency_ms > entry.latency_ms) return true;
+  }
+  return false;
+}
+
+void SlowLog::Add(Entry entry) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() >= capacity_) {
+    // Evict the current fastest; keep the older entry on ties so a stream
+    // of identical latencies does not churn the log.
+    auto fastest = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->latency_ms < fastest->latency_ms ||
+          (it->latency_ms == fastest->latency_ms &&
+           it->sequence > fastest->sequence)) {
+        fastest = it;
+      }
+    }
+    if (entry.latency_ms <= fastest->latency_ms) return;
+    entries_.erase(fastest);
+  }
+  entry.sequence = next_sequence_++;
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<SlowLog::Entry> SlowLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry> out = entries_;
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.latency_ms != b.latency_ms) return a.latency_ms > b.latency_ms;
+    return a.sequence < b.sequence;
+  });
   return out;
 }
 

@@ -63,6 +63,15 @@ class LatencyHistogram {
   double min_ms() const { return count_ > 0 ? min_ms_ : 0.0; }
   double max_ms() const { return max_ms_; }
 
+  /// Cumulative counts at per-doubling granularity for the OpenMetrics
+  /// exposition: element d is the number of samples <= kMinMs * 2^(d+1)
+  /// (the upper edge of doubling d), for d in [0, kDoublings). The final
+  /// element equals count() because the top bucket absorbs overflow, so
+  /// the renderer adds only the +Inf bucket. Coarsening 4:1 keeps the
+  /// scrape at 33 series per verb instead of 132 while the native
+  /// quarter-octave resolution still backs QuantileMs.
+  std::array<std::uint64_t, kDoublings> CumulativePerDoubling() const;
+
   /// Lower bound of bucket `i` in milliseconds (exposed for tests).
   static double BucketLowerMs(int i);
   /// Bucket index for a latency (exposed for tests).
@@ -102,6 +111,12 @@ class VerbMetrics {
     double p50_ms = 0.0;
     double p99_ms = 0.0;
     double requests_per_second = 0.0;  // count / recorder uptime
+    /// Total latency (ms) over all samples — welford.mean * n, exact up to
+    /// the accumulator's rounding; the OpenMetrics histogram `_sum`.
+    double sum_ms = 0.0;
+    /// Cumulative per-doubling bucket counts for the OpenMetrics
+    /// histogram; see LatencyHistogram::CumulativePerDoubling.
+    std::array<std::uint64_t, LatencyHistogram::kDoublings> cumulative{};
   };
 
   /// Sorted by verb name.
@@ -119,6 +134,49 @@ class VerbMetrics {
   const std::chrono::steady_clock::time_point started_at_;
   mutable std::mutex mutex_;
   std::map<std::string, PerVerb, std::less<>> verbs_;
+};
+
+/// Bounded log of the worst-latency requests the server has completed: a
+/// fixed-capacity set ordered by latency, so the memory cost is capacity *
+/// one entry regardless of uptime. Entries carry the request's span tree
+/// pre-rendered as JSON; callers check WouldAdmit() before paying for the
+/// rendering, so the fast path of a sub-threshold request is one mutex +
+/// one compare.
+class SlowLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 16;
+
+  struct Entry {
+    std::uint64_t sequence = 0;  // admission order, for stable sorting
+    std::string verb;
+    std::string trace_id;   // 16 hex digits; empty when tracing was off
+    double latency_ms = 0.0;
+    bool ok = true;
+    std::string spans_json;  // pre-rendered span tree ("" when absent)
+  };
+
+  explicit SlowLog(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  SlowLog(const SlowLog&) = delete;
+  SlowLog& operator=(const SlowLog&) = delete;
+
+  /// True when a request of `latency_ms` would enter the log right now —
+  /// the log has room, or the latency beats the current minimum.
+  bool WouldAdmit(double latency_ms) const;
+
+  /// Inserts the entry (assigning its sequence), evicting the current
+  /// fastest entry when at capacity. No-op when the entry would not admit.
+  void Add(Entry entry);
+
+  /// Slowest first; ties broken by admission order (older first).
+  std::vector<Entry> Snapshot() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::uint64_t next_sequence_ = 0;
+  std::vector<Entry> entries_;  // unordered; sorted at Snapshot
 };
 
 }  // namespace valmod::service

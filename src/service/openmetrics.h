@@ -1,0 +1,38 @@
+#ifndef VALMOD_SERVICE_OPENMETRICS_H_
+#define VALMOD_SERVICE_OPENMETRICS_H_
+
+#include <string>
+
+#include "common/trace.h"
+#include "service/metrics.h"
+#include "service/result_cache.h"
+#include "service/scheduler.h"
+
+namespace valmod::service {
+
+/// Renders the whole process's telemetry as OpenMetrics text (the
+/// Prometheus exposition format): per-verb request counters and cumulative
+/// latency histograms from `metrics`, the result-cache and scheduler
+/// counters passed in, and — read directly from their process-wide
+/// snapshot APIs — the MASS engine cache counters, the FFT plan registry
+/// counters, and the per-(target, kernel) SIMD dispatch counters. The
+/// output is a complete exposition: every family has a `# TYPE` line,
+/// counters carry the `_total` suffix, histograms emit cumulative
+/// `_bucket{le="..."}` (in seconds) plus `_sum`/`_count`, and the text
+/// ends with `# EOF`.
+std::string RenderOpenMetrics(const VerbMetrics& metrics,
+                              const ResultCache::Stats& cache,
+                              const SchedulerStats& scheduler);
+
+/// Renders a request's span tree as a JSON object:
+///   {"wall_ns":N,"dropped":D,"spans":[
+///     {"name":"...","parent":-1,"start_ns":S,"duration_ns":D}, ...]}
+/// Span indices are implicit (array order matches BeginSpan order), so
+/// `parent` references are array indices; `start_ns` is relative to the
+/// context's origin. A span still open at render time reports
+/// duration_ns 0.
+std::string RenderTraceJson(const trace::TraceContext& context);
+
+}  // namespace valmod::service
+
+#endif  // VALMOD_SERVICE_OPENMETRICS_H_

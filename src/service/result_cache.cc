@@ -64,6 +64,7 @@ ResultCache::FlightLookup ResultCache::GetOrJoin(const std::string& key,
     return lookup;
   }
   flights_.emplace(key, std::deque<InFlightWaiter>{});
+  ++counters_.flights_led;
   lookup.state = FlightState::kLeader;
   return lookup;
 }
@@ -79,6 +80,7 @@ std::vector<ResultCache::InFlightWaiter> ResultCache::CompleteFlight(
     waiters.assign(std::make_move_iterator(it->second.begin()),
                    std::make_move_iterator(it->second.end()));
     flights_.erase(it);
+    counters_.waiters_served += waiters.size();
   }
   return waiters;
 }

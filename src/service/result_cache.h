@@ -73,6 +73,8 @@ class ResultCache {
     std::size_t inflight = 0;          // open flights now
     std::uint64_t coalesced = 0;       // waiters that joined a flight, ever
     std::uint64_t failovers = 0;       // waiters promoted to leader, ever
+    std::uint64_t flights_led = 0;     // GetOrJoin calls that opened a flight
+    std::uint64_t waiters_served = 0;  // waiters fanned a leader's payload
   };
 
   /// A parked waiter: `deliver` fans out the leader's finished payload;

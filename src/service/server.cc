@@ -17,6 +17,8 @@
 #include "common/fault.h"
 #include "common/json.h"
 #include "common/timer.h"
+#include "common/trace.h"
+#include "service/openmetrics.h"
 #include "core/valmod.h"
 #include "core/variable_discords.h"
 #include "mass/backend.h"
@@ -58,12 +60,14 @@ void AppendEnvelopePrefix(const Value& id, const std::string& verb,
 /// computation was deadline-truncated).
 std::string EncodeOkWire(const Value& id, const std::string& verb, bool cached,
                          bool coalesced, const std::string& payload,
-                         std::size_t page_bytes) {
+                         std::size_t page_bytes,
+                         const std::string& trace_fragment = {}) {
   if (page_bytes == 0 || payload.size() <= page_bytes) {
     std::string out;
     AppendEnvelopePrefix(id, verb, cached, coalesced, &out);
     out += ",\"result\":";
     out += payload;
+    out += trace_fragment;
     out += "}\n";
     return out;
   }
@@ -83,6 +87,10 @@ std::string EncodeOkWire(const Value& id, const std::string& verb, bool cached,
     out += ",\"chunk\":";
     json::AppendQuoted(
         std::string_view(payload).substr(i * page_bytes, page_bytes), &out);
+    // Trace fields ride the FINAL page only: RetryClient's reassembly
+    // keeps the last page's envelope, so the reassembled response carries
+    // them without any client-side special casing.
+    if (last) out += trace_fragment;
     out += "}\n";
   }
   return out;
@@ -90,7 +98,8 @@ std::string EncodeOkWire(const Value& id, const std::string& verb, bool cached,
 
 
 std::string ErrorResponse(const Value& id, const std::string& verb,
-                          const Status& status) {
+                          const Status& status,
+                          const std::string& trace_fragment = {}) {
   std::string out = "{\"id\":";
   id.SerializeTo(&out);
   out += ",\"ok\":false";
@@ -106,7 +115,21 @@ std::string ErrorResponse(const Value& id, const std::string& verb,
     out += ",\"retry_after_ms\":";
     out += std::to_string(status.retry_after_ms());
   }
-  out += "}}";
+  out += '}';
+  out += trace_fragment;
+  out += '}';
+  return out;
+}
+
+/// The `,"trace_id":"...","trace":{...}` envelope suffix for a request
+/// that asked for tracing; empty otherwise.
+std::string TraceFragment(const trace::TraceContext* context,
+                          bool want_trace) {
+  if (context == nullptr || !want_trace) return {};
+  std::string out = ",\"trace_id\":\"";
+  out += trace::TraceIdHex(context->trace_id());
+  out += "\",\"trace\":";
+  out += RenderTraceJson(*context);
   return out;
 }
 
@@ -851,6 +874,8 @@ Result<std::string> DoStats(Service& service) {
   cache_obj.emplace("inflight", Value(cache.inflight));
   cache_obj.emplace("coalesced", Value(cache.coalesced));
   cache_obj.emplace("failovers", Value(cache.failovers));
+  cache_obj.emplace("flights_led", Value(cache.flights_led));
+  cache_obj.emplace("waiters_served", Value(cache.waiters_served));
   payload.emplace("cache", Value(std::move(cache_obj)));
 
   const SchedulerStats sched = service.scheduler().stats();
@@ -998,6 +1023,47 @@ Result<std::string> DoHealth(Service& service) {
   return Value(std::move(payload)).Serialize();
 }
 
+/// `metrics` verb: the whole process's telemetry as OpenMetrics text. The
+/// exposition rides the NDJSON protocol as a JSON string field, so an
+/// operator (or scrape bridge) issues {"verb":"metrics"} and writes the
+/// `body` bytes through verbatim.
+Result<std::string> DoMetrics(Service& service) {
+  const std::string body =
+      RenderOpenMetrics(service.metrics(), service.result_cache().stats(),
+                        service.scheduler().stats());
+  std::string payload = "{\"format\":\"openmetrics\",\"body\":";
+  json::AppendQuoted(body, &payload);
+  payload += '}';
+  return payload;
+}
+
+/// `slowlog` verb: the worst-latency requests the server has completed,
+/// slowest first, each with its span tree when tracing was on.
+Result<std::string> DoSlowlog(Service& service) {
+  std::string payload = "{\"entries\":[";
+  bool first = true;
+  for (const SlowLog::Entry& entry : service.slowlog().Snapshot()) {
+    if (!first) payload += ',';
+    first = false;
+    payload += "{\"verb\":";
+    json::AppendQuoted(entry.verb, &payload);
+    payload += ",\"latency_ms\":";
+    payload += Value(entry.latency_ms).Serialize();
+    payload += entry.ok ? ",\"ok\":true" : ",\"ok\":false";
+    if (!entry.trace_id.empty()) {
+      payload += ",\"trace_id\":";
+      json::AppendQuoted(entry.trace_id, &payload);
+    }
+    if (!entry.spans_json.empty()) {
+      payload += ",\"trace\":";
+      payload += entry.spans_json;
+    }
+    payload += '}';
+  }
+  payload += "]}";
+  return payload;
+}
+
 Result<std::string> DoCalibrate() {
   const mass::BackendCostModel model = mass::CalibrateBackendCostModel();
   Value::Object weights;
@@ -1069,11 +1135,19 @@ struct Service::RequestContext {
   std::size_t page_bytes = 0;
   ResponseCallback done;
   std::chrono::steady_clock::time_point started_at;
+  /// Per-request span tree; null when tracing is globally disabled. Shared
+  /// with the job wrapper, which rebinds it on the executing worker.
+  std::shared_ptr<trace::TraceContext> trace_context;
+  /// Index of the root "request" span in trace_context.
+  int root_span = -1;
+  /// Whether the envelope asked for the span tree back ("trace":true).
+  bool want_trace = false;
 };
 
 Service::Service(const ServiceOptions& options)
     : options_(options),
       cache_(options.cache_capacity),
+      slowlog_(options.slowlog_capacity),
       scheduler_(SchedulerOptions{options.workers, options.queue_capacity}) {}
 
 void Service::HandleRequestAsync(const std::string& line,
@@ -1100,23 +1174,48 @@ void Service::Handle(const std::string& line, std::size_t page_bytes,
   const auto started = std::chrono::steady_clock::now();
   Value id;  // null until the request proves parseable
   std::string verb;
+  bool want_trace = false;
+
+  // Every request gets a span tree while tracing is globally on; the
+  // `trace` envelope param only controls whether it is *returned*. The
+  // root "request" span covers arrival through delivery start; stage
+  // spans nest under it. Binding the context here makes TraceSpans fire
+  // for everything resolved inline on this thread (parse, planning, admin
+  // verbs); the job wrapper rebinds on the scheduler worker.
+  std::shared_ptr<trace::TraceContext> tctx;
+  int root_span = -1;
+  if (trace::Enabled()) {
+    tctx = std::make_shared<trace::TraceContext>();
+    root_span = tctx->BeginSpan("request", -1);
+  }
+  const trace::ScopedBinding bind(trace::Binding{tctx.get(), root_span});
 
   // Synchronous delivery for everything resolved inline: admin verbs,
   // cache hits, and every validation error. (The query path below moves
   // `done` into its context instead; control flow guarantees these
   // lambdas are never touched after that.)
   const auto fail = [&](const Status& status) {
-    metrics_.Record(verb.empty() ? "invalid" : verb, ElapsedMs(started),
-                    /*ok=*/false);
-    done(ErrorResponse(id, verb, status) + "\n");
+    const std::string label = verb.empty() ? "invalid" : verb;
+    const double latency_ms = ElapsedMs(started);
+    metrics_.Record(label, latency_ms, /*ok=*/false);
+    if (tctx != nullptr) tctx->EndSpan(root_span);
+    RecordSlowRequest(label, latency_ms, /*ok=*/false, tctx.get());
+    done(ErrorResponse(id, verb, status, TraceFragment(tctx.get(), want_trace)) +
+         "\n");
   };
   const auto ok = [&](const std::string& payload, bool cached) {
-    metrics_.Record(verb, ElapsedMs(started), /*ok=*/true);
+    const double latency_ms = ElapsedMs(started);
+    metrics_.Record(verb, latency_ms, /*ok=*/true);
+    if (tctx != nullptr) tctx->EndSpan(root_span);
+    RecordSlowRequest(verb, latency_ms, /*ok=*/true, tctx.get());
     done(EncodeOkWire(id, verb, cached, /*coalesced=*/false, payload,
-                      page_bytes));
+                      page_bytes, TraceFragment(tctx.get(), want_trace)));
   };
 
-  Result<Value> parsed = json::Parse(line);
+  Result<Value> parsed = [&] {
+    const trace::TraceSpan span("parse");
+    return json::Parse(line);
+  }();
   if (!parsed.ok()) return fail(parsed.status());
   const Value& request = *parsed;
   if (!request.is_object()) {
@@ -1127,6 +1226,12 @@ void Service::Handle(const std::string& line, std::size_t page_bytes,
   if (verb.empty()) {
     return fail(
         Status::InvalidArgument("request must carry a string 'verb'"));
+  }
+  if (const Value* tv = request.Find("trace")) {
+    if (!tv->is_bool()) {
+      return fail(Status::InvalidArgument("'trace' must be a boolean"));
+    }
+    want_trace = tv->AsBool();
   }
   Value params{Value::Object{}};
   if (const Value* p = request.Find("params")) {
@@ -1180,6 +1285,16 @@ void Service::Handle(const std::string& line, std::size_t page_bytes,
     if (!payload.ok()) return fail(payload.status());
     return ok(*payload, /*cached=*/false);
   }
+  if (verb == "metrics") {
+    Result<std::string> payload = DoMetrics(*this);
+    if (!payload.ok()) return fail(payload.status());
+    return ok(*payload, /*cached=*/false);
+  }
+  if (verb == "slowlog") {
+    Result<std::string> payload = DoSlowlog(*this);
+    if (!payload.ok()) return fail(payload.status());
+    return ok(*payload, /*cached=*/false);
+  }
   if (verb == "shutdown") {
     shutdown_.store(true, std::memory_order_release);
     return ok("{\"shutting_down\":true}", /*cached=*/false);
@@ -1200,6 +1315,7 @@ void Service::Handle(const std::string& line, std::size_t page_bytes,
   if (!dataset.ok()) return fail(dataset.status());
 
   Result<QueryPlan> plan = [&]() -> Result<QueryPlan> {
+    const trace::TraceSpan span("plan");
     if (verb == "motifs") return PlanValmod(*dataset, params, false);
     if (verb == "valmap") return PlanValmod(*dataset, params, true);
     if (verb == "profile") return PlanProfile(*dataset, params);
@@ -1241,6 +1357,9 @@ void Service::Handle(const std::string& line, std::size_t page_bytes,
   ctx->page_bytes = page_bytes;
   ctx->done = std::move(done);
   ctx->started_at = started;
+  ctx->trace_context = tctx;
+  ctx->root_span = root_span;
+  ctx->want_trace = want_trace;
   // The fault point's hit counter increments once per job *execution*
   // while armed, which is exactly what the coalescing tests and the
   // bench's miss-storm probe count as "underlying computations".
@@ -1267,8 +1386,11 @@ void Service::Handle(const std::string& line, std::size_t page_bytes,
     DeliverOk(ctx, *value, /*cached=*/false, /*coalesced=*/true);
   };
   waiter.promote = [this, ctx] { ExecuteAsLeader(ctx); };
+  int cache_span = -1;
+  if (tctx != nullptr) cache_span = tctx->BeginSpan("cache_lookup", root_span);
   const ResultCache::FlightLookup lookup =
       cache_.GetOrJoin(ctx->cache_key, std::move(waiter));
+  if (tctx != nullptr) tctx->EndSpan(cache_span);
   switch (lookup.state) {
     case ResultCache::FlightState::kHit:
       DeliverOk(ctx, *lookup.value, /*cached=*/true, /*coalesced=*/false);
@@ -1282,8 +1404,25 @@ void Service::Handle(const std::string& line, std::size_t page_bytes,
 }
 
 void Service::ExecuteAsLeader(const std::shared_ptr<RequestContext>& ctx) {
+  QueryScheduler::Job job = ctx->job;
+  if (ctx->trace_context != nullptr) {
+    // Wrap at submit time (not in ctx->job itself) so the context never
+    // owns a closure that captures its own shared_ptr. The queue_wait
+    // span runs from here until a worker picks the job up; rebinding on
+    // the worker lets engine-level TraceSpans attach under the root.
+    auto tctx = ctx->trace_context;
+    const int root = ctx->root_span;
+    const int queue_span = tctx->BeginSpan("queue_wait", root);
+    job = [job = std::move(job), tctx, root,
+           queue_span](const Deadline& d) -> Result<std::string> {
+      tctx->EndSpan(queue_span);
+      const trace::ScopedBinding bind(trace::Binding{tctx.get(), root});
+      const trace::TraceSpan span("compute");
+      return job(d);
+    };
+  }
   Result<std::shared_ptr<QueryScheduler::Ticket>> ticket = scheduler_.Submit(
-      ctx->job, ctx->priority, ctx->deadline,
+      std::move(job), ctx->priority, ctx->deadline,
       [this, ctx](const Result<std::string>& result) {
         OnLeaderComplete(ctx, result);
       });
@@ -1344,15 +1483,53 @@ void Service::FailOverFlight(const std::string& key) {
 void Service::DeliverOk(const std::shared_ptr<RequestContext>& ctx,
                         const std::string& payload, bool cached,
                         bool coalesced) {
-  metrics_.Record(ctx->verb, ElapsedMs(ctx->started_at), /*ok=*/true);
-  ctx->done(EncodeOkWire(ctx->id, ctx->verb, cached, coalesced, payload,
-                         ctx->page_bytes));
+  const double latency_ms = ElapsedMs(ctx->started_at);
+  metrics_.Record(ctx->verb, latency_ms, /*ok=*/true);
+  trace::TraceContext* tctx = ctx->trace_context.get();
+  // The root span closes before the fragment renders so the returned tree
+  // accounts for the full queued + computed interval. The serialize span
+  // lands after that render — it cannot appear in its own response — but
+  // it does reach the slowlog entry, which renders just before delivery:
+  // recording ahead of done() guarantees that once a client holds its
+  // response, the request is already visible to a `slowlog` scrape (done()
+  // unblocks synchronous callers, which would otherwise race this thread).
+  if (tctx != nullptr) tctx->EndSpan(ctx->root_span);
+  const std::string fragment = TraceFragment(tctx, ctx->want_trace);
+  std::string wire;
+  {
+    const trace::ScopedBinding bind(trace::Binding{tctx, ctx->root_span});
+    const trace::TraceSpan span("serialize");
+    wire = EncodeOkWire(ctx->id, ctx->verb, cached, coalesced, payload,
+                        ctx->page_bytes, fragment);
+  }
+  RecordSlowRequest(ctx->verb, latency_ms, /*ok=*/true, tctx);
+  ctx->done(std::move(wire));
 }
 
 void Service::DeliverError(const std::shared_ptr<RequestContext>& ctx,
                            const Status& status) {
-  metrics_.Record(ctx->verb, ElapsedMs(ctx->started_at), /*ok=*/false);
-  ctx->done(ErrorResponse(ctx->id, ctx->verb, status) + "\n");
+  const double latency_ms = ElapsedMs(ctx->started_at);
+  metrics_.Record(ctx->verb, latency_ms, /*ok=*/false);
+  trace::TraceContext* tctx = ctx->trace_context.get();
+  if (tctx != nullptr) tctx->EndSpan(ctx->root_span);
+  RecordSlowRequest(ctx->verb, latency_ms, /*ok=*/false, tctx);
+  ctx->done(ErrorResponse(ctx->id, ctx->verb, status,
+                          TraceFragment(tctx, ctx->want_trace)) +
+            "\n");
+}
+
+void Service::RecordSlowRequest(const std::string& verb, double latency_ms,
+                                bool ok, const trace::TraceContext* context) {
+  if (!slowlog_.WouldAdmit(latency_ms)) return;
+  SlowLog::Entry entry;
+  entry.verb = verb;
+  entry.latency_ms = latency_ms;
+  entry.ok = ok;
+  if (context != nullptr) {
+    entry.trace_id = trace::TraceIdHex(context->trace_id());
+    entry.spans_json = RenderTraceJson(*context);
+  }
+  slowlog_.Add(std::move(entry));
 }
 
 }  // namespace valmod::service

@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "common/trace.h"
 #include "service/metrics.h"
 #include "service/registry.h"
 #include "service/result_cache.h"
@@ -29,6 +30,9 @@ struct ServiceOptions {
   /// sequence of bounded NDJSON chunk lines instead of one multi-megabyte
   /// line (see HandleRequestAsync). 0 disables paging.
   std::size_t page_bytes = 1 << 20;
+  /// Worst-latency requests retained by the slow-query log (the `slowlog`
+  /// verb); 0 disables it.
+  std::size_t slowlog_capacity = SlowLog::kDefaultCapacity;
 };
 
 /// The VALMOD motif-discovery service: long-lived serving state (dataset
@@ -61,10 +65,17 @@ struct ServiceOptions {
 ///
 /// Verbs:
 ///   admin  — load, unload, append, stats, health, faults, calibrate,
-///            shutdown
+///            metrics (OpenMetrics exposition), slowlog (worst-latency
+///            requests with span trees), shutdown
 ///   query  — motifs, valmap, profile, query, discords (scheduled through
 ///            the bounded queue with priorities/deadlines; responses are
 ///            memoized in the result cache)
+///
+/// A request carrying `"trace":true` in its envelope gets the response
+/// envelope extended with `trace_id` (16 hex digits) and `trace` (the
+/// request's span tree; see service/openmetrics.h RenderTraceJson) — on
+/// the final page only, for paged responses, so RetryClient's reassembly
+/// surfaces them automatically.
 ///
 /// Identical concurrent cache misses are coalesced by cache key: the
 /// first becomes the leader and computes, the rest park as waiters and
@@ -120,6 +131,7 @@ class Service {
   ResultCache& result_cache() { return cache_; }
   QueryScheduler& scheduler() { return scheduler_; }
   VerbMetrics& metrics() { return metrics_; }
+  SlowLog& slowlog() { return slowlog_; }
   const ServiceOptions& options() const { return options_; }
 
  private:
@@ -149,10 +161,16 @@ class Service {
   void DeliverError(const std::shared_ptr<RequestContext>& ctx,
                     const Status& status);
 
+  /// Offers a completed request to the slow-query log; renders the span
+  /// tree only when the latency would actually be admitted.
+  void RecordSlowRequest(const std::string& verb, double latency_ms, bool ok,
+                         const trace::TraceContext* context);
+
   const ServiceOptions options_;
   DatasetRegistry registry_;
   ResultCache cache_;
   VerbMetrics metrics_;
+  SlowLog slowlog_;
   std::atomic<bool> shutdown_{false};
   /// Declared last so it is destroyed first: in-flight completions still
   /// touch the cache and metrics above while the scheduler drains.

@@ -196,6 +196,50 @@ Status SetTarget(Target target) {
   return Status::Ok();
 }
 
+namespace {
+
+std::atomic<std::uint64_t> g_kernel_calls[kNumTargets][kNumKernelKinds];
+
+}  // namespace
+
+const char* KernelKindName(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kRadix2Pass:
+      return "radix2_pass";
+    case KernelKind::kFusedRadix4Dit:
+      return "fused_radix4_dit";
+    case KernelKind::kFusedRadix4Dif:
+      return "fused_radix4_dif";
+    case KernelKind::kComplexMultiply:
+      return "complex_multiply";
+    case KernelKind::kDotProduct:
+      return "dot_product";
+    case KernelKind::kWindowStats:
+      return "window_stats";
+  }
+  return "unknown";
+}
+
+void NoteKernelCalls(KernelKind kind, std::uint64_t calls) {
+  if (calls == 0) return;
+  // Reads the stored target directly (no ActiveTarget() round trip): the
+  // caller just dispatched through the table, so resolution has happened.
+  const int target =
+      static_cast<int>(State().target.load(std::memory_order_relaxed));
+  g_kernel_calls[target][static_cast<int>(kind)].fetch_add(
+      calls, std::memory_order_relaxed);
+}
+
+KernelCounters KernelCountersSnapshot() {
+  KernelCounters out;
+  for (int t = 0; t < kNumTargets; ++t) {
+    for (int k = 0; k < kNumKernelKinds; ++k) {
+      out.calls[t][k] = g_kernel_calls[t][k].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
 std::string CpuFeatureString() {
   std::string features;
   const auto append = [&features](const char* name) {

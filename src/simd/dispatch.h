@@ -25,6 +25,7 @@
 // valmod_cli / valmod_server, and tests).
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -110,6 +111,44 @@ Status SetTarget(Target target);
 
 /// Human-readable list of detected CPU features ("avx2 fma avx512f ...").
 std::string CpuFeatureString();
+
+// ---------------------------------------------------------------------------
+// Dispatch telemetry: kernel invocations per (target, kernel) pair.
+//
+// Counting every kernel call individually would put an atomic increment
+// inside loops that currently run at memory bandwidth, so the convention is
+// batched accounting at the *sweep* level: each hot-path call site issues
+// one NoteKernelCalls per dispatched sweep (a whole butterfly schedule, a
+// whole spectrum product, a whole row of direct dots), passing how many
+// kernel invocations the sweep performed. One relaxed fetch_add per sweep
+// is unmeasurable; the totals still attribute work to the ISA that did it.
+// ---------------------------------------------------------------------------
+
+enum class KernelKind {
+  kRadix2Pass = 0,
+  kFusedRadix4Dit = 1,
+  kFusedRadix4Dif = 2,
+  kComplexMultiply = 3,
+  kDotProduct = 4,
+  kWindowStats = 5,
+};
+
+inline constexpr int kNumTargets = 4;
+inline constexpr int kNumKernelKinds = 6;
+
+/// Metric-label spelling: "radix2_pass", "complex_multiply", ...
+const char* KernelKindName(KernelKind kind);
+
+/// Adds `calls` invocations of `kind` to the active target's counter.
+/// Relaxed atomics; safe from any thread.
+void NoteKernelCalls(KernelKind kind, std::uint64_t calls);
+
+/// Point-in-time copy of every (target, kind) counter, indexed
+/// [static_cast<int>(Target)][static_cast<int>(KernelKind)].
+struct KernelCounters {
+  std::uint64_t calls[kNumTargets][kNumKernelKinds] = {};
+};
+KernelCounters KernelCountersSnapshot();
 
 }  // namespace valmod::simd
 

@@ -125,6 +125,7 @@ Status MovingStats::WindowStats(std::size_t length, std::vector<double>* means,
   simd::ActiveKernels().window_stats(prefix_.data(), prefix_sq_.data(), count,
                                      length, global_mean_, means->data(),
                                      std_devs->data());
+  simd::NoteKernelCalls(simd::KernelKind::kWindowStats, 1);
   return Status::Ok();
 }
 

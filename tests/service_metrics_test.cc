@@ -90,6 +90,83 @@ TEST(LatencyHistogramTest, SingleSampleQuantileIsThatSample) {
   EXPECT_DOUBLE_EQ(hist.QuantileMs(0.99), 3.7);
 }
 
+TEST(LatencyHistogramTest, ZeroAndNegativeDurationsLandInFirstBucket) {
+  LatencyHistogram hist;
+  hist.Record(0.0);
+  hist.Record(-5.0);                // clock skew / bug: clamped, not UB
+  hist.Record(std::nan(""));        // never corrupts min/max
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_DOUBLE_EQ(hist.min_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.max_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.QuantileMs(0.5), 0.0);
+  const auto cumulative = hist.CumulativePerDoubling();
+  EXPECT_EQ(cumulative.front(), 3u);  // all three in the lowest doubling
+  EXPECT_EQ(cumulative.back(), 3u);   // cumulative: total everywhere above
+}
+
+TEST(LatencyHistogramTest, BeyondTopBucketClampsAndStaysCumulative) {
+  LatencyHistogram hist;
+  const double beyond =
+      LatencyHistogram::BucketLowerMs(LatencyHistogram::kBucketCount - 1) *
+      1e6;
+  hist.Record(beyond);
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_DOUBLE_EQ(hist.max_ms(), beyond);
+  // The overflow sample sits in the last stored bucket, so the top
+  // doubling's cumulative count covers it and the quantile clamps to the
+  // observed max rather than inventing a mid-bucket estimate above it.
+  const auto cumulative = hist.CumulativePerDoubling();
+  EXPECT_EQ(cumulative.back(), 1u);
+  EXPECT_EQ(cumulative.front(), 0u);
+  EXPECT_DOUBLE_EQ(hist.QuantileMs(0.99), beyond);
+}
+
+TEST(LatencyHistogramTest, SingleSampleQuantilesBothEqualTheSample) {
+  LatencyHistogram hist;
+  hist.Record(12.5);
+  EXPECT_DOUBLE_EQ(hist.QuantileMs(0.50), 12.5);
+  EXPECT_DOUBLE_EQ(hist.QuantileMs(0.99), 12.5);
+  const auto cumulative = hist.CumulativePerDoubling();
+  std::uint64_t total = cumulative.back();
+  EXPECT_EQ(total, 1u);
+  // Cumulative counts never decrease.
+  for (std::size_t d = 1; d < cumulative.size(); ++d) {
+    EXPECT_GE(cumulative[d], cumulative[d - 1]);
+  }
+}
+
+TEST(SlowLogTest, KeepsWorstNAndEvictsFastest) {
+  SlowLog log(/*capacity=*/2);
+  EXPECT_TRUE(log.WouldAdmit(1.0));
+  log.Add({.verb = "a", .latency_ms = 10.0, .ok = true});
+  log.Add({.verb = "b", .latency_ms = 30.0, .ok = true});
+  // Full: only latencies beating the current fastest get in.
+  EXPECT_FALSE(log.WouldAdmit(5.0));
+  EXPECT_TRUE(log.WouldAdmit(20.0));
+  log.Add({.verb = "c", .latency_ms = 20.0, .ok = false});
+  const auto entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].verb, "b");  // slowest first
+  EXPECT_EQ(entries[1].verb, "c");
+  EXPECT_FALSE(entries[1].ok);
+}
+
+TEST(SlowLogTest, ZeroCapacityAdmitsNothing) {
+  SlowLog log(0);
+  EXPECT_FALSE(log.WouldAdmit(1e9));
+  log.Add({.verb = "a", .latency_ms = 1e9, .ok = true});
+  EXPECT_TRUE(log.Snapshot().empty());
+}
+
+TEST(SlowLogTest, TiesKeepTheOlderEntry) {
+  SlowLog log(1);
+  log.Add({.verb = "first", .latency_ms = 10.0, .ok = true});
+  log.Add({.verb = "second", .latency_ms = 10.0, .ok = true});
+  const auto entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].verb, "first");
+}
+
 TEST(VerbMetricsTest, SnapshotPartitionsByVerbAndCountsErrors) {
   VerbMetrics metrics;
   metrics.Record("motifs", 10.0, true);

@@ -1,0 +1,176 @@
+// Tests for the request-tracing primitives: span trees and nesting via the
+// thread-local binding, propagation across ThreadPool fan-out, the span
+// cap, trace-id formatting, and the disabled/unbound no-op paths.
+
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace valmod::trace {
+namespace {
+
+TEST(TraceContextTest, RecordsSpansWithParentsAndDurations) {
+  TraceContext context;
+  const int root = context.BeginSpan("request", -1);
+  ASSERT_EQ(root, 0);
+  const int child = context.BeginSpan("parse", root);
+  ASSERT_EQ(child, 1);
+  context.EndSpan(child);
+  context.EndSpan(root);
+
+  const auto spans = context.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "request");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[1].name, "parse");
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_GT(spans[0].duration_ns, 0u);
+  // The child closed before its parent, so it cannot outlast it.
+  EXPECT_LE(spans[1].start_ns + spans[1].duration_ns,
+            spans[0].start_ns + spans[0].duration_ns);
+  EXPECT_EQ(context.dropped(), 0u);
+}
+
+TEST(TraceContextTest, OpenSpanReportsZeroDurationAndDoubleEndKeepsFirst) {
+  TraceContext context;
+  const int span = context.BeginSpan("open", -1);
+  EXPECT_EQ(context.Snapshot()[0].duration_ns, 0u);
+  context.EndSpan(span);
+  const std::uint64_t first = context.Snapshot()[0].duration_ns;
+  EXPECT_GT(first, 0u);
+  context.EndSpan(span);  // second close must not extend the duration
+  EXPECT_EQ(context.Snapshot()[0].duration_ns, first);
+  context.EndSpan(-1);  // ignored, mirrors a capacity-refused BeginSpan
+}
+
+TEST(TraceContextTest, CapsSpansAndCountsDrops) {
+  TraceContext context;
+  for (int i = 0; i < TraceContext::kMaxSpans + 10; ++i) {
+    const int index = context.BeginSpan("s", -1);
+    if (i < TraceContext::kMaxSpans) {
+      EXPECT_GE(index, 0);
+    } else {
+      EXPECT_EQ(index, -1);
+    }
+    context.EndSpan(index);
+  }
+  EXPECT_EQ(context.Snapshot().size(),
+            static_cast<std::size_t>(TraceContext::kMaxSpans));
+  EXPECT_EQ(context.dropped(), 10u);
+}
+
+TEST(TraceContextTest, TraceIdsAreDistinctAndHexFormatted) {
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 64; ++i) {
+    TraceContext context;
+    ids.insert(context.trace_id());
+  }
+  // Collisions in 64 draws from a 64-bit id space mean a broken generator.
+  EXPECT_EQ(ids.size(), 64u);
+
+  const std::string hex = TraceIdHex(0x0123456789abcdefULL);
+  EXPECT_EQ(hex, "0123456789abcdef");
+  EXPECT_EQ(TraceIdHex(0).size(), 16u);
+  EXPECT_EQ(TraceIdHex(0), "0000000000000000");
+}
+
+TEST(TraceSpanTest, NestsLexicallyThroughTheThreadBinding) {
+  TraceContext context;
+  const int root = context.BeginSpan("request", -1);
+  {
+    const ScopedBinding bind(Binding{&context, root});
+    const TraceSpan outer("outer");
+    { const TraceSpan inner("inner"); }
+  }
+  context.EndSpan(root);
+
+  const auto spans = context.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[2].name, "inner");
+  EXPECT_EQ(spans[2].parent, 1);  // nested under outer, not the root
+}
+
+TEST(TraceSpanTest, UnboundSpansAreNoOps) {
+  // No binding installed: spans must not crash and must record nothing.
+  const TraceSpan span("orphan");
+  TraceContext context;
+  {
+    const ScopedBinding bind(Binding{&context, -1});
+  }  // binding restored before the span below
+  { const TraceSpan after("after"); }
+  EXPECT_TRUE(context.Snapshot().empty());
+}
+
+TEST(TraceSpanTest, ScopedBindingRestoresThePreviousBinding) {
+  TraceContext a;
+  TraceContext b;
+  const ScopedBinding bind_a(Binding{&a, -1});
+  {
+    const ScopedBinding bind_b(Binding{&b, -1});
+    const TraceSpan span("in_b");
+  }
+  const TraceSpan span("in_a");
+  EXPECT_EQ(b.Snapshot().size(), 1u);
+  ASSERT_EQ(a.Snapshot().size(), 1u);
+  EXPECT_EQ(a.Snapshot()[0].name, "in_a");
+}
+
+TEST(TraceSpanTest, PropagatesAcrossThreadPoolFanOut) {
+  TraceContext context;
+  const int root = context.BeginSpan("request", -1);
+  {
+    const ScopedBinding bind(Binding{&context, root});
+    // Enough chunks that some run on pool workers, not just the caller.
+    ParallelFor(0, 16, /*threads=*/4, [&](std::size_t) {
+      const TraceSpan span("chunk");
+    });
+  }
+  context.EndSpan(root);
+
+  const auto spans = context.Snapshot();
+  ASSERT_EQ(spans.size(), 17u);  // root + one span per chunk
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].name, "chunk");
+    EXPECT_EQ(spans[i].parent, 0);  // all parented under the bound root
+  }
+}
+
+TEST(TraceContextTest, ConcurrentSpansFromManyThreadsAreAllRecorded) {
+  TraceContext context;
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 16;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&context] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        const int span = context.BeginSpan("worker", -1);
+        context.EndSpan(span);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(context.Snapshot().size(),
+            static_cast<std::size_t>(kThreads * kSpansPerThread));
+  EXPECT_EQ(context.dropped(), 0u);
+}
+
+TEST(TraceEnabledTest, KillSwitchRoundTrips) {
+  const bool initial = Enabled();
+  SetEnabled(false);
+  EXPECT_FALSE(Enabled());
+  SetEnabled(true);
+  EXPECT_TRUE(Enabled());
+  SetEnabled(initial);
+}
+
+}  // namespace
+}  // namespace valmod::trace

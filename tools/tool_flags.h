@@ -105,6 +105,7 @@ inline constexpr std::string_view kServerFlags[] = {
     "input", "column", "generate", "n", "seed", "allow-nonfinite",
     "stdio", "port", "workers", "queue", "cache", "timeout-s", "preload",
     "calibrate", "event-loop", "max-inflight", "page-bytes", "simd",
+    "log-level", "log-json", "slowlog", "no-trace",
 };
 
 }  // namespace valmod::tools

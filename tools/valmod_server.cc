@@ -38,6 +38,8 @@
 
 #include "common/fault.h"
 #include "common/flags.h"
+#include "common/log.h"
+#include "common/trace.h"
 #include "mass/backend.h"
 #include "service/server.h"
 #include "service/tcp_server.h"
@@ -58,6 +60,8 @@ int Usage() {
                "[--simd=scalar|avx2|avx512|neon]\n"
                "       [--preload=<name> (--input=<csv> [--column=0] "
                "[--allow-nonfinite] | --generate=<gen> [--n] [--seed])]\n"
+               "       [--log-level=debug|info|warn|error] [--log-json] "
+               "[--slowlog=16] [--no-trace]\n"
                "newline-delimited JSON protocol; see README \"Serving\"\n"
                "fault injection: VALMOD_FAULTS env or the `faults` verb; "
                "see README \"Robustness\"\n");
@@ -71,18 +75,21 @@ bool Preload(Service& service, const Flags& flags) {
   if (name.empty()) return true;
   auto series = valmod::tools::LoadSeriesFromFlags(flags);
   if (!series.ok()) {
-    std::fprintf(stderr, "error: preload: %s\n",
-                 series.status().ToString().c_str());
+    valmod::log::Error("preload failed")
+        .Field("dataset", name)
+        .Field("status", series.status().ToString());
     return false;
   }
   auto loaded = service.registry().LoadSeries(name, std::move(*series));
   if (!loaded.ok()) {
-    std::fprintf(stderr, "error: preload: %s\n",
-                 loaded.status().ToString().c_str());
+    valmod::log::Error("preload failed")
+        .Field("dataset", name)
+        .Field("status", loaded.status().ToString());
     return false;
   }
-  std::fprintf(stderr, "preloaded dataset '%s' (%zu points)\n", name.c_str(),
-               (*loaded)->size());
+  valmod::log::Info("preloaded dataset")
+      .Field("dataset", name)
+      .Field("points", (*loaded)->size());
   return true;
 }
 
@@ -113,33 +120,49 @@ int main(int argc, char** argv) {
   (void)valmod::fault::FaultInjector::Global();
 
   const Flags flags = Flags::Parse(argc, argv);
+  // Configure logging before anything can log — including the unknown-flag
+  // rejection below, whose error should already honor --log-json.
+  valmod::log::SetJson(flags.GetBool("log-json", false));
+  if (flags.Has("log-level")) {
+    auto level = valmod::log::ParseLevel(flags.GetString("log-level", ""));
+    if (!level.ok()) {
+      valmod::log::Error("bad --log-level")
+          .Field("status", level.status().ToString());
+      return 2;
+    }
+    valmod::log::SetLevel(*level);
+  }
   if (valmod::Status status = flags.RejectUnknown(valmod::tools::kServerFlags);
       !status.ok()) {
-    std::fprintf(stderr, "error: %s\n", status.message().c_str());
+    valmod::log::Error("bad flags").Field("status",
+                                          std::string(status.message()));
     return 2;
   }
+  // Request tracing is on by default (near-zero cost until a request asks
+  // for its span tree); --no-trace is the kill switch for overhead-proof
+  // benchmarking.
+  valmod::trace::SetEnabled(!flags.GetBool("no-trace", false));
   const bool stdio = flags.GetBool("stdio", false);
   const bool has_port = flags.Has("port");
   const int port = static_cast<int>(flags.GetInt("port", 0));
   if (!stdio && !has_port) return Usage();
   if (stdio && has_port) {
-    std::fprintf(stderr, "error: --stdio and --port are exclusive\n");
+    valmod::log::Error("--stdio and --port are exclusive");
     return 2;
   }
   if (!stdio && (port < 0 || port > 65535)) {
-    std::fprintf(stderr, "error: --port must be in [0, 65535] (0 = pick an "
-                         "ephemeral port)\n");
+    valmod::log::Error(
+        "--port must be in [0, 65535] (0 = pick an ephemeral port)");
     return 2;
   }
   const std::string event_loop = flags.GetString("event-loop", "epoll");
   if (event_loop != "epoll" && event_loop != "threads") {
-    std::fprintf(stderr,
-                 "error: --event-loop must be 'epoll' or 'threads'\n");
+    valmod::log::Error("--event-loop must be 'epoll' or 'threads'");
     return 2;
   }
   const int max_inflight = static_cast<int>(flags.GetInt("max-inflight", 64));
   if (max_inflight < 1) {
-    std::fprintf(stderr, "error: --max-inflight must be >= 1\n");
+    valmod::log::Error("--max-inflight must be >= 1");
     return 2;
   }
 
@@ -149,15 +172,15 @@ int main(int argc, char** argv) {
   // value; the flag is a hard startup error.
   if (valmod::Status status = valmod::tools::ApplySimdFlag(flags);
       !status.ok()) {
-    std::fprintf(stderr, "error: --simd: %s\n", status.message().c_str());
+    valmod::log::Error("bad --simd").Field("status",
+                                           std::string(status.message()));
     return 2;
   }
 
   if (flags.Has("calibrate")) {
     (void)valmod::mass::CalibrateBackendCostModel();
-    std::fprintf(stderr, "calibrated backend cost model (generation %llu)\n",
-                 static_cast<unsigned long long>(
-                     valmod::mass::BackendCostModelGeneration()));
+    valmod::log::Info("calibrated backend cost model")
+        .Field("generation", valmod::mass::BackendCostModelGeneration());
   }
 
   valmod::service::ServiceOptions options;
@@ -169,6 +192,9 @@ int main(int argc, char** argv) {
   options.default_timeout_seconds = flags.GetDouble("timeout-s", 0.0);
   options.page_bytes =
       static_cast<std::size_t>(flags.GetInt("page-bytes", 1 << 20));
+  options.slowlog_capacity = static_cast<std::size_t>(flags.GetInt(
+      "slowlog",
+      static_cast<std::int64_t>(valmod::service::SlowLog::kDefaultCapacity)));
 
   Service service(options);
   if (!Preload(service, flags)) return 1;
@@ -182,14 +208,22 @@ int main(int argc, char** argv) {
           ? valmod::service::MakeThreadedServer(service, tcp_options)
           : valmod::service::MakeEpollServer(service, tcp_options);
   if (!server.ok()) {
-    std::fprintf(stderr, "error: %s\n",
-                 server.status().ToString().c_str());
+    valmod::log::Error("failed to start server")
+        .Field("status", server.status().ToString());
     return 1;
   }
   // --port=0 binds an ephemeral port; report the real one so scripts and
   // tests can parse it from stderr instead of racing for a fixed port.
+  // This line is a wire-format contract (the test harnesses regex it), so
+  // it stays plain fprintf regardless of --log-json; the structured event
+  // below carries the same facts for log shippers.
   std::fprintf(stderr, "valmod_server listening on 127.0.0.1:%d\n",
                (*server)->port());
   std::fflush(stderr);
+  valmod::log::Info("serving")
+      .Field("port", (*server)->port())
+      .Field("event_loop", event_loop)
+      .Field("workers", options.workers)
+      .Field("tracing", valmod::trace::Enabled());
   return (*server)->Serve();
 }
